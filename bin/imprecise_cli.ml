@@ -1,0 +1,406 @@
+(* The imprecise command-line tool: integrate, inspect, query and give
+   feedback on probabilistic XML documents.
+
+     imprecise integrate a.xml b.xml --rules genre,title -o out.xml
+     imprecise stats a.xml b.xml --rules none
+     imprecise query out.xml '//movie[.//genre="Horror"]/title'
+     imprecise worlds out.xml
+     imprecise feedback out.xml '//person/tel' 2222 --incorrect -o out.xml
+     imprecise demo *)
+
+open Cmdliner
+open Imprecise
+
+(* ---- shared argument handling --------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* A document file is either plain XML or a pxml-encoded probabilistic
+   document (recognised by its p:prob root). *)
+let load_doc path : (Pxml.doc, string) result =
+  match Xml.Parser.parse_file path with
+  | Error e -> Error (Fmt.str "%s: %s" path (Xml.Parser.error_to_string e))
+  | Ok tree ->
+      if Tree.name tree = Some Codec.prob_tag then Codec.decode tree
+      else Ok (Pxml.doc_of_tree tree)
+
+let load_certain path : (Tree.t, string) result =
+  Result.map_error
+    (fun e -> Fmt.str "%s: %s" path (Xml.Parser.error_to_string e))
+    (Xml.Parser.parse_file path)
+
+let rules_of_string s : (Rulesets.t, string) result =
+  match s with
+  | "none" | "generic" -> Ok Rulesets.generic
+  | "full" -> Ok Rulesets.full
+  | s ->
+      let flags = String.split_on_char ',' s in
+      let known = [ "genre"; "title"; "year"; "director" ] in
+      let bad = List.filter (fun f -> not (List.mem f known)) flags in
+      if bad <> [] then
+        Error
+          (Fmt.str "unknown rule(s) %s; expected none, full, or a comma-list of %s"
+             (String.concat ", " bad) (String.concat ", " known))
+      else
+        let has f = List.mem f flags in
+        Ok
+          (Rulesets.movie ~genre:(has "genre") ~title:(has "title") ~year:(has "year")
+             ~director:(has "director") ())
+
+let rules_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (rules_of_string s) in
+  let print ppf (r : Rulesets.t) = Fmt.string ppf r.name in
+  Arg.conv (parse, print)
+
+let rules_arg =
+  Arg.(
+    value
+    & opt rules_conv Rulesets.full
+    & info [ "rules"; "r" ] ~docv:"RULES"
+        ~doc:
+          "Knowledge rules for the Oracle: $(b,none), $(b,full), or a comma-separated \
+           subset of genre,title,year,director.")
+
+let dtd_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "dtd" ] ~docv:"FILE"
+        ~doc:
+          "Cardinality declarations, one per line, e.g. 'person: nm?, tel?'. Used to \
+           reject impossible worlds during integration.")
+
+let load_dtd = function
+  | None -> Ok Dtd.empty
+  | Some path -> Result.map_error (fun e -> Fmt.str "%s: %s" path e) (Dtd.of_string (read_file path))
+
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Write the resulting probabilistic document to $(docv) (pxml encoding).")
+
+let write_output doc = function
+  | None -> print_endline (Codec.to_string ~indent:2 doc)
+  | Some path ->
+      Xml.Printer.to_file ~decl:true ~indent:2 path (Codec.encode doc);
+      Fmt.pr "wrote %s@." path
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      Fmt.epr "imprecise: %s@." msg;
+      exit 1
+
+let infer_dtd_arg =
+  Arg.(
+    value & flag
+    & info [ "infer-dtd" ]
+        ~doc:
+          "Derive cardinality knowledge from the sources themselves: child tags that \
+           never repeat under a parent are treated as at-most-one. Combined with --dtd \
+           if both are given (explicit declarations win).")
+
+let resolve_dtd ~infer dtd_file docs =
+  let explicit = or_die (load_dtd dtd_file) in
+  if not infer then explicit
+  else
+    let inferred = Dtd.infer docs in
+    (* explicit declarations override inferred ones *)
+    List.fold_left
+      (fun d (p, c, o) -> Dtd.declare d ~parent:p ~child:c o)
+      inferred (Dtd.declarations explicit)
+
+let report_doc doc =
+  Fmt.pr "nodes: %d  world combinations: %g@." (node_count doc) (world_count doc)
+
+(* ---- integrate -------------------------------------------------------------- *)
+
+let integrate_cmd =
+  let run left right rules dtd infer factorize output =
+    let a = or_die (load_certain left) and b = or_die (load_certain right) in
+    let dtd = resolve_dtd ~infer dtd [ a; b ] in
+    match integrate ~rules ~dtd ~factorize a b with
+    | Error e ->
+        Fmt.epr "imprecise: %a@." Integrate.pp_error e;
+        exit 1
+    | Ok doc ->
+        report_doc doc;
+        write_output doc output
+  in
+  let left = Arg.(required & pos 0 (some file) None & info [] ~docv:"LEFT.xml") in
+  let right = Arg.(required & pos 1 (some file) None & info [] ~docv:"RIGHT.xml") in
+  let factorize =
+    Arg.(value & flag & info [ "factorize" ] ~doc:"Store independent clusters locally (compact representation).")
+  in
+  Cmd.v
+    (Cmd.info "integrate" ~doc:"Probabilistically integrate two XML documents.")
+    Term.(const run $ left $ right $ rules_arg $ dtd_arg $ infer_dtd_arg $ factorize $ output_arg)
+
+(* ---- stats -------------------------------------------------------------------- *)
+
+let stats_cmd =
+  let run left right rules dtd infer factorize =
+    let a = or_die (load_certain left) and b = or_die (load_certain right) in
+    let dtd = resolve_dtd ~infer dtd [ a; b ] in
+    match integration_stats ~rules ~dtd ~factorize a b with
+    | Error e ->
+        Fmt.epr "imprecise: %a@." Integrate.pp_error e;
+        exit 1
+    | Ok s ->
+        Fmt.pr "rules: %s@." rules.Rulesets.name;
+        Fmt.pr "nodes: %.0f@." s.Integrate.nodes;
+        Fmt.pr "world combinations: %g@." s.Integrate.worlds;
+        Fmt.pr "undecided pairs: %d@." s.Integrate.trace.Integrate.unsure_pairs;
+        Fmt.pr "forced matches: %d@." s.Integrate.trace.Integrate.same_pairs
+  in
+  let left = Arg.(required & pos 0 (some file) None & info [] ~docv:"LEFT.xml") in
+  let right = Arg.(required & pos 1 (some file) None & info [] ~docv:"RIGHT.xml") in
+  let factorize = Arg.(value & flag & info [ "factorize" ] ~doc:"Measure the factorised representation.") in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Compute the size of an integration without materialising it (works far beyond \
+          what $(b,integrate) can build).")
+    Term.(const run $ left $ right $ rules_arg $ dtd_arg $ infer_dtd_arg $ factorize)
+
+(* ---- rules ---------------------------------------------------------------------- *)
+
+let rules_cmd =
+  let run () =
+    List.iter
+      (fun (r : Rulesets.t) ->
+        Fmt.pr "%-22s %s@." r.Rulesets.name r.Rulesets.description;
+        List.iter (fun n -> Fmt.pr "    - %s@." n) (Oracle.rule_names r.Rulesets.oracle))
+      (Rulesets.table1 @ [ Rulesets.full ])
+  in
+  Cmd.v
+    (Cmd.info "rules" ~doc:"List the built-in Oracle rule presets and their rules.")
+    Term.(const run $ const ())
+
+(* ---- query --------------------------------------------------------------------- *)
+
+let strategy_names = [ "auto"; "direct"; "enumerate"; "sample" ]
+
+let query_cmd =
+  let run path query strategy samples seed =
+    let doc = or_die (load_doc path) in
+    let strategy =
+      match strategy with
+      | "auto" -> Pquery.Auto
+      | "direct" -> Pquery.Direct_only
+      | "enumerate" -> Pquery.Enumerate_only
+      | "sample" -> Pquery.Sample { n = samples; seed }
+      | s ->
+          Fmt.epr "imprecise: unknown strategy %S (expected %s)@." s
+            (String.concat ", " strategy_names);
+          exit 1
+    in
+    match Pquery.rank ~strategy doc query with
+    | answers -> Fmt.pr "%a@?" Answer.pp answers
+    | exception Pquery.Cannot_answer msg ->
+        Fmt.epr "imprecise: cannot answer: %s@." msg;
+        exit 1
+    | exception Failure msg ->
+        Fmt.epr "imprecise: %s@." msg;
+        exit 1
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC.xml") in
+  let query = Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY") in
+  let strategy =
+    Arg.(
+      value & opt string "auto"
+      & info [ "strategy" ] ~docv:"STRATEGY"
+          ~doc:"auto, direct, enumerate, or sample (Monte-Carlo estimate).")
+  in
+  let samples =
+    Arg.(value & opt int 10_000 & info [ "samples" ] ~docv:"N" ~doc:"Sample count for --strategy sample.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for --strategy sample.") in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Query a (probabilistic or plain) document; answers are ranked by the \
+          probability that they belong to the result.")
+    Term.(const run $ path $ query $ strategy $ samples $ seed)
+
+(* ---- worlds -------------------------------------------------------------------- *)
+
+let worlds_cmd =
+  let run path limit top =
+    let doc = or_die (load_doc path) in
+    let print (p, forest) =
+      Fmt.pr "%.4f  %s@." p
+        (String.concat "" (List.map (fun t -> Xml.Printer.to_string t) forest))
+    in
+    match top with
+    | Some k ->
+        (* k-best works at any scale, no enumeration *)
+        List.iter print (Worlds.most_likely ~k doc)
+    | None ->
+        let combos = world_count doc in
+        if combos > float_of_int limit then begin
+          Fmt.epr
+            "imprecise: %g world combinations exceed --limit %d (hint: --top K works at any scale)@."
+            combos limit;
+          exit 1
+        end;
+        List.iter print (Worlds.merged doc)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC.xml") in
+  let limit =
+    Arg.(value & opt int 10_000 & info [ "limit" ] ~docv:"N" ~doc:"Refuse to enumerate more than $(docv) combinations.")
+  in
+  let top =
+    Arg.(value & opt (some int) None & info [ "top" ] ~docv:"K" ~doc:"Only the $(docv) most likely worlds (works on documents of any size).")
+  in
+  Cmd.v
+    (Cmd.info "worlds" ~doc:"Enumerate the possible worlds of a probabilistic document.")
+    Term.(const run $ path $ limit $ top)
+
+(* ---- feedback -------------------------------------------------------------------- *)
+
+let feedback_cmd =
+  let run path query value incorrect exact output =
+    let doc = or_die (load_doc path) in
+    let correct = not incorrect in
+    let result =
+      if exact then Feedback.assert_answer doc ~query ~value ~correct
+      else Feedback.prune doc ~query ~value ~correct
+    in
+    match result with
+    | Error e ->
+        Fmt.epr "imprecise: %a@." Feedback.pp_error e;
+        exit 1
+    | Ok doc' ->
+        Fmt.pr "before: %d nodes, %g worlds@." (node_count doc) (world_count doc);
+        Fmt.pr "after : %d nodes, %g worlds@." (node_count doc') (world_count doc');
+        write_output doc' output
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC.xml") in
+  let query = Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY") in
+  let value = Arg.(required & pos 2 (some string) None & info [] ~docv:"VALUE") in
+  let incorrect =
+    Arg.(value & flag & info [ "incorrect" ] ~doc:"Assert the value is NOT a correct answer (default: it is).")
+  in
+  let exact =
+    Arg.(value & flag & info [ "exact" ] ~doc:"Exact Bayesian conditioning (rebuilds the document) instead of in-place pruning.")
+  in
+  Cmd.v
+    (Cmd.info "feedback"
+       ~doc:"Assert that VALUE is a correct/incorrect answer of QUERY and remove the data of inconsistent worlds.")
+    Term.(const run $ path $ query $ value $ incorrect $ exact $ output_arg)
+
+(* ---- explain --------------------------------------------------------------------- *)
+
+let explain_cmd =
+  let run path query value k =
+    let doc = or_die (load_doc path) in
+    match Pquery.explain ~k doc query value with
+    | e ->
+        Fmt.pr "P(%S in answer) = %.3f@." value e.Pquery.prob;
+        Fmt.pr "examined the %d most likely worlds (%.1f%% of the probability mass)@."
+          (List.length e.Pquery.supporting + List.length e.Pquery.opposing)
+          (100. *. e.Pquery.covered);
+        let show label worlds =
+          Fmt.pr "%s:@." label;
+          List.iter
+            (fun (p, forest) ->
+              Fmt.pr "  %.4f  %s@." p
+                (String.concat "" (List.map (fun t -> Xml.Printer.to_string t) forest)))
+            worlds
+        in
+        show "supporting worlds" e.Pquery.supporting;
+        show "opposing worlds" e.Pquery.opposing
+    | exception Pquery.Cannot_answer msg ->
+        Fmt.epr "imprecise: cannot answer: %s@." msg;
+        exit 1
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC.xml") in
+  let query = Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY") in
+  let value = Arg.(required & pos 2 (some string) None & info [] ~docv:"VALUE") in
+  let k = Arg.(value & opt int 6 & info [ "k" ] ~docv:"K" ~doc:"How many of the most likely worlds to examine.") in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the most likely worlds in which VALUE is (and is not) an answer of QUERY.")
+    Term.(const run $ path $ query $ value $ k)
+
+(* ---- validate --------------------------------------------------------------------- *)
+
+let validate_cmd =
+  let run path dtd =
+    let dtd_decl = or_die (load_dtd dtd) in
+    match load_doc path with
+    | Error msg ->
+        Fmt.epr "imprecise: %s@." msg;
+        exit 1
+    | Ok doc -> (
+        match Pxml.validate doc with
+        | Error msg ->
+            Fmt.epr "imprecise: invalid probabilistic structure: %s@." msg;
+            exit 1
+        | Ok () ->
+            let violations = ref 0 in
+            if Pxml.world_count doc <= 10_000. then
+              List.iter
+                (fun (_, forest) ->
+                  List.iter
+                    (fun w ->
+                      match Dtd.validate dtd_decl w with
+                      | Ok () -> ()
+                      | Error vs ->
+                          incr violations;
+                          List.iter (fun v -> Fmt.epr "  %a@." Dtd.pp_violation v) vs)
+                    forest)
+                (Worlds.merged doc);
+            if !violations > 0 then begin
+              Fmt.epr "imprecise: %d world(s) violate the DTD@." !violations;
+              exit 1
+            end;
+            Fmt.pr "valid: %d nodes, %g world combinations@." (node_count doc) (world_count doc))
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC.xml") in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Check probabilistic structure (and optionally a DTD in every world).")
+    Term.(const run $ path $ dtd_arg)
+
+(* ---- demo -------------------------------------------------------------------------- *)
+
+let demo_cmd =
+  let run () =
+    Fmt.pr "Integrating the two Figure-2 address books under 'person: nm?, tel?':@.";
+    let doc =
+      Result.get_ok
+        (integrate ~rules:Rulesets.generic ~dtd:Data.Addressbook.dtd Data.Addressbook.source_a
+           Data.Addressbook.source_b)
+    in
+    List.iter
+      (fun (p, forest) ->
+        Fmt.pr "  %.2f  %s@." p
+          (String.concat "" (List.map (fun t -> Xml.Printer.to_string t) forest)))
+      (Worlds.merged doc);
+    Fmt.pr "@.Querying //person/tel:@.";
+    Fmt.pr "%a" Answer.pp (rank doc "//person/tel");
+    Fmt.pr "@.After the user denies 2222:@.";
+    let doc = Result.get_ok (Feedback.prune doc ~query:"//person/tel" ~value:"2222" ~correct:false) in
+    Fmt.pr "%a" Answer.pp (rank doc "//person/tel")
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Run the paper's Figure-2 example end to end.") Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "imprecise" ~version:"1.0.0"
+       ~doc:"Good-is-good-enough probabilistic XML data integration (IMPrECISE, ICDE 2008).")
+    [
+      integrate_cmd; stats_cmd; query_cmd; worlds_cmd; explain_cmd; feedback_cmd;
+      validate_cmd; rules_cmd; demo_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,64 @@
+(* The information cycle of the paper's Figure 1: integrate, query, get
+   feedback on the answers, remove the data of impossible worlds, repeat —
+   integration completes incrementally while the data is already in use.
+
+     dune exec examples/feedback_loop.exe *)
+
+open Imprecise
+
+let report label doc =
+  Fmt.pr "%-52s %6d nodes %5.0f worlds  certainty %.2f@." label (node_count doc)
+    (world_count doc)
+    (Feedback.certainty doc)
+
+let () =
+  let wl = Data.Workloads.typical () in
+  let doc =
+    match
+      integrate ~rules:Rulesets.full ~dtd:wl.dtd (Data.Workloads.mpeg7_doc wl)
+        (Data.Workloads.imdb_doc wl)
+    with
+    | Ok doc -> doc
+    | Error e -> Fmt.failwith "integration failed: %a" Integrate.pp_error e
+  in
+  report "after near-automatic integration" doc;
+  Fmt.pr "@.The system could not decide whether the two 'Twelve Monkeys' and the two@.";
+  Fmt.pr "'GoldenEye' entries co-refer. Query answers are usable regardless:@.@.";
+  let q = "count(//movie)" in
+  Fmt.pr "%s:@.%a@." q Answer.pp (rank doc q);
+
+  (* The user looks at an answer and reacts; each reaction removes the data
+     of the worlds it contradicts. *)
+  let step doc (query, value, correct, label) =
+    match Feedback.prune doc ~query ~value ~correct with
+    | Ok doc' ->
+        report label doc';
+        doc'
+    | Error e ->
+        Fmt.pr "%-52s no-op (%a)@." label Feedback.pp_error e;
+        doc
+  in
+  let doc =
+    List.fold_left step doc
+      [
+        ( "count(//movie[title='Twelve Monkeys'])",
+          "1",
+          true,
+          "user: the Twelve Monkeys entries are one movie" );
+        ( "count(//movie[title='GoldenEye'])",
+          "1",
+          true,
+          "user: the GoldenEye entries are one movie" );
+      ]
+  in
+  Fmt.pr "@.%s now has a single certain answer:@.%a@." q Answer.pp (rank doc q);
+  assert (Pxml.is_certain doc);
+
+  (* The merged movie carries the union of both sources' knowledge. *)
+  Fmt.pr "@.The merged Twelve Monkeys record:@.";
+  match Pxml.to_tree_exn doc with
+  | [ tree ] ->
+      List.iter
+        (fun m -> Fmt.pr "%s@." (Xml.Printer.to_string ~indent:2 m))
+        (Xpath.Eval.select tree "//movie[title='Twelve Monkeys']")
+  | _ -> assert false

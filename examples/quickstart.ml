@@ -1,0 +1,62 @@
+(* Quickstart: integrate two tiny product catalogues whose entries overlap,
+   then query the uncertain result.
+
+     dune exec examples/quickstart.exe *)
+
+open Imprecise
+
+let shop_a =
+  parse_xml_exn
+    {|<catalog>
+        <product><name>Espresso Machine X100</name><price>199</price></product>
+        <product><name>Milk Frother</name><price>25</price></product>
+      </catalog>|}
+
+let shop_b =
+  parse_xml_exn
+    {|<catalog>
+        <product><name>Espresso Machine X100</name><price>189</price></product>
+        <product><name>Coffee Grinder</name><price>49</price></product>
+      </catalog>|}
+
+let () =
+  (* A product has one name and one price; the name identifies the product.
+     That is all the knowledge the Oracle needs here. *)
+  let dtd = Result.get_ok (Dtd.of_string "product: name?, price?") in
+  let rules =
+    Rulesets.
+      {
+        name = "catalog";
+        oracle =
+          Oracle.make
+            [ Oracle.deep_equal_rule; Oracle.key_rule ~tag:"product" ~field:"name" ];
+        reconcile = (fun _ _ _ -> None);
+        description = "product names are keys";
+      }
+  in
+  let doc =
+    match integrate ~rules ~dtd shop_a shop_b with
+    | Ok doc -> doc
+    | Error e -> Fmt.failwith "integration failed: %a" Integrate.pp_error e
+  in
+  Fmt.pr "Integrated catalogue: %d nodes, %g possible worlds@.@." (node_count doc)
+    (world_count doc);
+
+  (* The espresso machine matched in both shops but the price conflicts, so
+     the integrated catalogue is uncertain about it. *)
+  Fmt.pr "All product names (certain — the matching was decided by the key):@.";
+  Fmt.pr "%a@." Answer.pp (rank doc "//product/name");
+
+  Fmt.pr "Price of the espresso machine (uncertain — the sources disagree):@.";
+  Fmt.pr "%a@." Answer.pp (rank doc "//product[name='Espresso Machine X100']/price");
+
+  Fmt.pr "Products under 30 (depends on the world):@.";
+  Fmt.pr "%a@." Answer.pp (rank doc "//product[price < 30]/name");
+
+  (* Worlds can be listed outright while they are few. *)
+  Fmt.pr "The possible worlds:@.";
+  List.iter
+    (fun (p, forest) ->
+      Fmt.pr "  %.2f %s@." p
+        (String.concat "" (List.map (fun t -> Xml.Printer.to_string t) forest)))
+    (Worlds.merged doc)

@@ -1,0 +1,70 @@
+(* IMPrECISE — "good is good enough" probabilistic XML data integration.
+   Facade over the subsystem libraries; see imprecise.mli for the tour. *)
+
+module Xml = Imprecise_xml
+module Tree = Imprecise_xml.Tree
+module Dtd = Imprecise_xml.Dtd
+module Pxml = Imprecise_pxml.Pxml
+module Worlds = Imprecise_pxml.Worlds
+module Compact = Imprecise_pxml.Compact
+module Codec = Imprecise_pxml.Codec
+module Xpath = Imprecise_xpath
+module Oracle = Imprecise_oracle.Oracle
+module Similarity = Imprecise_oracle.Similarity
+module Integrate = Imprecise_integrate.Integrate
+module Matching = Imprecise_integrate.Matching
+module Pquery = Imprecise_pquery.Pquery
+module Answer = Imprecise_pquery.Answer
+module Quality = Imprecise_quality.Quality
+module Feedback = Imprecise_feedback.Feedback
+module Data = struct
+  module Movie = Imprecise_data.Movie
+  module Workloads = Imprecise_data.Workloads
+  module Addressbook = Imprecise_data.Addressbook
+  module Publications = Imprecise_data.Publications
+  module Prng = Imprecise_data.Prng
+  module Random_docs = Imprecise_data.Random_docs
+end
+module Store = Imprecise_store.Store
+module Rulesets = Rulesets
+
+let parse_xml s =
+  Result.map_error Xml.Parser.error_to_string (Xml.Parser.parse_string s)
+
+let parse_xml_exn = Xml.Parser.parse_string_exn
+
+let config_of_rules (rules : Rulesets.t) ~dtd ?factorize () =
+  Integrate.config ~oracle:rules.Rulesets.oracle ~reconcile:rules.Rulesets.reconcile ~dtd
+    ?factorize ()
+
+let integrate ?(rules = Rulesets.full) ?(dtd = Dtd.empty) ?factorize left right =
+  Integrate.integrate (config_of_rules rules ~dtd ?factorize ()) left right
+
+let integration_stats ?(rules = Rulesets.full) ?(dtd = Dtd.empty) ?factorize left right =
+  Integrate.stats (config_of_rules rules ~dtd ?factorize ()) left right
+
+(* Fold a whole list of sources into one probabilistic document: ordinary
+   integration for the first two, incremental integration for the rest. *)
+let integrate_all ?(rules = Rulesets.full) ?(dtd = Dtd.empty) ?factorize ?world_limit
+    sources =
+  match sources with
+  | [] -> Error (Integrate.Root_mismatch ("(no", "sources)"))
+  | [ only ] -> Ok (Pxml.doc_of_tree only)
+  | first :: second :: rest ->
+      let cfg = config_of_rules rules ~dtd ?factorize () in
+      Result.bind (Integrate.integrate cfg first second) (fun doc ->
+          List.fold_left
+            (fun acc source ->
+              Result.bind acc (fun doc ->
+                  Integrate.integrate_incremental cfg ?world_limit doc source))
+            (Ok doc) rest)
+
+let rank = Pquery.rank
+
+let explain = Pquery.explain
+
+let query_certain = Xpath.Eval.select_strings
+
+let node_count = Pxml.node_count
+
+let world_count = Pxml.world_count

@@ -1,0 +1,108 @@
+(** IMPrECISE — probabilistic XML data integration, after de Keijzer & van
+    Keulen, ICDE 2008.
+
+    The one-module tour:
+
+    {[
+      let left  = Imprecise.parse_xml_exn "<addressbook>...</addressbook>" in
+      let right = Imprecise.parse_xml_exn "<addressbook>...</addressbook>" in
+      let dtd   = Result.get_ok (Imprecise.Dtd.of_string "person: nm?, tel?") in
+      match Imprecise.integrate ~rules:Imprecise.Rulesets.generic ~dtd left right with
+      | Error e -> Fmt.epr "%a@." Imprecise.Integrate.pp_error e
+      | Ok doc ->
+          Fmt.pr "%d nodes, %g worlds@."
+            (Imprecise.node_count doc) (Imprecise.world_count doc);
+          Fmt.pr "%a" Imprecise.Answer.pp (Imprecise.rank doc "//person/nm")
+    ]}
+
+    Sub-modules re-export the full API of each subsystem: {!Xml} (trees,
+    parser, printer, {!Dtd}), {!Pxml} (the probabilistic model, with
+    {!Worlds}, {!Compact}, {!Codec}), {!Xpath} (the query language),
+    {!Oracle} and {!Similarity} (knowledge rules), {!Integrate} and
+    {!Matching} (probabilistic integration), {!Pquery}/{!Answer}
+    (ranked answers), {!Quality}, {!Feedback}, {!Data} (workloads) and
+    {!Store}. *)
+
+module Xml = Imprecise_xml
+module Tree = Imprecise_xml.Tree
+module Dtd = Imprecise_xml.Dtd
+module Pxml = Imprecise_pxml.Pxml
+module Worlds = Imprecise_pxml.Worlds
+module Compact = Imprecise_pxml.Compact
+module Codec = Imprecise_pxml.Codec
+module Xpath = Imprecise_xpath
+module Oracle = Imprecise_oracle.Oracle
+module Similarity = Imprecise_oracle.Similarity
+module Integrate = Imprecise_integrate.Integrate
+module Matching = Imprecise_integrate.Matching
+module Pquery = Imprecise_pquery.Pquery
+module Answer = Imprecise_pquery.Answer
+module Quality = Imprecise_quality.Quality
+module Feedback = Imprecise_feedback.Feedback
+
+module Data : sig
+  module Movie = Imprecise_data.Movie
+  module Workloads = Imprecise_data.Workloads
+  module Addressbook = Imprecise_data.Addressbook
+  module Publications = Imprecise_data.Publications
+  module Prng = Imprecise_data.Prng
+  module Random_docs = Imprecise_data.Random_docs
+end
+
+module Store = Imprecise_store.Store
+module Rulesets = Rulesets
+
+(** [parse_xml s] parses a document, with the error rendered as a string. *)
+val parse_xml : string -> (Tree.t, string) result
+
+val parse_xml_exn : string -> Tree.t
+
+(** [integrate ?rules ?dtd ?factorize left right] integrates two certain
+    documents into a probabilistic one. Defaults: the {!Rulesets.full} rule
+    set, no DTD knowledge, the paper-faithful non-factorised
+    representation. *)
+val integrate :
+  ?rules:Rulesets.t ->
+  ?dtd:Dtd.t ->
+  ?factorize:bool ->
+  Tree.t ->
+  Tree.t ->
+  (Pxml.doc, Integrate.error) result
+
+(** [integration_stats] — exact node/world counts of the would-be
+    integration, without materialising it (works at any scale). *)
+val integration_stats :
+  ?rules:Rulesets.t ->
+  ?dtd:Dtd.t ->
+  ?factorize:bool ->
+  Tree.t ->
+  Tree.t ->
+  (Integrate.summary, Integrate.error) result
+
+(** [integrate_all ?rules ?dtd ?factorize ?world_limit sources] folds any
+    number of sources into one probabilistic document: ordinary integration
+    for the first two, {!Integrate.integrate_incremental} for each further
+    source. A single source yields its certain embedding; an empty list is
+    an error. *)
+val integrate_all :
+  ?rules:Rulesets.t ->
+  ?dtd:Dtd.t ->
+  ?factorize:bool ->
+  ?world_limit:float ->
+  Tree.t list ->
+  (Pxml.doc, Integrate.error) result
+
+(** [rank doc query] is the amalgamated ranked answer (see {!Pquery}). *)
+val rank :
+  ?strategy:Pquery.strategy -> ?world_limit:float -> Pxml.doc -> string -> Answer.t list
+
+(** [explain ?k doc query value] classifies the most likely worlds by
+    whether [value] is part of the answer there (see {!Pquery.explain}). *)
+val explain : ?k:int -> Pxml.doc -> string -> string -> Pquery.explanation
+
+(** [query_certain tree query] runs the query engine over a plain document. *)
+val query_certain : Tree.t -> string -> string list
+
+val node_count : Pxml.doc -> int
+
+val world_count : Pxml.doc -> float

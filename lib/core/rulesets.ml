@@ -1,0 +1,75 @@
+module Oracle = Imprecise_oracle.Oracle
+
+module Similarity = Imprecise_oracle.Similarity
+
+type t = {
+  name : string;
+  oracle : Oracle.t;
+  reconcile : string -> string -> string -> string option;
+  description : string;
+}
+
+let no_reconcile _ _ _ = None
+
+(* Director names in the two conventions denote the same string; keep the
+   left (MPEG-7, "First Last") form. *)
+let director_reconcile tag l r =
+  if String.equal tag "director" && Similarity.name_similarity l r >= 0.95 then Some l
+  else None
+
+let title_threshold = 0.3
+
+let generic =
+  {
+    name = "none";
+    oracle = Oracle.make [ Oracle.deep_equal_rule ];
+    reconcile = no_reconcile;
+    description = "generic rules only (deep-equal, sibling distinctness)";
+  }
+
+let movie ?(genre = false) ?(title = false) ?(year = false) ?(director = false)
+    ?(threshold = title_threshold) () =
+  let rules =
+    [ Oracle.deep_equal_rule ]
+    @ (if genre then
+         [
+           Oracle.set_disjoint_rule ~tag:"movie" ~field:"genre";
+           Oracle.text_key_rule ~tag:"genre";
+         ]
+       else [])
+    @ (if title then
+         [ Oracle.similarity_rule ~tag:"movie" ~field:"title" ~threshold () ]
+       else [])
+    @ (if year then [ Oracle.field_differs_rule ~tag:"movie" ~field:"year" ] else [])
+    @
+    if director then
+      [ Oracle.text_match_rule ~tag:"director" ~same_above:0.95 ~diff_below:0.3 () ]
+    else []
+  in
+  let default =
+    if title then Oracle.field_similarity_prob ~field:"title" ()
+    else Oracle.constant_prob 0.5
+  in
+  let parts =
+    List.filter_map
+      (fun (flag, n) -> if flag then Some n else None)
+      [ (genre, "genre"); (title, "title"); (year, "year"); (director, "director") ]
+  in
+  let name = match parts with [] -> "none" | _ -> String.concat "+" parts in
+  {
+    name;
+    oracle = Oracle.make ~default rules;
+    reconcile = (if director then director_reconcile else no_reconcile);
+    description = Fmt.str "generic rules plus the %s rule(s)" name;
+  }
+
+let table1 =
+  [
+    generic;
+    movie ~genre:true ();
+    movie ~title:true ();
+    movie ~genre:true ~title:true ();
+    movie ~genre:true ~title:true ~year:true ();
+  ]
+
+let full = movie ~genre:true ~title:true ~year:true ~director:true ()

@@ -1,0 +1,51 @@
+(** Knowledge-rule presets: the rule sets of the paper's Table I, plus the
+    full set used under typical conditions.
+
+    Every preset includes the generic rules (deep-equal elements co-refer;
+    sibling distinctness is enforced structurally by the matcher). The
+    domain rules are the paper's:
+
+    - {e genre rule} — no typos occur in genres, so movies with disjoint
+      genre sets cannot match, and genre leaves merge by exact text;
+    - {e title rule} — two movies cannot match if their titles are not
+      sufficiently similar; when active, the Oracle also estimates match
+      probabilities from title similarity instead of a flat 0.5;
+    - {e year rule} — movies of different years cannot match;
+    - {e director knowledge} (typical conditions) — director names match
+      across conventions (["John Woo"] = ["Woo, John"]) and clearly
+      different names do not. *)
+
+module Oracle = Imprecise_oracle.Oracle
+
+type t = {
+  name : string;
+  oracle : Oracle.t;
+  reconcile : string -> string -> string -> string option;
+      (** leaf-value reconciliation knowledge (see {!Imprecise_integrate.Integrate.config}) *)
+  description : string;
+}
+
+val title_threshold : float
+(** Similarity below which the title rule rejects a match (0.3). *)
+
+(** Generic rules only — Table I's "none" row. *)
+val generic : t
+
+(** [movie ?genre ?title ?year ?director ?threshold ()] composes a movie
+    rule set; all flags default to [false]; [threshold] (default
+    {!title_threshold}) tunes the title rule's similarity cut-off. *)
+val movie :
+  ?genre:bool ->
+  ?title:bool ->
+  ?year:bool ->
+  ?director:bool ->
+  ?threshold:float ->
+  unit ->
+  t
+
+(** The five Table I rows, in the paper's order: none; genre; title;
+    genre+title; genre+title+year. *)
+val table1 : t list
+
+(** Everything on — used for typical conditions and the query demos. *)
+val full : t

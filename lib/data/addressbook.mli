@@ -1,0 +1,16 @@
+(** The paper's Figure 2 worked example: two address books, each with one
+    person named John but different phone numbers, integrated under a DTD
+    that allows at most one phone per person. The probabilistic result has
+    exactly three possible worlds. *)
+
+val source_a : Imprecise_xml.Tree.t
+
+val source_b : Imprecise_xml.Tree.t
+
+(** [person: nm?, tel?] *)
+val dtd : Imprecise_xml.Dtd.t
+
+(** [larger n seed] generates a pair of address books with [n] persons
+    each, overlapping partially, for scale tests: some persons appear in
+    both books (sometimes with a changed number), some in only one. *)
+val larger : int -> int -> Imprecise_xml.Tree.t * Imprecise_xml.Tree.t

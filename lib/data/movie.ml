@@ -1,0 +1,39 @@
+module Tree = Imprecise_xml.Tree
+
+type t = {
+  rwo : string;
+  title : string;
+  year : int;
+  genres : string list;
+  directors : string list;
+}
+
+type convention = Imdb | Mpeg7
+
+let flip_name name =
+  match String.rindex_opt name ' ' with
+  | None -> name
+  | Some i ->
+      let first = String.sub name 0 i in
+      let last = String.sub name (i + 1) (String.length name - i - 1) in
+      last ^ ", " ^ first
+
+let render convention m =
+  let director d =
+    match convention with Imdb -> flip_name d | Mpeg7 -> d
+  in
+  Tree.element "movie"
+    (Tree.leaf "title" m.title
+     :: Tree.leaf "year" (string_of_int m.year)
+     :: List.map (Tree.leaf "genre") m.genres
+    @ List.map (fun d -> Tree.leaf "director" (director d)) m.directors)
+
+let collection convention movies =
+  Tree.element "movies" (List.map (render convention) movies)
+
+let dtd =
+  let open Imprecise_xml.Dtd in
+  empty
+  |> fun d ->
+  declare d ~parent:"movie" ~child:"title" Optional |> fun d ->
+  declare d ~parent:"movie" ~child:"year" Optional

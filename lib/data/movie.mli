@@ -1,0 +1,35 @@
+(** Movie metadata records and their renderings in the two sources'
+    conventions.
+
+    The paper integrates IMDB metadata with an MPEG-7 document; neither is
+    redistributable, so this module synthesises records for the very movies
+    the paper names plus deterministic confusers (see {!Workloads}).
+    Schemas are pre-aligned, as §III assumes: both sources render to
+    [<movie><title/><year/><genre/>*<director/>*</movie>]. What differs is
+    the {e value conventions} — IMDB writes directors as ["McTiernan,
+    John"], MPEG-7 as ["John McTiernan"] — so deep-equal never fires across
+    sources, exactly as in the paper (§V). *)
+
+type t = {
+  rwo : string;  (** ground-truth real-world-object id (never rendered) *)
+  title : string;
+  year : int;
+  genres : string list;
+  directors : string list;  (** in "First Last" form *)
+}
+
+type convention = Imdb | Mpeg7
+
+(** [render convention m] is the [<movie>] element. The [rwo] id is
+    deliberately not rendered — integration must work from the data. *)
+val render : convention -> t -> Imprecise_xml.Tree.t
+
+(** [collection convention movies] wraps renderings in [<movies>]. *)
+val collection : convention -> t list -> Imprecise_xml.Tree.t
+
+(** [flip_name name] turns ["John McTiernan"] into ["McTiernan, John"]. *)
+val flip_name : string -> string
+
+(** The movie DTD: one [title] and one [year] per movie (used by
+    integration to reconcile conflicting values locally). *)
+val dtd : Imprecise_xml.Dtd.t

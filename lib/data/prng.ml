@@ -1,0 +1,4 @@
+(* Re-export: the PRNG lives in its own library so that other subsystems
+   (e.g. world sampling in pquery) can use it without depending on the
+   workload generators. *)
+include Imprecise_prng.Prng

@@ -1,0 +1,3 @@
+(** Deterministic splittable PRNG — alias of {!Imprecise_prng.Prng}. *)
+
+include module type of Imprecise_prng.Prng with type t = Imprecise_prng.Prng.t

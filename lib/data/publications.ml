@@ -1,0 +1,126 @@
+module Tree = Imprecise_xml.Tree
+module Oracle = Imprecise_oracle.Oracle
+module Similarity = Imprecise_oracle.Similarity
+
+type publication = {
+  rwo : string;
+  title : string;
+  year : int;
+  venue : string;
+  authors : string list;
+  pages : (int * int) option;
+}
+
+type convention = Dblp | Acm
+
+let render convention p =
+  let author a = match convention with Dblp -> a | Acm -> Movie.flip_name a in
+  let venue v =
+    match convention with Dblp -> "Proc. " ^ v | Acm -> v ^ " Conference"
+  in
+  Tree.element "publication"
+    ([ Tree.leaf "title" p.title; Tree.leaf "year" (string_of_int p.year) ]
+    @ [ Tree.leaf "venue" (venue p.venue) ]
+    @ List.map (fun a -> Tree.leaf "author" (author a)) p.authors
+    @
+    match p.pages, convention with
+    | Some (a, b), Dblp -> [ Tree.leaf "pages" (Printf.sprintf "%d-%d" a b) ]
+    | Some _, Acm | None, _ -> [] (* the ACM-style source omits pages *))
+
+let collection convention ps =
+  Tree.element "publications" (List.map (render convention) ps)
+
+let publication rwo title year venue authors pages =
+  { rwo; title; year; venue; authors; pages }
+
+(* Three shared records, two per-source extras, and a confuser pair: the
+   same work as a demo paper and as a full paper two years apart. *)
+let shared =
+  [
+    publication "pub-pxml" "A Probabilistic XML Approach to Data Integration" 2005 "ICDE"
+      [ "Maurice van Keulen"; "Ander de Keijzer"; "Wouter Alink" ]
+      (Some (459, 470));
+    publication "pub-dataspaces" "Principles of Dataspace Systems" 2006 "PODS"
+      [ "Alon Halevy"; "Michael Franklin"; "David Maier" ]
+      (Some (1, 9));
+    publication "pub-trio" "Trio: A System for Data Uncertainty and Lineage" 2006 "VLDB"
+      [ "Jennifer Widom" ]
+      None;
+  ]
+
+let dblp_only =
+  [
+    publication "pub-monet" "MonetDB/XQuery: A Fast XQuery Processor" 2006 "SIGMOD"
+      [ "Peter Boncz"; "Torsten Grust" ]
+      (Some (479, 490));
+  ]
+
+let acm_only =
+  [
+    publication "pub-mystiq" "MYSTIQ: A System for Finding More Answers by Using Probabilities"
+      2005 "SIGMOD"
+      [ "Nilesh Dalvi"; "Dan Suciu" ]
+      None;
+  ]
+
+(* The confuser: a demo version and the full version of the same line of
+   work — similar titles, different years, different rwos. *)
+let demo_version =
+  publication "pub-imprecise-demo" "IMPrECISE: Good-is-good-enough Data Integration" 2008
+    "ICDE"
+    [ "Ander de Keijzer"; "Maurice van Keulen" ]
+    None
+
+let full_version =
+  publication "pub-imprecise-full" "Good-is-good-enough Data Integration" 2006 "IIDB"
+    [ "Ander de Keijzer"; "Maurice van Keulen" ]
+    None
+
+let sources () =
+  (shared @ dblp_only @ [ demo_version ], shared @ acm_only @ [ full_version ])
+
+let coref_pairs a b =
+  List.filter_map
+    (fun (p : publication) ->
+      Option.map (fun q -> (p, q)) (List.find_opt (fun q -> q.rwo = p.rwo) b))
+    a
+
+let dtd =
+  match
+    Imprecise_xml.Dtd.of_string "publication: title?, year?, venue?, pages?"
+  with
+  | Ok d -> d
+  | Error _ -> assert false
+
+let rules () =
+  Oracle.make
+    ~default:(Oracle.field_similarity_prob ~field:"title" ())
+    [
+      Oracle.deep_equal_rule;
+      Oracle.similarity_rule ~tag:"publication" ~field:"title" ~threshold:0.5 ();
+      Oracle.field_differs_rule ~tag:"publication" ~field:"year";
+      Oracle.text_match_rule ~tag:"author" ~same_above:0.95 ~diff_below:0.3 ();
+    ]
+
+(* Venues are the same modulo the per-source decoration; authors modulo the
+   name convention. *)
+let reconcile tag l r =
+  match tag with
+  | "author" when Similarity.name_similarity l r >= 0.95 -> Some l
+  | "venue" ->
+      let strip v =
+        let v = Tree.normalize_space v in
+        let v =
+          if String.length v > 6 && String.sub v 0 6 = "Proc. " then
+            String.sub v 6 (String.length v - 6)
+          else v
+        in
+        let suffix = " Conference" in
+        if String.length v > String.length suffix
+           && String.sub v (String.length v - String.length suffix) (String.length suffix)
+              = suffix
+        then String.sub v 0 (String.length v - String.length suffix)
+        else v
+      in
+      if String.equal (strip l) (strip r) then Some (strip l) else None
+  | _ -> None

@@ -1,0 +1,47 @@
+(** A second integration domain: bibliographic records in two conventions
+    (a DBLP-style source and an ACM-style source), demonstrating that the
+    rule machinery is not movie-specific.
+
+    The two sources render the same publications differently: author names
+    are ["First Last"] in one and ["Last, First"] in the other, venue names
+    are abbreviated differently ("Proc. ICDE" vs "ICDE Conference"), and
+    page ranges may be missing. Titles identify papers up to punctuation
+    and casing, so a title-similarity rule plus a year rule decides almost
+    everything; near-miss confusers (extended versions of the same paper
+    published in a different year, same-title short/demo papers) keep the
+    Oracle honest. *)
+
+type publication = {
+  rwo : string;
+  title : string;
+  year : int;
+  venue : string;
+  authors : string list;  (** "First Last" form *)
+  pages : (int * int) option;
+}
+
+type convention = Dblp | Acm
+
+val render : convention -> publication -> Imprecise_xml.Tree.t
+
+val collection : convention -> publication list -> Imprecise_xml.Tree.t
+
+(** [sources ()] is the built-in pair of overlapping bibliographies:
+    (DBLP-style list, ACM-style list). Three records co-refer; each source
+    also has entries the other lacks, plus one demo-paper/full-paper
+    confuser pair. *)
+val sources : unit -> publication list * publication list
+
+val coref_pairs : publication list -> publication list -> (publication * publication) list
+
+(** [publication: title?, year?, venue?, pages?] *)
+val dtd : Imprecise_xml.Dtd.t
+
+(** The rule set for this domain: title similarity, year discrimination,
+    author-name matching across conventions, venue reconciliation. *)
+val rules : unit -> Imprecise_oracle.Oracle.t
+
+(** Reconciliation knowledge for this domain (venue spellings, author
+    conventions); pairs with {!rules} the way
+    {!Imprecise_oracle.Oracle} pairs with a rule set. *)
+val reconcile : string -> string -> string -> string option

@@ -1,0 +1,197 @@
+type t = {
+  name : string;
+  mpeg7 : Movie.t list;
+  imdb : Movie.t list;
+  dtd : Imprecise_xml.Dtd.t;
+}
+
+let movie rwo title year genres directors =
+  { Movie.rwo; title; year; genres; directors }
+
+(* The six movies the paper names (§V). Genre sets deliberately overlap
+   across franchises: 'Thriller' bridges Jaws and Die Hard, 'Action'
+   bridges Die Hard and Mission: Impossible, so the genre rule alone cannot
+   separate the franchises cleanly. *)
+let jaws1 = movie "jaws-1" "Jaws" 1975 [ "Horror"; "Thriller" ] [ "Steven Spielberg" ]
+
+let jaws2 = movie "jaws-2" "Jaws 2" 1978 [ "Horror"; "Thriller" ] [ "Jeannot Szwarc" ]
+
+let diehard2 =
+  movie "diehard-2" "Die Hard 2" 1990 [ "Action"; "Thriller" ] [ "Renny Harlin" ]
+
+let diehard3 =
+  movie "diehard-3" "Die Hard: With a Vengeance" 1995 [ "Action"; "Thriller" ]
+    [ "John McTiernan" ]
+
+let mi1 =
+  movie "mi-1" "Mission: Impossible" 1996 [ "Action"; "Adventure" ] [ "Brian De Palma" ]
+
+let mi2 = movie "mi-2" "Mission: Impossible II" 2000 [ "Action"; "Adventure" ] [ "John Woo" ]
+
+(* Non-co-referent IMDB confusers for the 6-vs-6 set-up. *)
+let jaws_doc =
+  movie "jaws-doc" "Jaws 2" 1984 [ "Documentary" ] [ "Maria Stellman" ]
+
+let diehard4 =
+  movie "diehard-4" "Live Free or Die Hard" 2007 [ "Action"; "Thriller" ] [ "Len Wiseman" ]
+
+let mi_tv = movie "mi-tv" "Mission: Impossible" 1988 [ "Adventure" ] [ "Bruce Geller" ]
+
+let confusing_mpeg7 = [ jaws1; jaws2; diehard2; diehard3; mi1; mi2 ]
+
+(* The co-referent IMDB entries are the same records (same rwo); the
+   renderer applies the IMDB conventions, so the XML is never deep-equal
+   across sources. One co-referent movie per franchise, as in the paper. *)
+let confusing_imdb = [ jaws1; jaws_doc; diehard3; diehard4; mi2; mi_tv ]
+
+let confusing () =
+  { name = "confusing-6v6"; mpeg7 = confusing_mpeg7; imdb = confusing_imdb; dtd = Movie.dtd }
+
+(* ---- Figure 5 confusers -------------------------------------------------- *)
+
+type franchise = {
+  base : string;
+  base_genres : string list;
+  suffixes : string list;
+  anchor_years : int list;  (** years of the real movies, for collisions *)
+}
+
+let franchises =
+  [
+    {
+      base = "Jaws";
+      base_genres = [ "Horror"; "Thriller" ];
+      suffixes =
+        [ " 2"; " 3-D"; ": The Revenge"; " Unleashed"; ": The True Story"; " Returns" ];
+      anchor_years = [ 1975; 1978 ];
+    };
+    {
+      base = "Die Hard";
+      base_genres = [ "Action"; "Thriller" ];
+      suffixes =
+        [ " 2"; ": With a Vengeance"; " Trilogy"; ": The Video Game"; " IV"; ": Reloaded" ];
+      anchor_years = [ 1990; 1995 ];
+    };
+    {
+      base = "Mission: Impossible";
+      base_genres = [ "Action"; "Adventure" ];
+      suffixes = [ ""; " II"; " III"; ": The Series"; " Again"; ": Declassified" ];
+      anchor_years = [ 1996; 2000 ];
+    };
+  ]
+
+let directors_pool =
+  [
+    "Alan Smithee"; "Jane Doakes"; "Robert Vermeer"; "Lucia Andersen";
+    "Pieter Boekman"; "Ingrid Halvorsen"; "Tomas Riva"; "Keiko Tanaka";
+  ]
+
+(* Confuser [i] (0-based) of the Figure 5 workload, assigned round-robin to
+   franchises. Fully deterministic in [i]. *)
+let figure5_confuser i =
+  let f = List.nth franchises (i mod 3) in
+  let gen = i / 3 in
+  let suffix = List.nth f.suffixes (gen mod List.length f.suffixes) in
+  let round = gen / List.length f.suffixes in
+  let title =
+    f.base ^ suffix ^ if round = 0 then "" else Printf.sprintf " Part %d" (round + 1)
+  in
+  let year =
+    (* every 8th confuser collides with an anchor year *)
+    if i mod 8 = 7 then List.nth f.anchor_years (gen mod 2)
+    else 1960 + ((i * 7) mod 35) + if List.mem (1960 + ((i * 7) mod 35)) f.anchor_years then 1 else 0
+  in
+  let genres =
+    (* every 5th confuser is a documentary (genre-prunable) *)
+    if i mod 5 = 4 then [ "Documentary" ] else f.base_genres
+  in
+  let director = List.nth directors_pool (i mod List.length directors_pool) in
+  movie (Printf.sprintf "confuser-%d" i) title year genres [ director ]
+
+let figure5 ~n_imdb =
+  let base = List.filteri (fun i _ -> i < n_imdb) confusing_imdb in
+  let extra =
+    if n_imdb <= 6 then []
+    else List.init (n_imdb - 6) figure5_confuser
+  in
+  {
+    name = Printf.sprintf "figure5-%d" n_imdb;
+    mpeg7 = confusing_mpeg7;
+    imdb = base @ extra;
+    dtd = Movie.dtd;
+  }
+
+(* ---- typical (non-confusing) conditions ---------------------------------- *)
+
+let typical_mpeg7 =
+  [
+    movie "t-monkeys" "Twelve Monkeys" 1995 [ "Sci-Fi"; "Thriller" ] [ "Terry Gilliam" ];
+    movie "t-goldeneye" "GoldenEye" 1995 [ "Action"; "Adventure" ] [ "Martin Campbell" ];
+    movie "t-sevn" "Se7en" 1995 [ "Crime"; "Mystery" ] [ "David Fincher" ];
+    movie "t-casino" "Casino" 1995 [ "Crime"; "Drama" ] [ "Martin Scorsese" ];
+    movie "t-jumanji" "Jumanji" 1995 [ "Adventure"; "Family" ] [ "Joe Johnston" ];
+    movie "t-braveheart" "Braveheart" 1995 [ "Drama"; "History" ] [ "Mel Gibson" ];
+  ]
+
+(* The two co-referent IMDB entries: same rwo, same title and year, but
+   genre sets and director-name conventions differ, so the pairs are never
+   deep-equal — the Oracle stays undecided on exactly these two (the
+   paper's "only on two occasions"), and the merged movies themselves are
+   certain, giving the paper's 4 possible worlds. *)
+let typical_coref_imdb =
+  [
+    { (List.nth typical_mpeg7 0) with Movie.genres = [ "Sci-Fi"; "Thriller"; "Mystery" ] };
+    { (List.nth typical_mpeg7 1) with Movie.genres = [ "Action" ] };
+  ]
+
+let adjectives =
+  [ "Silent"; "Broken"; "Crimson"; "Forgotten"; "Electric"; "Hollow"; "Amber" ]
+
+let nouns =
+  [ "Harvest"; "Orbit"; "Lanterns"; "Crossing"; "Reckoning"; "Meridian"; "Paradox" ]
+
+let typical_filler i =
+  let a = List.nth adjectives (i mod List.length adjectives) in
+  let n = List.nth nouns ((i / List.length adjectives) mod List.length nouns) in
+  let cycle = i / (List.length adjectives * List.length nouns) in
+  let title =
+    if cycle = 0 then Printf.sprintf "The %s %s" a n
+    else Printf.sprintf "The %s %s %d" a n (cycle + 1)
+  in
+  movie
+    (Printf.sprintf "filler-%d" i)
+    title
+    (1980 + ((i * 3) mod 25))
+    [ List.nth [ "Drama"; "Comedy"; "Crime"; "Romance" ] (i mod 4) ]
+    [ List.nth directors_pool ((i * 5) mod List.length directors_pool) ]
+
+let typical ?(n_imdb = 60) () =
+  let fillers = List.init (max 0 (n_imdb - 2)) typical_filler in
+  {
+    name = Printf.sprintf "typical-%d" n_imdb;
+    mpeg7 = typical_mpeg7;
+    imdb = typical_coref_imdb @ fillers;
+    dtd = Movie.dtd;
+  }
+
+(* ---- renderers and ground truth ------------------------------------------ *)
+
+let mpeg7_doc t = Movie.collection Movie.Mpeg7 t.mpeg7
+
+let imdb_doc t = Movie.collection Movie.Imdb t.imdb
+
+let coref_pairs t =
+  List.filter_map
+    (fun (m : Movie.t) ->
+      Option.map
+        (fun (i : Movie.t) -> (m, i))
+        (List.find_opt (fun (i : Movie.t) -> i.Movie.rwo = m.Movie.rwo) t.imdb))
+    t.mpeg7
+
+module SS = Set.Make (String)
+
+let titles_with_genre t genre =
+  List.filter_map
+    (fun (m : Movie.t) -> if List.mem genre m.Movie.genres then Some m.Movie.title else None)
+    (t.mpeg7 @ t.imdb)
+  |> SS.of_list |> SS.elements

@@ -1,0 +1,50 @@
+(** The paper's experimental workloads (§V), rebuilt synthetically.
+
+    Three scenarios:
+
+    - {!confusing}: the Table I set-up — 2 'Mission: Impossible', 2 'Die
+      Hard' and 2 'Jaws' movies per source, of which exactly one per
+      franchise refers to the same real-world object in both sources. Genre
+      sets are designed to overlap across franchises (everything
+      action-adjacent shares a genre with something else), so the genre
+      rule prunes mildly, the title rule strongly and the year rule almost
+      completely — the ordering Table I reports.
+    - {!figure5}: 6 MPEG-7 movies vs a growing number of IMDB sequels /
+      TV shows / documentaries around the same franchises (the Figure 5
+      x-axis). Confuser titles, years and genres are deterministic
+      functions of their index; roughly every 8th confuser collides with a
+      real movie's year (so the title+year curve creeps rather than stays
+      flat) and every 5th is a documentary (prunable by genre).
+    - {!typical}: the in-text 6-movies-of-1995 vs 60 experiment under
+      non-confusing conditions: all titles distinct, two co-referent pairs
+      whose values agree but never deep-equal (director-name conventions,
+      one spelling variation), so with the full rule set the Oracle is
+      undecided exactly twice and the result has 4 possible worlds. *)
+
+type t = {
+  name : string;
+  mpeg7 : Movie.t list;
+  imdb : Movie.t list;
+  dtd : Imprecise_xml.Dtd.t;
+}
+
+val confusing : unit -> t
+
+(** [figure5 ~n_imdb] — the first 6 IMDB movies are {!confusing}'s;
+    further ones are generated confusers (round-robin over franchises). *)
+val figure5 : n_imdb:int -> t
+
+val typical : ?n_imdb:int -> unit -> t
+
+(** Rendered source documents (schema-aligned [<movies>] collections). *)
+val mpeg7_doc : t -> Imprecise_xml.Tree.t
+
+val imdb_doc : t -> Imprecise_xml.Tree.t
+
+(** Ground truth by construction: pairs (MPEG-7 movie, IMDB movie) that
+    refer to the same rwo. *)
+val coref_pairs : t -> (Movie.t * Movie.t) list
+
+(** Titles of movies carrying [genre] in either source — ground truth for
+    answer-quality experiments. *)
+val titles_with_genre : t -> string -> string list

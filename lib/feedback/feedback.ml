@@ -1,0 +1,172 @@
+module Xml = Imprecise_xml
+module Pxml = Imprecise_pxml.Pxml
+module Worlds = Imprecise_pxml.Worlds
+module Compact = Imprecise_pxml.Compact
+module Naive = Imprecise_pquery.Naive
+
+type error = Too_many_worlds of float | Contradiction
+
+let pp_error ppf = function
+  | Too_many_worlds n -> Fmt.pf ppf "document has %g worlds; too many to condition" n
+  | Contradiction -> Fmt.string ppf "assertion has probability 0 in this document"
+
+let condition ?(limit = 200_000.) doc keep =
+  let combos = Pxml.world_count doc in
+  if combos > limit then Error (Too_many_worlds combos)
+  else begin
+    let kept = List.filter (fun (p, forest) -> p > 0. && keep forest) (Worlds.merged doc) in
+    let total = List.fold_left (fun acc (p, _) -> acc +. p) 0. kept in
+    if total <= 0. then Error Contradiction
+    else
+      let choices =
+        List.map
+          (fun (p, forest) -> Pxml.choice ~prob:(p /. total) (List.map Pxml.of_tree forest))
+          kept
+      in
+      Ok (Compact.compact (Pxml.dist choices))
+  end
+
+let assert_answer ?limit doc ~query ~value ~correct =
+  let expr = Imprecise_xpath.Parser.parse_exn query in
+  condition ?limit doc (fun forest ->
+      let present = List.mem value (Naive.answer_in_world forest expr) in
+      present = correct)
+
+let certainty ?(limit = 200_000.) doc =
+  let combos = Pxml.world_count doc in
+  if combos > limit then 0.
+  else match Worlds.merged doc with [] -> 0. | (p, _) :: _ -> p
+
+(* ---- structure-preserving pruning ---------------------------------------- *)
+
+(* Address of a probability node: from the enclosing probability node, enter
+   choice [choice], its regular node [node] (an element), and that element's
+   content entry [dist]. The root probability node has the empty path. *)
+type step = { choice : int; node : int; dist : int }
+
+let rec dist_paths prefix (d : Pxml.dist) acc =
+  let acc = (List.rev prefix, d) :: acc in
+  List.fold_left
+    (fun acc (ci, (c : Pxml.choice)) ->
+      List.fold_left
+        (fun acc (ni, n) ->
+          match n with
+          | Pxml.Text _ -> acc
+          | Pxml.Elem (_, _, content) ->
+              List.fold_left
+                (fun acc (di, d') ->
+                  dist_paths ({ choice = ci; node = ni; dist = di } :: prefix) d' acc)
+                acc
+                (List.mapi (fun i d' -> (i, d')) content))
+        acc
+        (List.mapi (fun i n -> (i, n)) c.Pxml.nodes))
+    acc
+    (List.mapi (fun i c -> (i, c)) d.Pxml.choices)
+
+let nth_opt = List.nth_opt
+
+(* Rebuild the document with the probability node at [path] replaced; [None]
+   when the path no longer exists (an earlier prune removed it). *)
+let rec replace_dist (d : Pxml.dist) path (new_dist : Pxml.dist) : Pxml.dist option =
+  match path with
+  | [] -> Some new_dist
+  | s :: rest -> (
+      match nth_opt d.Pxml.choices s.choice with
+      | None -> None
+      | Some c -> (
+          match nth_opt c.Pxml.nodes s.node with
+          | None | Some (Pxml.Text _) -> None
+          | Some (Pxml.Elem (tag, attrs, content)) -> (
+              match nth_opt content s.dist with
+              | None -> None
+              | Some inner -> (
+                  match replace_dist inner rest new_dist with
+                  | None -> None
+                  | Some inner' ->
+                      let content' =
+                        List.mapi (fun i d' -> if i = s.dist then inner' else d') content
+                      in
+                      let nodes' =
+                        List.mapi
+                          (fun i n ->
+                            if i = s.node then Pxml.Elem (tag, attrs, content') else n)
+                          c.Pxml.nodes
+                      in
+                      let choices' =
+                        List.mapi
+                          (fun i (c' : Pxml.choice) ->
+                            if i = s.choice then { c' with Pxml.nodes = nodes' } else c')
+                          d.Pxml.choices
+                      in
+                      Some { Pxml.choices = choices' }))))
+
+let eps = 1e-9
+
+let prune ?(rounds = 2) doc ~query ~value ~correct =
+  let module Pquery = Imprecise_pquery.Pquery in
+  let module Answer = Imprecise_pquery.Answer in
+  let answer_prob doc =
+    match Pquery.rank doc query with
+    | answers ->
+        Some
+          (match List.find_opt (fun (a : Answer.t) -> a.Answer.value = value) answers with
+          | Some a -> a.Answer.prob
+          | None -> 0.)
+    | exception Pquery.Cannot_answer _ -> None
+  in
+  (* A possibility is deleted when choosing it makes the assertion certainly
+     false: asserted-present but P = 0, or asserted-absent but P = 1. *)
+  let choice_impossible doc path (c : Pxml.choice) =
+    match replace_dist doc path { Pxml.choices = [ { c with Pxml.prob = 1. } ] } with
+    | None -> false
+    | Some hyp -> (
+        match answer_prob hyp with
+        | None -> false
+        | Some p -> if correct then p <= eps else p >= 1. -. eps)
+  in
+  let exception Contradicted in
+  let prune_round doc =
+    let changed = ref false in
+    let doc = ref doc in
+    List.iter
+      (fun (path, (d : Pxml.dist)) ->
+        if List.length d.Pxml.choices > 1 then begin
+          let kept =
+            List.filter (fun c -> not (choice_impossible !doc path c)) d.Pxml.choices
+          in
+          if kept = [] then raise Contradicted;
+          if List.length kept < List.length d.Pxml.choices then begin
+            let total = List.fold_left (fun acc (c : Pxml.choice) -> acc +. c.prob) 0. kept in
+            let renorm =
+              List.map (fun (c : Pxml.choice) -> { c with Pxml.prob = c.prob /. total }) kept
+            in
+            match replace_dist !doc path { Pxml.choices = renorm } with
+            | Some doc' ->
+                doc := doc';
+                changed := true
+            | None -> ()
+          end
+        end)
+      (* Deepest first: pruning a probability node renumbers choices inside
+         it, which would invalidate paths routing through it — its
+         descendants are therefore handled before it, and sibling subtrees
+         are unaffected. *)
+      (List.sort
+         (fun (p1, _) (p2, _) -> Int.compare (List.length p2) (List.length p1))
+         (dist_paths [] !doc []));
+    (!doc, !changed)
+  in
+  let rec go k doc =
+    if k <= 0 then Ok (Compact.compact doc)
+    else
+      match prune_round doc with
+      | doc', true -> go (k - 1) doc'
+      | doc', false -> Ok (Compact.compact doc')
+      | exception Contradicted -> Error Contradiction
+  in
+  (* The assertion itself may already have probability 0 — e.g. on a fully
+     certain document, where there is no possibility left to prune. *)
+  match answer_prob doc with
+  | Some p when (correct && p <= eps) || ((not correct) && p >= 1. -. eps) ->
+      Error Contradiction
+  | _ -> go rounds doc

@@ -1,0 +1,71 @@
+(** The user-feedback half of the information cycle (paper Fig. 1, §VII).
+
+    Feedback on a query answer is traced back to possible worlds: asserting
+    that a value is (in)correct removes every world inconsistent with the
+    assertion and renormalises the rest — Bayesian conditioning on the
+    answer event. Iterated feedback continues the semantic integration
+    incrementally, which is the paper's "good is good enough" end game.
+    (The paper's demo left this unimplemented; it is built here.)
+
+    The implementation conditions by world filtering, so it is guarded by a
+    world-count limit; documents fresh out of integration with effective
+    rules are well within it. *)
+
+module Xml = Imprecise_xml
+module Pxml = Imprecise_pxml.Pxml
+
+type error =
+  | Too_many_worlds of float
+  | Contradiction  (** the assertion has probability 0 — no world survives *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [condition ?limit doc keep] keeps exactly the worlds satisfying [keep]
+    (given the world as a canonical forest), renormalises and compacts. *)
+val condition :
+  ?limit:float -> Pxml.doc -> (Xml.Tree.t list -> bool) -> (Pxml.doc, error) result
+
+(** [assert_answer ?limit doc ~query ~value ~correct] conditions on the
+    event "[value] is in the answer of [query]" being [correct].
+    E.g. after the horror-movies query, a user confirming 'Jaws' removes
+    every world in which Jaws is not a horror movie. *)
+val assert_answer :
+  ?limit:float ->
+  Pxml.doc ->
+  query:string ->
+  value:string ->
+  correct:bool ->
+  (Pxml.doc, error) result
+
+(** [certainty doc] is the probability of the most likely world — 1 when
+    integration is complete. Enumeration-guarded like the rest. *)
+val certainty : ?limit:float -> Pxml.doc -> float
+
+(** {1 Structure-preserving pruning}
+
+    {!condition} computes the exact posterior but rebuilds the document
+    from its world list, which destroys the compact representation. The
+    paper's phrasing — feedback is "used to remove data related to
+    impossible worlds from the database" — suggests the cheaper operation
+    implemented by [prune]: for every possibility of every probability
+    node, test whether the assertion is {e certainly violated} whenever
+    that possibility is chosen; if so, delete the possibility (and its
+    whole subtree) in place, then compact and renormalise.
+
+    Pruning keeps exactly the worlds consistent with the assertion (same
+    support as {!condition}) but renormalises locally instead of computing
+    the exact posterior; the document only ever shrinks. *)
+
+(** [prune ?rounds doc ~query ~value ~correct] — [rounds] (default 2)
+    bounds the prune-to-fixpoint iteration. Returns [Contradiction] if
+    pruning would empty a probability node (the assertion has probability
+    0). Probability nodes whose hypothetical evaluation cannot be answered
+    (enumeration too large) are left untouched — pruning is conservative,
+    never wrong. *)
+val prune :
+  ?rounds:int ->
+  Pxml.doc ->
+  query:string ->
+  value:string ->
+  correct:bool ->
+  (Pxml.doc, error) result

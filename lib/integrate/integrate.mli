@@ -1,0 +1,125 @@
+(** Probabilistic integration (paper §III).
+
+    Integration descends the two source documents from their (matching)
+    roots. At each pair of merged elements the child sequences are
+    integrated:
+
+    - child tags the DTD limits to at most one occurrence are reconciled
+      directly — deep-equal values merge, conflicting values become a local
+      probability choice (this is how the Fig. 2 DTD rejects the
+      two-phones-John world);
+    - the remaining children form a bipartite candidate graph, with edges
+      weighted by the Oracle's verdicts; every partial injective matching
+      of the graph is one possibility;
+    - matched pairs are merged recursively (conflicting text becomes a
+      local choice); unmatched children are kept as certain subtrees.
+
+    The candidate graph decomposes into connected {e clusters} that choose
+    independently. Two representation strategies are offered:
+
+    - [factorize = false] (default, faithful to the paper's system): all
+      clusters of one parent are expanded jointly into a single probability
+      node — the representation grows with the {e product} of cluster
+      matching counts, which is exactly the data explosion the paper's
+      Table I and Figure 5 measure;
+    - [factorize = true] (this repo's improvement, see DESIGN.md): one
+      probability node per cluster, so independent uncertainty only {e adds}
+      representation nodes.
+
+    {!stats} runs the same algorithm but computes exact node and world
+    counts without materialising the result, which is how the large points
+    of Figure 5 are produced. *)
+
+module Xml = Imprecise_xml
+module Pxml = Imprecise_pxml
+module Oracle = Imprecise_oracle
+
+type config = {
+  oracle : Oracle.Oracle.t;
+  dtd : Xml.Dtd.t;
+  factorize : bool;
+  value_conflict : Xml.Tree.t -> Xml.Tree.t -> float;
+      (** weight of the {e left} value when two values for the same field
+          conflict; default: constant 0.5 *)
+  reconcile : string -> string -> string -> string option;
+      (** [reconcile tag left right] may resolve a value conflict under a
+          leaf [tag] to one canonical value — knowledge such as "these are
+          the same director name in two conventions". Default: never. *)
+  block : Xml.Tree.t -> string option;
+      (** Entity-resolution blocking: children whose block keys are both
+          present and different are ruled out {e without} consulting the
+          Oracle (computed once per child — this is what makes
+          10⁴-record integrations fast). Children without a key pair with
+          everything. Soundness is the blocking function's contract.
+          Default: no blocking. *)
+  max_possibilities : int;
+      (** materialisation cap for a single probability node; {!integrate}
+          fails with [Too_large] beyond it (default 1_000_000) *)
+  max_matchings : int;
+      (** enumeration cap per cluster (default 1_000_000) *)
+}
+
+(** [config ~oracle ()] with defaults described above. *)
+val config :
+  oracle:Oracle.Oracle.t ->
+  ?dtd:Xml.Dtd.t ->
+  ?factorize:bool ->
+  ?value_conflict:(Xml.Tree.t -> Xml.Tree.t -> float) ->
+  ?reconcile:(string -> string -> string -> string option) ->
+  ?block:(Xml.Tree.t -> string option) ->
+  ?max_possibilities:int ->
+  ?max_matchings:int ->
+  unit ->
+  config
+
+type error =
+  | Root_mismatch of string * string
+      (** the two documents' root tags differ — schemas are not aligned *)
+  | Mixed_content of string
+      (** an element mixes non-whitespace text with element children *)
+  | Too_large of int  (** more possibilities than [max_possibilities] *)
+  | Oracle_conflict of string  (** contradictory absolute rules *)
+  | Infeasible of string
+      (** forced matches contradict sibling-distinctness *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Integration metadata: how hard the Oracle had to think. *)
+type trace = {
+  mutable unsure_pairs : int;  (** pairs with no absolute decision *)
+  mutable same_pairs : int;  (** pairs forced [Same] *)
+  mutable cluster_count : int;
+  mutable largest_enumeration : int;  (** matchings in the biggest cluster *)
+}
+
+(** Exact size measures computed without materialising: [nodes] mirrors
+    {!Pxml.node_count} of the would-be result, [worlds] mirrors
+    {!Pxml.world_count}. *)
+type summary = { nodes : float; worlds : float; trace : trace }
+
+(** [integrate cfg left right] builds the probabilistic integration of the
+    two documents. *)
+val integrate : config -> Xml.Tree.t -> Xml.Tree.t -> (Pxml.Pxml.doc, error) result
+
+(** [integrate_traced cfg left right] also reports the {!trace}. *)
+val integrate_traced :
+  config -> Xml.Tree.t -> Xml.Tree.t -> (Pxml.Pxml.doc * trace, error) result
+
+(** [stats cfg left right] is the analytic mirror of {!integrate}: for any
+    inputs on which both succeed,
+    [stats.nodes = float (Pxml.node_count doc)] and
+    [stats.worlds = Pxml.world_count doc] exactly. [stats] succeeds on
+    inputs far beyond [max_possibilities]. *)
+val stats : config -> Xml.Tree.t -> Xml.Tree.t -> (summary, error) result
+
+(** [integrate_incremental cfg ?world_limit doc source] folds a further
+    source into an already-probabilistic document — the dataspace story:
+    sources arrive over time, and each is integrated against the current
+    uncertain state. Semantics: integrate [source] with every possible
+    world of [doc] and combine the results, weighted by the world
+    probabilities (then compact). Exponential in the prior uncertainty, so
+    guarded by [world_limit] (default 1000 choice combinations; fails with
+    [Too_large]). Give feedback first to shrink the world space if the
+    guard fires. *)
+val integrate_incremental :
+  config -> ?world_limit:float -> Pxml.Pxml.doc -> Xml.Tree.t -> (Pxml.Pxml.doc, error) result

@@ -1,0 +1,56 @@
+(** Matchings between two child sequences.
+
+    When integrating the children of two matched elements, the system must
+    decide which child of the one source refers to the same real-world
+    object as which child of the other. The paper's generic rule "no two
+    siblings in one source refer to the same rwo" makes a consistent set of
+    decisions a {e partial injective matching} of the bipartite candidate
+    graph. Edges carry the Oracle's match probability; an edge with
+    probability 1 is {e forced} (the Oracle said [Same]).
+
+    The probability of a matching [M] is
+    [∏_{e∈M} p(e) · ∏_{e∉M} (1−p(e))], normalised over all injective
+    matchings — i.e. independent per-edge coins conditioned on
+    injectivity. *)
+
+type edge = { left : int; right : int; prob : float }
+
+type graph = { n_left : int; n_right : int; edges : edge list }
+
+(** A connected component of the candidate graph. Distinct clusters choose
+    their matchings independently. *)
+type cluster = { lefts : int list; rights : int list; cluster_edges : edge list }
+
+exception Too_many of int
+(** Raised by {!matchings} when the enumeration exceeds the given limit. *)
+
+exception Infeasible of string
+(** Raised when every matching has probability 0 — the Oracle forced
+    contradictory pairs. *)
+
+(** [clusters g] partitions the vertices that occur in at least one edge
+    into connected components, ordered by smallest left index. Vertices
+    with no incident edge are not part of any cluster. *)
+val clusters : graph -> cluster list
+
+(** [isolated g] is the (lefts, rights) with no incident edges. *)
+val isolated : graph -> int list * int list
+
+(** [matchings ?limit cluster] enumerates every partial injective matching
+    of the cluster with non-zero probability, as
+    [(normalised probability, pairs)] with pairs sorted by left index. The
+    empty matching is included (unless forced edges exclude it). Raises
+    {!Too_many} if more than [limit] (default [max_int]) matchings exist,
+    {!Infeasible} if no matching has positive probability. *)
+val matchings : ?limit:int -> cluster -> (float * (int * int) list) list
+
+(** [count_matchings cluster] is the number of positive-probability
+    matchings, without materialising them. *)
+val count_matchings : cluster -> int
+
+(** [graph_of_verdicts ~n_left ~n_right verdict] builds the candidate graph
+    by consulting [verdict left right] for every pair: [Same] ⇒ forced
+    edge, [Different] ⇒ no edge, [Unsure p] ⇒ edge with probability [p]
+    (clamped away from 0 and 1). *)
+val graph_of_verdicts :
+  n_left:int -> n_right:int -> (int -> int -> Imprecise_oracle.Oracle.verdict) -> graph

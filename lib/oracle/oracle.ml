@@ -1,0 +1,150 @@
+module Xml = Imprecise_xml
+
+type verdict = Same | Different | Unsure of float
+
+let pp_verdict ppf = function
+  | Same -> Fmt.string ppf "same"
+  | Different -> Fmt.string ppf "different"
+  | Unsure p -> Fmt.pf ppf "unsure(%.3g)" p
+
+type rule = { name : string; judge : Xml.Tree.t -> Xml.Tree.t -> verdict option }
+
+type t = { rules : rule list; default : Xml.Tree.t -> Xml.Tree.t -> float }
+
+exception Conflict of string
+
+let constant_prob p _ _ = p
+
+let make ?(default = constant_prob 0.5) rules = { rules; default }
+
+let rules t = t.rules
+
+let rule_names t = List.map (fun r -> r.name) t.rules
+
+let decide t a b =
+  let verdicts =
+    List.filter_map (fun r -> Option.map (fun v -> (r.name, v)) (r.judge a b)) t.rules
+  in
+  let sames = List.filter (fun (_, v) -> v = Same) verdicts in
+  let diffs = List.filter (fun (_, v) -> v = Different) verdicts in
+  match sames, diffs with
+  | (s, _) :: _, (d, _) :: _ ->
+      raise
+        (Conflict
+           (Fmt.str "rule %S says the pair matches but rule %S says it cannot" s d))
+  | _ :: _, [] -> Same
+  | [], _ :: _ -> Different
+  | [], [] -> (
+      match List.find_opt (fun (_, v) -> match v with Unsure _ -> true | _ -> false) verdicts with
+      | Some (_, v) -> v
+      | None -> Unsure (t.default a b))
+
+let deep_equal_rule =
+  {
+    name = "deep-equal";
+    judge = (fun a b -> if Xml.Tree.deep_equal a b then Some Same else None);
+  }
+
+let has_tag tag t = Xml.Tree.name t = Some tag
+
+let field_pair ~tag ~field a b =
+  if has_tag tag a && has_tag tag b then
+    match Xml.Tree.field a field, Xml.Tree.field b field with
+    | Some va, Some vb -> Some (va, vb)
+    | _ -> None
+  else None
+
+let key_rule ~tag ~field =
+  {
+    name = Fmt.str "key(%s/%s)" tag field;
+    judge =
+      (fun a b ->
+        match field_pair ~tag ~field a b with
+        | Some (va, vb) -> Some (if String.equal va vb then Same else Different)
+        | None -> None);
+  }
+
+let field_differs_rule ~tag ~field =
+  {
+    name = Fmt.str "differs(%s/%s)" tag field;
+    judge =
+      (fun a b ->
+        match field_pair ~tag ~field a b with
+        | Some (va, vb) -> if String.equal va vb then None else Some Different
+        | None -> None);
+  }
+
+module S = Set.Make (String)
+
+let value_set t field =
+  Xml.Tree.find_children t field
+  |> List.map (fun c -> Similarity.lowercase (Xml.Tree.normalize_space (Xml.Tree.text_content c)))
+  |> S.of_list
+
+let set_disjoint_rule ~tag ~field =
+  {
+    name = Fmt.str "disjoint(%s/%s)" tag field;
+    judge =
+      (fun a b ->
+        if has_tag tag a && has_tag tag b then begin
+          let sa = value_set a field and sb = value_set b field in
+          if S.is_empty sa || S.is_empty sb then None
+          else if S.is_empty (S.inter sa sb) then Some Different
+          else None
+        end
+        else None);
+  }
+
+let attr_key_rule ~tag ~attr =
+  {
+    name = Fmt.str "attr-key(%s/@%s)" tag attr;
+    judge =
+      (fun a b ->
+        if has_tag tag a && has_tag tag b then
+          match Xml.Tree.attribute a attr, Xml.Tree.attribute b attr with
+          | Some va, Some vb -> Some (if String.equal va vb then Same else Different)
+          | _ -> None
+        else None);
+  }
+
+let own_text t = Similarity.lowercase (Xml.Tree.normalize_space (Xml.Tree.text_content t))
+
+let text_key_rule ~tag =
+  {
+    name = Fmt.str "text-key(%s)" tag;
+    judge =
+      (fun a b ->
+        if has_tag tag a && has_tag tag b then
+          Some (if String.equal (own_text a) (own_text b) then Same else Different)
+        else None);
+  }
+
+let text_match_rule ~tag ?(measure = Similarity.name_similarity) ~same_above ~diff_below () =
+  {
+    name = Fmt.str "text-match(%s)" tag;
+    judge =
+      (fun a b ->
+        if has_tag tag a && has_tag tag b then begin
+          let s = measure (own_text a) (own_text b) in
+          if s >= same_above then Some Same
+          else if s < diff_below then Some Different
+          else None
+        end
+        else None);
+  }
+
+let similarity_rule ~tag ~field ~threshold ?(measure = Similarity.title_similarity) () =
+  {
+    name = Fmt.str "similar(%s/%s<%.2f)" tag field threshold;
+    judge =
+      (fun a b ->
+        match field_pair ~tag ~field a b with
+        | Some (va, vb) -> if measure va vb < threshold then Some Different else None
+        | None -> None);
+  }
+
+let field_similarity_prob ~field ?(measure = Similarity.title_similarity) ?(floor = 0.05)
+    ?(ceiling = 0.95) () a b =
+  match Xml.Tree.field a field, Xml.Tree.field b field with
+  | Some va, Some vb -> Float.min ceiling (Float.max floor (measure va vb))
+  | _ -> 0.5

@@ -1,0 +1,124 @@
+(** "The Oracle" (paper §IV–V): the component that determines whether two
+    XML elements refer to the same real-world object (rwo).
+
+    The Oracle is configured with {e knowledge rules}. A rule may state with
+    certainty that two elements match ({!Same}) or do not ({!Different}), or
+    abstain. When no rule is decisive the Oracle answers {!Unsure} with a
+    match probability; the integration algorithm then keeps both worlds.
+    The effectiveness of the rules at making absolute decisions is exactly
+    what bounds the possibility explosion (Table I). *)
+
+module Xml = Imprecise_xml
+
+type verdict =
+  | Same  (** certainly the same rwo *)
+  | Different  (** certainly distinct rwos *)
+  | Unsure of float  (** same rwo with this probability *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** A rule inspects a pair of same-tagged elements (one from each source)
+    and may return a verdict. [name] identifies the rule in reports;
+    [judge] returns [None] to abstain. *)
+type rule = { name : string; judge : Xml.Tree.t -> Xml.Tree.t -> verdict option }
+
+type t
+
+exception Conflict of string
+(** Raised by {!decide} when one rule says [Same] and another [Different]
+    for the same pair — the knowledge base is inconsistent. *)
+
+(** [make ?default rules] builds an Oracle. [default] supplies the match
+    probability when every rule abstains (default: constant [0.5]).
+    Absolute verdicts dominate: any [Different] (resp. [Same]) decides the
+    pair; a [Same]/[Different] clash raises {!Conflict} from {!decide}.
+    If no rule is absolute, the first [Unsure] verdict wins, then
+    [default]. *)
+val make : ?default:(Xml.Tree.t -> Xml.Tree.t -> float) -> rule list -> t
+
+val rules : t -> rule list
+
+val rule_names : t -> string list
+
+(** [decide t a b] is the Oracle's verdict for the pair. *)
+val decide : t -> Xml.Tree.t -> Xml.Tree.t -> verdict
+
+(** {1 Generic rules (domain-independent)} *)
+
+(** Two deep-equal elements refer to the same rwo. *)
+val deep_equal_rule : rule
+
+(** {1 Domain-rule builders}
+
+    All builders abstain when either element lacks the field, and apply only
+    to elements whose tag is [tag]. Field values are whitespace-normalised
+    child-element string values. *)
+
+(** [key_rule ~tag ~field] — the field is a key: equal values ⇒ [Same],
+    different values ⇒ [Different]. *)
+val key_rule : tag:string -> field:string -> rule
+
+(** [field_differs_rule ~tag ~field] — a reliable discriminating field
+    (the paper's {e year rule} with [~field:"year"]): different values ⇒
+    [Different]; abstains on equal values. *)
+val field_differs_rule : tag:string -> field:string -> rule
+
+(** [set_disjoint_rule ~tag ~field] — the field occurs multiple times and
+    contains no typos (the paper's {e genre rule}): if both elements have a
+    non-empty set of values and the sets are disjoint ⇒ [Different]. *)
+val set_disjoint_rule : tag:string -> field:string -> rule
+
+(** [attr_key_rule ~tag ~attr] — an attribute is a key (record ids):
+    equal values ⇒ [Same], different ⇒ [Different]; abstains when either
+    side lacks the attribute. *)
+val attr_key_rule : tag:string -> attr:string -> rule
+
+(** [text_key_rule ~tag] — for leaf elements whose text is a reliable
+    identifier (genres under the "no typos in genres" assumption): equal
+    normalised text ⇒ [Same], different ⇒ [Different]. *)
+val text_key_rule : tag:string -> rule
+
+(** [text_match_rule ~tag ?measure ~same_above ~diff_below ()] — for leaf
+    elements with flexible conventions (director names): similarity at or
+    above [same_above] ⇒ [Same]; below [diff_below] ⇒ [Different]; between
+    the two ⇒ abstain. Default measure: {!Similarity.name_similarity},
+    which treats ["John Woo"] and ["Woo, John"] as identical. *)
+val text_match_rule :
+  tag:string ->
+  ?measure:(string -> string -> float) ->
+  same_above:float ->
+  diff_below:float ->
+  unit ->
+  rule
+
+(** [similarity_rule ~tag ~field ~threshold ?measure ()] — the paper's
+    {e title rule}: two elements cannot match if their [field] values are
+    not sufficiently similar ([measure] below [threshold] ⇒ [Different];
+    default measure: {!Similarity.title_similarity}). *)
+val similarity_rule :
+  tag:string ->
+  field:string ->
+  threshold:float ->
+  ?measure:(string -> string -> float) ->
+  unit ->
+  rule
+
+(** {1 Default match-probability builders} *)
+
+(** Constant probability. *)
+val constant_prob : float -> Xml.Tree.t -> Xml.Tree.t -> float
+
+(** [field_similarity_prob ~field ?measure ?floor ?ceiling ()] estimates the
+    match probability from the similarity of a field, clamped into
+    [[floor, ceiling]] (defaults 0.05 and 0.95) so that the Oracle's guess
+    never silently becomes an absolute decision. Falls back to 0.5 when the
+    field is missing on either side. *)
+val field_similarity_prob :
+  field:string ->
+  ?measure:(string -> string -> float) ->
+  ?floor:float ->
+  ?ceiling:float ->
+  unit ->
+  Xml.Tree.t ->
+  Xml.Tree.t ->
+  float

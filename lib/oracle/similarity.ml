@@ -1,0 +1,117 @@
+let lowercase = String.lowercase_ascii
+
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    let prev = Array.init (lb + 1) (fun j -> j) in
+    let curr = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      curr.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        curr.(j) <- min (min (curr.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit curr 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+  end
+
+let edit_similarity a b =
+  let n = max (String.length a) (String.length b) in
+  if n = 0 then 1. else 1. -. (float_of_int (levenshtein a b) /. float_of_int n)
+
+let jaro a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 && lb = 0 then 1.
+  else if la = 0 || lb = 0 then 0.
+  else begin
+    let window = max 0 ((max la lb / 2) - 1) in
+    let a_matched = Array.make la false and b_matched = Array.make lb false in
+    let matches = ref 0 in
+    for i = 0 to la - 1 do
+      let lo = max 0 (i - window) and hi = min (lb - 1) (i + window) in
+      let rec find j =
+        if j > hi then ()
+        else if (not b_matched.(j)) && a.[i] = b.[j] then begin
+          a_matched.(i) <- true;
+          b_matched.(j) <- true;
+          incr matches
+        end
+        else find (j + 1)
+      in
+      find lo
+    done;
+    if !matches = 0 then 0.
+    else begin
+      let transpositions = ref 0 in
+      let k = ref 0 in
+      for i = 0 to la - 1 do
+        if a_matched.(i) then begin
+          while not b_matched.(!k) do incr k done;
+          if a.[i] <> b.[!k] then incr transpositions;
+          incr k
+        end
+      done;
+      let m = float_of_int !matches in
+      let t = float_of_int (!transpositions / 2) in
+      ((m /. float_of_int la) +. (m /. float_of_int lb) +. ((m -. t) /. m)) /. 3.
+    end
+  end
+
+let jaro_winkler a b =
+  let j = jaro a b in
+  let max_prefix = 4 in
+  let rec common i =
+    if i >= max_prefix || i >= String.length a || i >= String.length b then i
+    else if a.[i] = b.[i] then common (i + 1)
+    else i
+  in
+  let l = float_of_int (common 0) in
+  j +. (l *. 0.1 *. (1. -. j))
+
+let is_alnum c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+let tokens s =
+  let s = lowercase s in
+  let buf = Buffer.create 8 and out = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter (fun c -> if is_alnum c then Buffer.add_char buf c else flush ()) s;
+  flush ();
+  List.rev !out
+
+module S = Set.Make (String)
+
+let token_jaccard a b =
+  let sa = S.of_list (tokens a) and sb = S.of_list (tokens b) in
+  if S.is_empty sa && S.is_empty sb then 1.
+  else
+    let inter = S.cardinal (S.inter sa sb) and union = S.cardinal (S.union sa sb) in
+    float_of_int inter /. float_of_int union
+
+(* Unrelated strings of similar length still share ~30-40% of their letters,
+   so mid-range edit similarity carries no signal; it only means something
+   when high (a typo or spelling variation). Gate it at 0.7. *)
+let name_similarity a b =
+  let a = lowercase a and b = lowercase b in
+  let e = edit_similarity a b in
+  Float.max (token_jaccard a b) (if e >= 0.7 then e else 0.)
+
+let sequel_markers =
+  S.of_list
+    [ "2"; "3"; "4"; "5"; "ii"; "iii"; "iv"; "v"; "part"; "episode"; "returns" ]
+
+let sequel_signature s =
+  S.inter (S.of_list (tokens s)) sequel_markers
+
+let title_similarity a b =
+  let base = name_similarity a b in
+  if S.equal (sequel_signature a) (sequel_signature b) then base
+  else Float.min base 0.9

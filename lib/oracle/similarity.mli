@@ -1,0 +1,40 @@
+(** String similarity, the substrate for the Oracle's "sufficiently similar"
+    rules. The two sources in the paper use different conventions (e.g.
+    ["John McTiernan"] vs ["McTiernan, John"]) so exact matching never
+    fires; all measures here are in [0, 1] with 1 meaning identical. *)
+
+(** [levenshtein a b] is the edit distance (insert, delete, substitute, each
+    cost 1). O(|a|·|b|) with two rows. *)
+val levenshtein : string -> string -> int
+
+(** [edit_similarity a b] is [1 - distance / max length]; [1.] for two empty
+    strings. *)
+val edit_similarity : string -> string -> float
+
+val jaro : string -> string -> float
+
+(** [jaro_winkler a b] boosts {!jaro} for common prefixes up to 4 chars with
+    the standard 0.1 scaling. *)
+val jaro_winkler : string -> string -> float
+
+(** [tokens s] lower-cases, then splits on any non-alphanumeric character,
+    dropping empties. *)
+val tokens : string -> string list
+
+(** [token_jaccard a b] is the Jaccard similarity of the token sets; handles
+    convention differences such as ["Woo, John"] vs ["John Woo"]. *)
+val token_jaccard : string -> string -> float
+
+(** [name_similarity a b] is the max of {!token_jaccard} and a {e gated}
+    {!edit_similarity} (edit similarity counts only at ≥ 0.7 — mid-range
+    edit similarity between unrelated strings is noise, high values signal
+    typos/spelling variants) on lower-cased input — robust to both typos
+    and token reordering. *)
+val name_similarity : string -> string -> float
+
+(** [title_similarity a b] is {!name_similarity}, except that differing
+    trailing numerals / roman numerals (sequel markers: "Jaws" vs "Jaws 2")
+    cap the score at 0.9 so that sequels stay similar-but-not-equal. *)
+val title_similarity : string -> string -> float
+
+val lowercase : string -> string

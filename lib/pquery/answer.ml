@@ -1,0 +1,27 @@
+type t = { value : string; prob : float }
+
+let rank answers =
+  List.sort
+    (fun a b ->
+      match Float.compare b.prob a.prob with
+      | 0 -> String.compare a.value b.value
+      | c -> c)
+    answers
+
+let of_prob_map assoc =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (value, prob) ->
+      let prev = Option.value ~default:0. (Hashtbl.find_opt tbl value) in
+      Hashtbl.replace tbl value (prev +. prob))
+    assoc;
+  rank (Hashtbl.fold (fun value prob acc -> { value; prob } :: acc) tbl [])
+
+let pp ppf answers =
+  List.iter (fun a -> Fmt.pf ppf "%3.0f%% %s@." (100. *. a.prob) a.value) answers
+
+let equal ?(tolerance = 1e-9) a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun x y -> String.equal x.value y.value && Float.abs (x.prob -. y.prob) <= tolerance)
+       a b

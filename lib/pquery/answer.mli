@@ -1,0 +1,20 @@
+(** Amalgamated ranked answers (paper §VI).
+
+    Query answers from different possible worlds are merged by value and
+    ranked by the probability that the value appears in the answer. *)
+
+type t = { value : string; prob : float }
+
+(** [rank answers] sorts by decreasing probability, breaking ties by
+    value. *)
+val rank : t list -> t list
+
+(** [of_prob_map assoc] builds ranked answers from [(value, prob)] pairs,
+    merging duplicate values by {b summing} (callers must pre-aggregate if
+    the events overlap). *)
+val of_prob_map : (string * float) list -> t list
+
+(** [pp] prints ["97% Jaws"]-style lines, one per answer. *)
+val pp : Format.formatter -> t list -> unit
+
+val equal : ?tolerance:float -> t list -> t list -> bool

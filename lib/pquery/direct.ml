@@ -1,0 +1,266 @@
+module Xml = Imprecise_xml
+module Pxml = Imprecise_pxml.Pxml
+module Worlds = Imprecise_pxml.Worlds
+module Ast = Imprecise_xpath.Ast
+module Eval = Imprecise_xpath.Eval
+
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+(* ---- query decomposition ------------------------------------------------ *)
+
+(* A predicate may not depend on anything outside the binder's subtree:
+   reject positional predicates and absolute paths syntactically. *)
+let rec expr_is_local (e : Ast.expr) =
+  match e with
+  | Ast.Literal _ | Ast.Number _ | Ast.Var _ -> true
+  | Ast.Path { absolute; steps } ->
+      (not absolute) && List.for_all (fun (_, s) -> step_is_local s) steps
+  | Ast.Filter (p, preds, steps) ->
+      expr_is_local p
+      && List.for_all expr_is_local preds
+      && List.for_all (fun (_, s) -> step_is_local s) steps
+  | Ast.Binop (_, a, b) -> expr_is_local a && expr_is_local b
+  | Ast.Neg a -> expr_is_local a
+  | Ast.Union (a, b) -> expr_is_local a && expr_is_local b
+  | Ast.Call (("position" | "last"), _) -> false
+  | Ast.Call (_, args) -> List.for_all expr_is_local args
+  | Ast.Quantified (_, _, dom, cond) -> expr_is_local dom && expr_is_local cond
+  | Ast.For (_, dom, where, body) ->
+      expr_is_local dom
+      && (match where with None -> true | Some w -> expr_is_local w)
+      && expr_is_local body
+  | Ast.Let (_, value, body) -> expr_is_local value && expr_is_local body
+  | Ast.If (c, t, e) -> expr_is_local c && expr_is_local t && expr_is_local e
+  | Ast.Element_ctor (_, content) -> List.for_all expr_is_local content
+  | Ast.Text_ctor e -> expr_is_local e
+
+and step_is_local (s : Ast.step) =
+  (match s.Ast.axis with
+  | Ast.Parent | Ast.Ancestor | Ast.Ancestor_or_self | Ast.Following_sibling
+  | Ast.Preceding_sibling ->
+      false (* may escape the binder's subtree *)
+  | Ast.Child | Ast.Descendant | Ast.Descendant_or_self | Ast.Self | Ast.Attribute -> true)
+  && List.for_all pred_is_local s.Ast.predicates
+
+and pred_is_local p =
+  match p with
+  | Ast.Number _ -> false (* positional *)
+  | e -> expr_is_local e
+
+type plan = {
+  prefix : (bool * Ast.node_test) list;
+      (** structural steps before the binder; bool = descendant separator *)
+  binder : bool * Ast.node_test;  (** the binder step's separator and test *)
+  local : Ast.expr;  (** evaluated inside each occurrence's local worlds *)
+}
+
+let plan_of_expr (e : Ast.expr) : plan =
+  match e with
+  | Ast.Path { absolute = true; steps = (_ :: _ as steps) } ->
+      let with_preds i (_, s) = if s.Ast.predicates <> [] then Some i else None in
+      let binder_idx =
+        match List.filteri (fun i s -> with_preds i s <> None) steps with
+        | [] -> List.length steps - 1
+        | _ ->
+            let rec first i = function
+              | [] -> assert false
+              | (_, s) :: rest -> if s.Ast.predicates <> [] then i else first (i + 1) rest
+            in
+            first 0 steps
+      in
+      let prefix_steps = List.filteri (fun i _ -> i < binder_idx) steps in
+      let binder_sep, binder_step = List.nth steps binder_idx in
+      let rest = List.filteri (fun i _ -> i > binder_idx) steps in
+      let prefix =
+        List.map
+          (fun (sep, s) ->
+            if s.Ast.axis <> Ast.Child then
+              unsupported "non-child axis before the binder step";
+            if s.Ast.predicates <> [] then unsupported "predicate before the binder step";
+            (match s.Ast.test with
+            | Ast.Name _ | Ast.Wildcard -> ()
+            | _ -> unsupported "text()/node() test before the binder step");
+            (sep, s.Ast.test))
+          prefix_steps
+      in
+      if binder_step.Ast.axis <> Ast.Child then unsupported "binder step must use the child axis";
+      (match binder_step.Ast.test with
+      | Ast.Name _ | Ast.Wildcard -> ()
+      | _ -> unsupported "binder step must test an element name");
+      List.iter
+        (fun p -> if not (pred_is_local p) then unsupported "non-local predicate")
+        binder_step.Ast.predicates;
+      List.iter
+        (fun (_, s) -> if not (step_is_local s) then unsupported "non-local value step")
+        rest;
+      let local =
+        Ast.Path
+          {
+            absolute = false;
+            steps =
+              ( false,
+                {
+                  Ast.axis = Ast.Self;
+                  test = Ast.Any_node;
+                  predicates = binder_step.Ast.predicates;
+                } )
+              :: rest;
+          }
+      in
+      { prefix; binder = (binder_sep, binder_step.Ast.test); local }
+  | _ -> unsupported "query must be an absolute location path"
+
+let supported e =
+  match plan_of_expr e with _ -> true | exception Unsupported _ -> false
+
+(* ---- step automaton over the skeleton ----------------------------------- *)
+
+(* State k means: prefix steps 0..k-1 are matched along the element chain;
+   state [n_prefix] means the next matching element is an occurrence. *)
+let test_matches test tag =
+  match test with
+  | Ast.Name n -> String.equal n tag
+  | Ast.Wildcard -> true
+  | Ast.Text_node | Ast.Any_node -> false
+
+(* ---- emission trees ------------------------------------------------------ *)
+
+type etree =
+  | Edist of (float * etree list) list
+  | Eelem of etree list
+  | Eoccur of (string * float) list  (** local value distribution *)
+
+(* Physical-identity memo table for shared subtrees: integration shares
+   merged/embedded subtrees across possibilities, so the expensive local
+   enumeration runs once per distinct subtree. Buckets by (depth-bounded)
+   structural hash, compares physically within a bucket. *)
+module Phys = struct
+  type 'v t = (int, (Pxml.node * 'v) list ref) Hashtbl.t
+
+  let table () : 'v t = Hashtbl.create 256
+
+  let find (tbl : 'v t) (k : Pxml.node) : 'v option =
+    match Hashtbl.find_opt tbl (Hashtbl.hash k) with
+    | None -> None
+    | Some bucket -> (
+        match List.find_opt (fun (k', _) -> k' == k) !bucket with
+        | Some (_, v) -> Some v
+        | None -> None)
+
+  let add (tbl : 'v t) (k : Pxml.node) (v : 'v) =
+    let h = Hashtbl.hash k in
+    match Hashtbl.find_opt tbl h with
+    | None -> Hashtbl.add tbl h (ref [ (k, v) ])
+    | Some bucket -> bucket := (k, v) :: !bucket
+end
+
+let local_distribution ~local_limit local_expr (node : Pxml.node) : (string * float) list =
+  let count =
+    (* world count of a single node *)
+    Pxml.world_count { Pxml.choices = [ { Pxml.prob = 1.; nodes = [ node ] } ] }
+  in
+  if count > local_limit then
+    unsupported "occurrence subtree has %g local worlds (limit %g)" count local_limit;
+  let tbl = Hashtbl.create 8 in
+  Seq.iter
+    (fun (q, tree) ->
+      let root = Eval.root_node tree in
+      let values =
+        match Eval.eval_at ~root root local_expr with
+        | Eval.Nodeset items -> List.sort_uniq String.compare (List.map Eval.string_of_item items)
+        | v -> [ Eval.string_value v ]
+      in
+      List.iter
+        (fun v ->
+          let prev = Option.value ~default:0. (Hashtbl.find_opt tbl v) in
+          Hashtbl.replace tbl v (prev +. q))
+        values)
+    (Worlds.enumerate_node node);
+  Hashtbl.fold (fun v p acc -> (v, p) :: acc) tbl []
+
+let build_etree ~local_limit (plan : plan) (doc : Pxml.doc) : etree =
+  let n_prefix = List.length plan.prefix in
+  let occ_memo = Phys.table () in
+  let steps = Array.of_list (plan.prefix @ [ plan.binder ]) in
+  (* Advance the automaton over an element with tag [tag]: returns the new
+     state set and whether this element is an occurrence. *)
+  let advance states tag =
+    let next = Hashtbl.create 4 in
+    let occurrence = ref false in
+    List.iter
+      (fun k ->
+        let sep, test = steps.(k) in
+        if test_matches test tag then begin
+          if k = n_prefix then occurrence := true
+          else Hashtbl.replace next (k + 1) ()
+        end;
+        if sep then Hashtbl.replace next k ())
+      states;
+    (Hashtbl.fold (fun k () acc -> k :: acc) next [], !occurrence)
+  in
+  let rec walk_dist states inside (d : Pxml.dist) : etree =
+    Edist
+      (List.map
+         (fun (c : Pxml.choice) ->
+           (c.Pxml.prob, List.filter_map (walk_node states inside) c.Pxml.nodes))
+         d.Pxml.choices)
+  and walk_node states inside (n : Pxml.node) : etree option =
+    match n with
+    | Pxml.Text _ -> None
+    | Pxml.Elem (tag, _, content) ->
+        let states', occurrence = advance states tag in
+        if occurrence then begin
+          if inside then unsupported "nested occurrences of the binder element";
+          (* Check for nested occurrences below, then summarise locally. *)
+          List.iter (fun d -> ignore (walk_dist states' true d)) content;
+          let dist =
+            match Phys.find occ_memo n with
+            | Some d -> d
+            | None ->
+                let d = local_distribution ~local_limit plan.local n in
+                Phys.add occ_memo n d;
+                d
+          in
+          Some (Eoccur dist)
+        end
+        else if states' = [] then None
+        else Some (Eelem (List.map (walk_dist states' inside) content))
+  in
+  (* The initial state set: state 0 (about to match the first step). *)
+  walk_dist [ 0 ] false doc
+
+module SS = Set.Make (String)
+
+let values_of_etree t =
+  let rec go acc = function
+    | Eoccur dist -> List.fold_left (fun acc (v, _) -> SS.add v acc) acc dist
+    | Eelem ts -> List.fold_left go acc ts
+    | Edist cs -> List.fold_left (fun acc (_, ts) -> List.fold_left go acc ts) acc cs
+  in
+  SS.elements (go SS.empty t)
+
+(* P(no occurrence emits v). *)
+let rec noemit v = function
+  | Eoccur dist -> 1. -. Option.value ~default:0. (List.assoc_opt v dist)
+  | Eelem ts -> List.fold_left (fun acc t -> acc *. noemit v t) 1. ts
+  | Edist cs ->
+      List.fold_left
+        (fun acc (p, ts) ->
+          acc +. (p *. List.fold_left (fun a t -> a *. noemit v t) 1. ts))
+        0. cs
+
+let rank_expr ?(local_limit = 4096.) doc expr =
+  let plan = plan_of_expr expr in
+  let etree = build_etree ~local_limit plan doc in
+  let values = values_of_etree etree in
+  Answer.rank
+    (List.filter_map
+       (fun v ->
+         let p = 1. -. noemit v etree in
+         if p <= 1e-12 then None else Some { Answer.value = v; prob = p })
+       values)
+
+let rank ?local_limit doc query =
+  rank_expr ?local_limit doc (Imprecise_xpath.Parser.parse_exn query)

@@ -1,0 +1,43 @@
+(** Direct probabilistic query evaluation — no world enumeration.
+
+    Exploits the independence structure of the layered model: distinct
+    probability nodes choose independently, sibling possibilities are
+    mutually exclusive. For the supported query class the result is
+    {e exact} (property-tested against {!Naive}):
+
+    - the query is an absolute location path;
+    - the steps before the {e binder} (the first step carrying predicates,
+      or the last step if none do) use the child axis with name/wildcard
+      tests and no predicates;
+    - predicates and the remaining steps only inspect the binder element's
+      subtree (no positional predicates, no absolute paths inside
+      predicates);
+    - binder elements are not nested within each other in any world.
+
+    This covers the paper's demo queries, e.g.
+    [//movie[.//genre="Horror"]/title] and
+    [//movie[some $d in .//director satisfies contains($d,"John")]/title].
+
+    How it works: each element the path can bind is an {e occurrence}; its
+    subtree's local worlds (usually a handful — one per value conflict) give
+    a local distribution of emitted values, memoised per shared subtree.
+    For each value [v], [P(v ∈ answer)] is [1 − P(no occurrence emits v)],
+    computed compositionally: product across independent probability nodes
+    and occurrences, possibility-weighted sum within a probability node. *)
+
+module Pxml = Imprecise_pxml.Pxml
+module Ast = Imprecise_xpath.Ast
+
+exception Unsupported of string
+(** The query is outside the supported class (or a local subtree exceeds
+    [local_limit] worlds); callers should fall back to {!Naive}. *)
+
+(** [rank ?local_limit doc query] is the exact amalgamated ranked answer.
+    [local_limit] (default 4096) bounds the per-occurrence local world
+    enumeration. *)
+val rank : ?local_limit:float -> Pxml.doc -> string -> Answer.t list
+
+val rank_expr : ?local_limit:float -> Pxml.doc -> Ast.expr -> Answer.t list
+
+(** [supported expr] checks the query class without evaluating. *)
+val supported : Ast.expr -> bool

@@ -1,0 +1,41 @@
+module Xml = Imprecise_xml
+module Pxml = Imprecise_pxml.Pxml
+module Worlds = Imprecise_pxml.Worlds
+module Ast = Imprecise_xpath.Ast
+module Eval = Imprecise_xpath.Eval
+
+exception Too_many_worlds of float
+
+module SS = Set.Make (String)
+
+let answer_in_world forest expr =
+  let values =
+    List.concat_map
+      (fun root ->
+        match Eval.eval root expr with
+        | Eval.Nodeset items -> List.map Eval.string_of_item items
+        | v -> [ Eval.string_value v ])
+      forest
+  in
+  SS.elements (SS.of_list values)
+
+let rank_expr ?(limit = 200_000.) doc expr =
+  let combos = Pxml.world_count doc in
+  if combos > limit then raise (Too_many_worlds combos);
+  let tbl = Hashtbl.create 64 in
+  Seq.iter
+    (fun (p, forest) ->
+      if p > 0. then
+        List.iter
+          (fun v ->
+            let prev = Option.value ~default:0. (Hashtbl.find_opt tbl v) in
+            Hashtbl.replace tbl v (prev +. p))
+          (answer_in_world forest expr))
+    (Worlds.enumerate doc);
+  Answer.rank
+    (Hashtbl.fold
+       (fun value prob acc ->
+         if prob <= 1e-12 then acc else { Answer.value; prob } :: acc)
+       tbl [])
+
+let rank ?limit doc query = rank_expr ?limit doc (Imprecise_xpath.Parser.parse_exn query)

@@ -1,0 +1,26 @@
+(** Reference query evaluation by possible-world enumeration.
+
+    The semantics of a query over a probabilistic document is the query's
+    answer in every possible world; a value's probability is the total
+    probability of the worlds in which it is part of the answer. This
+    module implements that definition literally and serves as the ground
+    truth for {!Direct}. Exponential — guard with [limit]. *)
+
+module Pxml = Imprecise_pxml.Pxml
+module Ast = Imprecise_xpath.Ast
+
+exception Too_many_worlds of float
+
+(** [rank ?limit doc query] enumerates all worlds (failing with
+    {!Too_many_worlds} if the document has more than [limit] choice
+    combinations, default [200_000]), evaluates [query] in each, and
+    merges the answers. Values are XPath string-values of the selected
+    nodes. *)
+val rank : ?limit:float -> Pxml.doc -> string -> Answer.t list
+
+(** [rank_expr] is {!rank} on a pre-parsed query. *)
+val rank_expr : ?limit:float -> Pxml.doc -> Ast.expr -> Answer.t list
+
+(** [answer_in_world w query] is the distinct string-values the query
+    selects in one world. *)
+val answer_in_world : Imprecise_xml.Tree.t list -> Ast.expr -> string list

@@ -1,0 +1,66 @@
+module Pxml = Imprecise_pxml.Pxml
+
+type strategy = Auto | Direct_only | Enumerate_only | Sample of { n : int; seed : int }
+
+exception Cannot_answer of string
+
+let rank ?(strategy = Auto) ?world_limit doc query =
+  let expr = Imprecise_xpath.Parser.parse_exn query in
+  let enumerate () =
+    try Naive.rank_expr ?limit:world_limit doc expr
+    with Naive.Too_many_worlds n ->
+      raise (Cannot_answer (Fmt.str "document has %g possible worlds; too many to enumerate" n))
+  in
+  match strategy with
+  | Enumerate_only -> enumerate ()
+  | Direct_only -> (
+      try Direct.rank_expr doc expr
+      with Direct.Unsupported msg -> raise (Cannot_answer msg))
+  | Auto -> ( try Direct.rank_expr doc expr with Direct.Unsupported _ -> enumerate ())
+  | Sample { n; seed } ->
+      if n <= 0 then raise (Cannot_answer "sample size must be positive");
+      let worlds, _ =
+        Imprecise_pxml.Worlds.sample_many ~n (Imprecise_prng.Prng.make seed) doc
+      in
+      let tbl = Hashtbl.create 64 in
+      List.iter
+        (fun (_, forest) ->
+          List.iter
+            (fun v ->
+              let prev = Option.value ~default:0. (Hashtbl.find_opt tbl v) in
+              Hashtbl.replace tbl v (prev +. (1. /. float_of_int n)))
+            (Naive.answer_in_world forest expr))
+        worlds;
+      Answer.rank
+        (Hashtbl.fold (fun value prob acc -> { Answer.value; prob } :: acc) tbl [])
+
+let used_strategy doc query =
+  let expr = Imprecise_xpath.Parser.parse_exn query in
+  match Direct.rank_expr doc expr with
+  | _ -> `Direct
+  | exception Direct.Unsupported _ -> `Enumerate
+
+type explanation = {
+  prob : float;
+  supporting : (float * Imprecise_xml.Tree.t list) list;
+  opposing : (float * Imprecise_xml.Tree.t list) list;
+  covered : float;
+}
+
+let explain ?(k = 10) doc query value =
+  let expr = Imprecise_xpath.Parser.parse_exn query in
+  let prob =
+    match
+      List.find_opt (fun (a : Answer.t) -> a.Answer.value = value) (rank doc query)
+    with
+    | Some a -> a.Answer.prob
+    | None -> 0.
+  in
+  let worlds = Imprecise_pxml.Worlds.most_likely ~k doc in
+  let supporting, opposing =
+    List.partition
+      (fun (_, forest) -> List.mem value (Naive.answer_in_world forest expr))
+      worlds
+  in
+  let covered = List.fold_left (fun acc (p, _) -> acc +. p) 0. worlds in
+  { prob; supporting; opposing; covered }

@@ -1,0 +1,52 @@
+(** Probabilistic querying front-end.
+
+    [rank] answers a query over a probabilistic document with an
+    amalgamated ranked answer (paper §VI): distinct values, each with the
+    probability that it belongs to the query answer. It uses the exact
+    {!Direct} evaluator whenever the query is in its class and falls back
+    to possible-world enumeration ({!Naive}) otherwise. *)
+
+module Pxml = Imprecise_pxml.Pxml
+
+type strategy =
+  | Auto  (** direct when possible, else enumeration *)
+  | Direct_only
+  | Enumerate_only
+  | Sample of { n : int; seed : int }
+      (** Monte-Carlo estimate: draw [n] worlds from the document's
+          distribution and report answer frequencies. Works on documents of
+          any size; probabilities carry sampling error O(1/√n). *)
+
+exception Cannot_answer of string
+(** The chosen strategy cannot answer this query on this document (e.g.
+    enumeration over too many worlds, or [Direct_only] on an unsupported
+    query). *)
+
+(** [rank ?strategy ?world_limit doc query] — [world_limit] guards the
+    enumeration fallback (default 200_000 choice combinations). *)
+val rank : ?strategy:strategy -> ?world_limit:float -> Pxml.doc -> string -> Answer.t list
+
+(** [used_strategy doc query] reports which evaluator {!rank} with [Auto]
+    would use ([`Direct] or [`Enumerate]). *)
+val used_strategy : Pxml.doc -> string -> [ `Direct | `Enumerate ]
+
+(** {1 Explanations}
+
+    Why does an answer have the probability it has? [explain] classifies
+    the [k] most likely worlds (found without enumeration, see
+    {!Imprecise_pxml.Worlds.most_likely}) by whether the value is part of
+    the query answer there. The probability mass covered by those [k]
+    worlds bounds how representative the explanation is. *)
+
+type explanation = {
+  prob : float;  (** P(value ∈ answer), from {!rank} with [Auto] *)
+  supporting : (float * Imprecise_xml.Tree.t list) list;
+      (** most likely worlds in which the value is in the answer *)
+  opposing : (float * Imprecise_xml.Tree.t list) list;
+      (** most likely worlds in which it is not *)
+  covered : float;  (** total probability mass of the worlds examined *)
+}
+
+(** [explain ?k doc query value] — [k] (default 10) bounds how many worlds
+    are examined. *)
+val explain : ?k:int -> Pxml.doc -> string -> string -> explanation

@@ -1,0 +1,47 @@
+type t = int64
+
+let make seed = Int64.of_int seed
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  let t' = Int64.add t golden in
+  (mix t', t')
+
+let split t =
+  let a, t' = next t in
+  (mix (Int64.logxor a 0x5851F42D4C957F2DL), t')
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let v, t' = next t in
+  (* keep 62 bits so the native-int conversion stays non-negative *)
+  let v = Int64.to_int (Int64.shift_right_logical v 2) in
+  (v mod bound, t')
+
+let float t =
+  let v, t' = next t in
+  let v53 = Int64.to_float (Int64.shift_right_logical v 11) in
+  (v53 /. 9007199254740992. (* 2^53 *), t')
+
+let pick t xs =
+  if xs = [] then invalid_arg "Prng.pick: empty list";
+  let i, t' = int t (List.length xs) in
+  (List.nth xs i, t')
+
+let shuffle t xs =
+  let arr = Array.of_list xs in
+  let t = ref t in
+  for i = Array.length arr - 1 downto 1 do
+    let j, t' = int !t (i + 1) in
+    t := t';
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  (Array.to_list arr, !t)

@@ -1,0 +1,26 @@
+(** Deterministic, splittable pseudo-random numbers (SplitMix64).
+
+    All workload generation is a pure function of a seed, so every
+    experiment in the repository is exactly reproducible. *)
+
+type t
+
+val make : int -> t
+
+(** [next t] is a fresh 64-bit value and the advanced state. *)
+val next : t -> int64 * t
+
+(** [split t] is two independent generators. *)
+val split : t -> t * t
+
+(** [int t bound] is a value in [0, bound) and the advanced state. *)
+val int : t -> int -> int * t
+
+(** [float t] is a value in [0, 1). *)
+val float : t -> float * t
+
+(** [pick t xs] chooses uniformly from a non-empty list. *)
+val pick : t -> 'a list -> 'a * t
+
+(** [shuffle t xs] is a uniformly random permutation. *)
+val shuffle : t -> 'a list -> 'a list * t

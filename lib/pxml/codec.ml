@@ -1,0 +1,94 @@
+module Xml = Imprecise_xml
+
+let prob_tag = "p:prob"
+
+let poss_tag = "p:poss"
+
+let float_to_attr f = Fmt.str "%.17g" f
+
+let rec encode (d : Pxml.doc) : Xml.Tree.t =
+  Xml.Tree.Element (prob_tag, [], List.map encode_choice d.choices)
+
+and encode_choice (c : Pxml.choice) : Xml.Tree.t =
+  Xml.Tree.Element (poss_tag, [ ("p", float_to_attr c.prob) ], List.map encode_node c.nodes)
+
+and encode_node (n : Pxml.node) : Xml.Tree.t =
+  match n with
+  | Pxml.Text s -> Xml.Tree.Text s
+  | Pxml.Elem (tag, attrs, content) ->
+      Xml.Tree.Element (tag, attrs, List.map encode content)
+
+let ( let* ) = Result.bind
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let rec decode (t : Xml.Tree.t) : (Pxml.doc, string) result =
+  match t with
+  | Xml.Tree.Element (tag, _, children) when tag = prob_tag ->
+      let children = List.filter Xml.Tree.is_element children in
+      let* choices = map_result decode_choice children in
+      (try Ok (Pxml.dist choices) with Pxml.Invalid msg -> Error msg)
+  | Xml.Tree.Element (tag, _, _) ->
+      Error (Fmt.str "expected <%s>, found <%s>" prob_tag tag)
+  | Xml.Tree.Text _ -> Error (Fmt.str "expected <%s>, found text" prob_tag)
+
+and decode_choice (t : Xml.Tree.t) : (Pxml.choice, string) result =
+  match t with
+  | Xml.Tree.Element (tag, attrs, children) when tag = poss_tag -> (
+      match List.assoc_opt "p" attrs with
+      | None -> Error (Fmt.str "<%s> without p attribute" poss_tag)
+      | Some p -> (
+          match float_of_string_opt p with
+          | None -> Error (Fmt.str "unparsable probability %S" p)
+          | Some prob ->
+              (* Indentation whitespace between a possibility's element
+                 children is serialisation artefact, not data. *)
+              let has_elem = List.exists Xml.Tree.is_element children in
+              let children =
+                if has_elem then
+                  List.filter
+                    (function
+                      | Xml.Tree.Text s -> Xml.Tree.normalize_space s <> ""
+                      | Xml.Tree.Element _ -> true)
+                    children
+                else children
+              in
+              let* nodes = map_result decode_node children in
+              Ok { Pxml.prob; nodes }))
+  | Xml.Tree.Element (tag, _, _) ->
+      Error (Fmt.str "expected <%s>, found <%s>" poss_tag tag)
+  | Xml.Tree.Text _ -> Error (Fmt.str "expected <%s>, found text" poss_tag)
+
+and decode_node (t : Xml.Tree.t) : (Pxml.node, string) result =
+  match t with
+  | Xml.Tree.Text s -> Ok (Pxml.Text s)
+  | Xml.Tree.Element (tag, _, _) when tag = prob_tag || tag = poss_tag ->
+      Error (Fmt.str "<%s> in regular-node position" tag)
+  | Xml.Tree.Element (tag, attrs, children) ->
+      (* Indentation whitespace between probability nodes is not data; any
+         other text here violates the layering (text belongs inside a
+         possibility). *)
+      let non_ws =
+        List.filter
+          (function
+            | Xml.Tree.Text s -> Xml.Tree.normalize_space s <> ""
+            | Xml.Tree.Element _ -> true)
+          children
+      in
+      if List.exists Xml.Tree.is_text non_ws then
+        Error (Fmt.str "text directly under <%s>: expected <%s> children" tag prob_tag)
+      else
+        let* content = map_result decode non_ws in
+        Ok (Pxml.Elem (tag, attrs, content))
+
+let to_string ?indent d = Xml.Printer.to_string ?indent (encode d)
+
+let of_string s =
+  match Xml.Parser.parse_string s with
+  | Error e -> Error (Xml.Parser.error_to_string e)
+  | Ok t -> decode t

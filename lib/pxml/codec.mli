@@ -1,0 +1,28 @@
+(** Encoding probabilistic documents as plain XML.
+
+    This is how IMPrECISE stores probabilistic documents inside an ordinary
+    XML DBMS (the paper implements the model as XQuery functions over plain
+    MonetDB/XQuery documents). Probability nodes become [<p:prob>] elements
+    and possibility nodes become [<p:poss p="…">] elements; regular nodes
+    are stored as themselves. [decode ∘ encode = id]. *)
+
+(** Reserved element names. Data documents must not use them. *)
+val prob_tag : string
+
+val poss_tag : string
+
+val encode : Pxml.doc -> Imprecise_xml.Tree.t
+
+val encode_node : Pxml.node -> Imprecise_xml.Tree.t
+
+(** [decode t] parses the encoding back. Fails with a descriptive message on
+    structure violations (wrong layering, missing or unparsable [p]
+    attributes, probabilities not summing to 1). *)
+val decode : Imprecise_xml.Tree.t -> (Pxml.doc, string) result
+
+val decode_node : Imprecise_xml.Tree.t -> (Pxml.node, string) result
+
+(** [to_string d] / [of_string s] round-trip through serialised XML. *)
+val to_string : ?indent:int -> Pxml.doc -> string
+
+val of_string : string -> (Pxml.doc, string) result

@@ -1,0 +1,39 @@
+(** Compaction of probabilistic documents.
+
+    Compaction shrinks the representation without changing the possible-world
+    distribution (up to merging of deep-equal worlds):
+
+    - possibilities with probability ≤ ε are pruned (the remaining mass is
+      renormalised — it differs from 1 by at most the pruned mass);
+    - structurally equal sibling possibilities are merged, summing their
+      probabilities;
+    - adjacent {e certain} probability nodes in an element's content are
+      fused into one, and empty certain probability nodes are dropped.
+
+    The paper's incremental-improvement story (feedback removes impossible
+    worlds) relies on compaction to actually reclaim the space. *)
+
+(** [compact d] applies all rules bottom-up until a fixpoint. *)
+val compact : Pxml.doc -> Pxml.doc
+
+val compact_node : Pxml.node -> Pxml.node
+
+(** [prune_threshold] — possibilities below this probability are considered
+    impossible by {!compact} (default [1e-12]); exposed for tests. *)
+val prune_threshold : float
+
+(** {1 Lossy reduction}
+
+    The paper warns that "reduction should not be pushed too far, because
+    eliminating valid possibilities reduces the quality of query answers".
+    [prune_unlikely] is the knob that warning is about: it deletes every
+    possibility whose probability is below [threshold] and renormalises —
+    the representation shrinks, but any answer that only existed in the
+    deleted worlds is silently lost. The answer-quality-vs-threshold curve
+    is measured by [bench/main.exe ablation]. *)
+
+(** [prune_unlikely ~threshold d] — possibilities with probability
+    < [threshold] are removed bottom-up, survivors renormalised, then
+    {!compact} is applied. A probability node always keeps at least its
+    most likely possibility. *)
+val prune_unlikely : threshold:float -> Pxml.doc -> Pxml.doc

@@ -1,0 +1,76 @@
+(** Possible-world semantics.
+
+    A possible world of a probabilistic document is obtained by picking one
+    possibility at every probability node, independently; its probability is
+    the product of the picked possibilities' probabilities. Worlds are plain
+    XML forests (usually a single root element).
+
+    Enumeration is the {e reference semantics}: every compact algorithm in
+    this repository (compaction, querying, feedback, integration counting)
+    is property-tested against it. It is exponential by nature — use
+    {!Pxml.world_count} before calling anything here on a large document. *)
+
+type world = float * Imprecise_xml.Tree.t list
+
+(** [enumerate d] lazily produces every choice combination with its
+    probability. Worlds that happen to contain the same information are
+    {e not} merged. *)
+val enumerate : Pxml.doc -> world Seq.t
+
+(** [enumerate_node n] enumerates worlds of a single probabilistic node. *)
+val enumerate_node : Pxml.node -> (float * Imprecise_xml.Tree.t) Seq.t
+
+(** [merged d] enumerates all worlds, merges those whose canonical XML is
+    equal (summing probabilities), and returns them sorted by decreasing
+    probability. *)
+val merged : Pxml.doc -> world list
+
+(** [distinct_count d] is the number of distinct (canonical) worlds. *)
+val distinct_count : Pxml.doc -> int
+
+(** [total_probability d] sums the probability of all worlds — 1 within
+    tolerance for a valid document. *)
+val total_probability : Pxml.doc -> float
+
+(** [take n seq] is the first [n] elements of [seq] as a list. *)
+val take : int -> 'a Seq.t -> 'a list
+
+(** {1 k-best worlds}
+
+    The most likely interpretations of a document, without enumerating the
+    world space: a hierarchical k-best combination — at every probability
+    node the choices' best lists are merged by probability, across an
+    element's independent probability nodes the lists are combined
+    lazily product-wise, keeping only the top [k] at each step. Cost is
+    polynomial in [k] and the document size, independent of the number of
+    worlds. *)
+
+(** [most_likely ~k d] is the up-to-[k] highest-probability choice
+    combinations, as [(probability, forest)], sorted by decreasing
+    probability. Equal worlds arising from different combinations are
+    {e not} merged (mirroring {!enumerate}); apply canonicalisation if
+    needed. *)
+val most_likely : k:int -> Pxml.doc -> world list
+
+(** {1 Monte-Carlo sampling}
+
+    For documents whose world space is too large to enumerate, worlds can
+    be sampled: at each probability node one possibility is drawn according
+    to its probability, independently — which is exactly the model's
+    semantics, so a sample is an unbiased draw from the world
+    distribution. *)
+
+(** [sample rng d] draws one world and returns it with the advanced
+    generator state. The returned float is the world's probability (the
+    product of the drawn possibilities). *)
+val sample :
+  Imprecise_prng.Prng.t ->
+  Pxml.doc ->
+  (float * Imprecise_xml.Tree.t list) * Imprecise_prng.Prng.t
+
+(** [sample_many ~n rng d] draws [n] independent worlds. *)
+val sample_many :
+  n:int ->
+  Imprecise_prng.Prng.t ->
+  Pxml.doc ->
+  (float * Imprecise_xml.Tree.t list) list * Imprecise_prng.Prng.t

@@ -1,0 +1,93 @@
+module Xml = Imprecise_xml
+module Tree = Xml.Tree
+module Pxml = Imprecise_pxml.Pxml
+module Codec = Imprecise_pxml.Codec
+
+type doc = Certain of Tree.t | Probabilistic of Pxml.doc
+
+type t = { tbl : (string, doc) Hashtbl.t; mutable order : string list }
+
+let create () = { tbl = Hashtbl.create 16; order = [] }
+
+let valid_name name =
+  name <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '.' || c = '_' || c = '-')
+       name
+
+let put t name doc =
+  if not (valid_name name) then
+    invalid_arg (Fmt.str "Store.put: invalid document name %S" name);
+  if not (Hashtbl.mem t.tbl name) then t.order <- t.order @ [ name ];
+  Hashtbl.replace t.tbl name doc
+
+let get t name = Hashtbl.find_opt t.tbl name
+
+let get_certain t name =
+  match get t name with Some (Certain tree) -> Some tree | _ -> None
+
+let get_probabilistic t name =
+  match get t name with Some (Probabilistic doc) -> Some doc | _ -> None
+
+let remove t name =
+  if Hashtbl.mem t.tbl name then begin
+    Hashtbl.remove t.tbl name;
+    t.order <- List.filter (fun n -> n <> name) t.order
+  end
+
+let mem t name = Hashtbl.mem t.tbl name
+
+let names t = t.order
+
+let size t = Hashtbl.length t.tbl
+
+let doc_to_tree = function
+  | Certain tree -> tree
+  | Probabilistic doc -> Codec.encode doc
+
+let save t ~dir =
+  try
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun name ->
+        let doc = Hashtbl.find t.tbl name in
+        Xml.Printer.to_file ~decl:true ~indent:2
+          (Filename.concat dir (name ^ ".xml"))
+          (doc_to_tree doc))
+      t.order;
+    Ok ()
+  with Sys_error msg -> Error msg
+
+let load ~dir =
+  try
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".xml")
+      |> List.sort String.compare
+    in
+    let t = create () in
+    let rec go = function
+      | [] -> Ok t
+      | file :: rest -> (
+          let path = Filename.concat dir file in
+          match Xml.Parser.parse_file path with
+          | Error e -> Error (Fmt.str "%s: %s" path (Xml.Parser.error_to_string e))
+          | Ok tree -> (
+              let name = Filename.chop_suffix file ".xml" in
+              if Tree.name tree = Some Codec.prob_tag then
+                match Codec.decode tree with
+                | Error msg -> Error (Fmt.str "%s: %s" path msg)
+                | Ok doc ->
+                    put t name (Probabilistic doc);
+                    go rest
+              else begin
+                put t name (Certain tree);
+                go rest
+              end))
+    in
+    go files
+  with Sys_error msg -> Error msg

@@ -1,0 +1,46 @@
+(** A miniature XML document store — the MonetDB/XQuery stand-in.
+
+    IMPrECISE in the paper is an XQuery module layered on an XML DBMS whose
+    only obligations are to hold XML documents and evaluate queries over
+    them (Fig. 4). This store provides the document-management half: named
+    collections of certain and probabilistic documents, persisted as plain
+    XML files (probabilistic documents via the {!Imprecise_pxml.Codec}
+    encoding, recognised on load by their [p:prob] root). The query half is
+    {!Imprecise_xpath} / {!Imprecise_pquery}, which operate on the values
+    this store returns. *)
+
+module Tree = Imprecise_xml.Tree
+module Pxml = Imprecise_pxml.Pxml
+
+type doc = Certain of Tree.t | Probabilistic of Pxml.doc
+
+type t
+
+val create : unit -> t
+
+(** [put t name doc] adds or replaces. Names must be non-empty and use only
+    [A-Za-z0-9._-]; raises [Invalid_argument] otherwise. *)
+val put : t -> string -> doc -> unit
+
+val get : t -> string -> doc option
+
+val get_certain : t -> string -> Tree.t option
+
+val get_probabilistic : t -> string -> Pxml.doc option
+
+val remove : t -> string -> unit
+
+val mem : t -> string -> bool
+
+(** Names in insertion order. *)
+val names : t -> string list
+
+val size : t -> int
+
+(** {1 Persistence}
+
+    One file per document, [<name>.xml], in a directory. *)
+
+val save : t -> dir:string -> (unit, string) result
+
+val load : dir:string -> (t, string) result

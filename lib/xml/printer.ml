@@ -1,0 +1,80 @@
+let escape ~attr s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when attr -> Buffer.add_string buf "&quot;"
+      | '\n' when attr -> Buffer.add_string buf "&#10;"
+      | '\t' when attr -> Buffer.add_string buf "&#9;"
+      | '\r' -> Buffer.add_string buf "&#13;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_text = escape ~attr:false
+
+let escape_attr = escape ~attr:true
+
+let add_attrs buf attrs =
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf k;
+      Buffer.add_string buf "=\"";
+      Buffer.add_string buf (escape_attr v);
+      Buffer.add_char buf '"')
+    attrs
+
+let to_buffer ?indent buf t =
+  let pad level =
+    match indent with
+    | None -> ()
+    | Some n ->
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make (level * n) ' ')
+  in
+  let rec go level t =
+    match t with
+    | Tree.Text s -> Buffer.add_string buf (escape_text s)
+    | Tree.Element (name, attrs, []) ->
+        Buffer.add_char buf '<';
+        Buffer.add_string buf name;
+        add_attrs buf attrs;
+        Buffer.add_string buf "/>"
+    | Tree.Element (name, attrs, children) ->
+        Buffer.add_char buf '<';
+        Buffer.add_string buf name;
+        add_attrs buf attrs;
+        Buffer.add_char buf '>';
+        let element_only = List.for_all Tree.is_element children in
+        if element_only && indent <> None then begin
+          List.iter
+            (fun c ->
+              pad (level + 1);
+              go (level + 1) c)
+            children;
+          pad level
+        end
+        else List.iter (go level) children;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf name;
+        Buffer.add_char buf '>'
+  in
+  go 0 t
+
+let to_string ?(decl = false) ?indent t =
+  let buf = Buffer.create 256 in
+  if decl then Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  to_buffer ?indent buf t;
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (to_string ~indent:2 t)
+
+let to_file ?decl ?indent path t =
+  let oc = open_out_bin path in
+  output_string oc (to_string ?decl ?indent t);
+  output_char oc '\n';
+  close_out oc

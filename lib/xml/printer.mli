@@ -1,0 +1,20 @@
+(** XML serialisation. Round-trips with {!Parser}: for any tree [t],
+    [Parser.parse_string (to_string t)] succeeds and the result is
+    canonically equal to [t]. *)
+
+(** [escape_text s] escapes [&], [<] and [>] for character data. *)
+val escape_text : string -> string
+
+(** [escape_attr s] additionally escapes quotes and newlines, for use inside
+    a double-quoted attribute value. *)
+val escape_attr : string -> string
+
+(** [to_string ?decl ?indent t] serialises [t]. With [~indent:n], child
+    elements of element-only content are placed on fresh lines indented by
+    [n] spaces per level; mixed content is never reformatted. [~decl:true]
+    (default [false]) prepends an XML declaration. *)
+val to_string : ?decl:bool -> ?indent:int -> Tree.t -> string
+
+val pp : Format.formatter -> Tree.t -> unit
+
+val to_file : ?decl:bool -> ?indent:int -> string -> Tree.t -> unit

@@ -1,0 +1,136 @@
+type name = string
+
+type attribute = name * string
+
+type t =
+  | Element of name * attribute list * t list
+  | Text of string
+
+let element ?(attrs = []) name children = Element (name, attrs, children)
+
+let text s = Text s
+
+let leaf ?attrs name value = element ?attrs name [ text value ]
+
+let is_element = function Element _ -> true | Text _ -> false
+
+let is_text = function Text _ -> true | Element _ -> false
+
+let name = function Element (n, _, _) -> Some n | Text _ -> None
+
+let tag = function
+  | Element (n, _, _) -> n
+  | Text _ -> invalid_arg "Tree.tag: text node"
+
+let attributes = function Element (_, attrs, _) -> attrs | Text _ -> []
+
+let attribute t key = List.assoc_opt key (attributes t)
+
+let children = function Element (_, _, cs) -> cs | Text _ -> []
+
+let child_elements t = List.filter is_element (children t)
+
+let find_child t n =
+  List.find_opt (function Element (m, _, _) -> m = n | Text _ -> false) (children t)
+
+let find_children t n =
+  List.filter (function Element (m, _, _) -> m = n | Text _ -> false) (children t)
+
+let text_content t =
+  let buf = Buffer.create 32 in
+  let rec go = function
+    | Text s -> Buffer.add_string buf s
+    | Element (_, _, cs) -> List.iter go cs
+  in
+  go t;
+  Buffer.contents buf
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let normalize_space s =
+  let buf = Buffer.create (String.length s) in
+  let pending = ref false in
+  String.iter
+    (fun c ->
+      if is_space c then (if Buffer.length buf > 0 then pending := true)
+      else begin
+        if !pending then Buffer.add_char buf ' ';
+        pending := false;
+        Buffer.add_char buf c
+      end)
+    s;
+  Buffer.contents buf
+
+let field t n =
+  match find_child t n with
+  | None -> None
+  | Some c -> Some (normalize_space (text_content c))
+
+let all_space s =
+  let rec go i = i >= String.length s || (is_space s.[i] && go (i + 1)) in
+  go 0
+
+(* Merge adjacent text children, drop pure-whitespace text that sits between
+   elements (indentation), and normalise the text that remains. *)
+let rec canonical t =
+  match t with
+  | Text s -> Text (normalize_space s)
+  | Element (n, attrs, cs) ->
+      let attrs = List.sort (fun (a, _) (b, _) -> String.compare a b) attrs in
+      let has_elem = List.exists is_element cs in
+      let merged =
+        let rec merge = function
+          | Text a :: Text b :: rest -> merge (Text (a ^ b) :: rest)
+          | x :: rest -> x :: merge rest
+          | [] -> []
+        in
+        merge cs
+      in
+      let kept =
+        List.filter
+          (function Text s -> not (has_elem && all_space s) | Element _ -> true)
+          merged
+      in
+      Element (n, attrs, List.map canonical kept)
+
+let rec compare_raw a b =
+  match a, b with
+  | Text x, Text y -> String.compare x y
+  | Text _, Element _ -> -1
+  | Element _, Text _ -> 1
+  | Element (n1, a1, c1), Element (n2, a2, c2) ->
+      let c = String.compare n1 n2 in
+      if c <> 0 then c
+      else
+        let c = Stdlib.compare a1 a2 in
+        if c <> 0 then c else List.compare compare_raw c1 c2
+
+let compare a b = compare_raw (canonical a) (canonical b)
+
+let equal a b = compare a b = 0
+
+let deep_equal = equal
+
+let rec fold f acc t =
+  let acc = f acc t in
+  match t with
+  | Text _ -> acc
+  | Element (_, _, cs) -> List.fold_left (fold f) acc cs
+
+let iter f t = fold (fun () n -> f n) () t
+
+let node_count t = fold (fun n _ -> n + 1) 0 t
+
+let rec depth = function
+  | Text _ -> 1
+  | Element (_, _, []) -> 1
+  | Element (_, _, cs) -> 1 + List.fold_left (fun d c -> max d (depth c)) 0 cs
+
+let rec pp ppf = function
+  | Text s -> Fmt.pf ppf "%S" s
+  | Element (n, attrs, cs) ->
+      Fmt.pf ppf "@[<hv 2>%s%a(%a)@]" n
+        Fmt.(list ~sep:nop (fun ppf (k, v) -> pf ppf "[@%s=%S]" k v))
+        attrs
+        Fmt.(list ~sep:comma pp)
+        cs

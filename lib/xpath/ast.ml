@@ -1,0 +1,133 @@
+type axis =
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Self
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Following_sibling
+  | Preceding_sibling
+  | Attribute
+
+type node_test = Name of string | Wildcard | Text_node | Any_node
+
+type binop = Or | And | Eq | Neq | Lt | Le | Gt | Ge | Add | Sub | Mul | Div | Mod
+
+type quantifier = Some_q | Every_q
+
+type expr =
+  | Path of path
+  | Filter of expr * expr list * (bool * step) list
+  | Literal of string
+  | Number of float
+  | Var of string
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Union of expr * expr
+  | Call of string * expr list
+  | Quantified of quantifier * string * expr * expr
+  | For of string * expr * expr option * expr
+      (* variable, domain, optional where-condition, body *)
+  | Let of string * expr * expr
+  | If of expr * expr * expr
+  | Element_ctor of string * expr list
+  | Text_ctor of expr
+
+and step = { axis : axis; test : node_test; predicates : expr list }
+
+and path = { absolute : bool; steps : (bool * step) list }
+
+let axis_to_string = function
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Descendant_or_self -> "descendant-or-self"
+  | Self -> "self"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+  | Ancestor_or_self -> "ancestor-or-self"
+  | Following_sibling -> "following-sibling"
+  | Preceding_sibling -> "preceding-sibling"
+  | Attribute -> "attribute"
+
+let binop_to_string = function
+  | Or -> "or"
+  | And -> "and"
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "div"
+  | Mod -> "mod"
+
+let test_to_string = function
+  | Name n -> n
+  | Wildcard -> "*"
+  | Text_node -> "text()"
+  | Any_node -> "node()"
+
+let rec expr_to_string = function
+  | Path p -> path_to_string p
+  | Filter (e, preds, steps) ->
+      Printf.sprintf "(%s)%s%s" (expr_to_string e)
+        (String.concat "" (List.map (fun p -> "[" ^ expr_to_string p ^ "]") preds))
+        (String.concat "" (List.map (fun (d, s) -> (if d then "//" else "/") ^ step_to_string s) steps))
+  | Literal s -> Printf.sprintf "%S" s
+  | Number f -> if Float.is_integer f then string_of_int (int_of_float f) else string_of_float f
+  | Var v -> "$" ^ v
+  | Binop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_to_string op) (expr_to_string b)
+  | Neg e -> "-" ^ expr_to_string e
+  | Union (a, b) -> Printf.sprintf "(%s | %s)" (expr_to_string a) (expr_to_string b)
+  | Call (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_to_string args))
+  | Quantified (q, v, dom, cond) ->
+      Printf.sprintf "%s $%s in %s satisfies %s"
+        (match q with Some_q -> "some" | Every_q -> "every")
+        v (expr_to_string dom) (expr_to_string cond)
+  | For (v, dom, None, body) ->
+      Printf.sprintf "for $%s in %s return %s" v (expr_to_string dom) (expr_to_string body)
+  | For (v, dom, Some w, body) ->
+      Printf.sprintf "for $%s in %s where %s return %s" v (expr_to_string dom)
+        (expr_to_string w) (expr_to_string body)
+  | Let (v, value, body) ->
+      Printf.sprintf "let $%s := %s return %s" v (expr_to_string value) (expr_to_string body)
+  | If (c, t, e) ->
+      Printf.sprintf "if (%s) then %s else %s" (expr_to_string c) (expr_to_string t)
+        (expr_to_string e)
+  | Element_ctor (name, content) ->
+      Printf.sprintf "element %s { %s }" name
+        (String.concat ", " (List.map expr_to_string content))
+  | Text_ctor e -> Printf.sprintf "text { %s }" (expr_to_string e)
+
+and step_to_string s =
+  let base =
+    match s.axis with
+    | Child -> test_to_string s.test
+    | Attribute -> "@" ^ test_to_string s.test
+    | Self when s.test = Any_node -> "."
+    | Parent when s.test = Any_node -> ".."
+    | a -> axis_to_string a ^ "::" ^ test_to_string s.test
+  in
+  base ^ String.concat "" (List.map (fun p -> "[" ^ expr_to_string p ^ "]") s.predicates)
+
+and path_to_string p =
+  let rec steps = function
+    | [] -> ""
+    | (desc, s) :: rest ->
+        (if desc then "//" else "/") ^ step_to_string s ^ steps rest
+  in
+  match p.steps with
+  | [] -> if p.absolute then "/" else "."
+  | (desc0, s0) :: rest ->
+      if p.absolute then (if desc0 then "//" else "/") ^ step_to_string s0 ^ steps rest
+      else step_to_string s0 ^ steps rest
+
+let to_string = expr_to_string
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

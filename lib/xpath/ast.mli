@@ -1,0 +1,76 @@
+(** Abstract syntax of the query language: the XPath 1.0 subset used by the
+    paper's demo queries, extended with XQuery quantified expressions
+    ([some $d in .//director satisfies contains($d, "John")]). *)
+
+type axis =
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Self
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Following_sibling
+  | Preceding_sibling
+  | Attribute
+
+type node_test =
+  | Name of string  (** element (or attribute) name *)
+  | Wildcard  (** [*] *)
+  | Text_node  (** [text()] *)
+  | Any_node  (** [node()] *)
+
+type binop =
+  | Or
+  | And
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+
+type quantifier = Some_q | Every_q
+
+type expr =
+  | Path of path
+  | Filter of expr * expr list * (bool * step) list
+      (** primary expression, predicates, then a path continuation; the
+          [bool] is true when the separator was [//] *)
+  | Literal of string
+  | Number of float
+  | Var of string
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Union of expr * expr
+  | Call of string * expr list
+  | Quantified of quantifier * string * expr * expr
+      (** [Quantified (q, v, domain, condition)] *)
+  | For of string * expr * expr option * expr
+      (** XQuery-lite FLWOR: [for $v in domain (where cond)? return body].
+          The result is the sequence of the bodies' items in iteration
+          order. *)
+  | Let of string * expr * expr  (** [let $v := value return body] *)
+  | If of expr * expr * expr  (** [if (cond) then e1 else e2] *)
+  | Element_ctor of string * expr list
+      (** computed element constructor: [element name { e, e, ... }] —
+          node items are copied as children, atomic values become text *)
+  | Text_ctor of expr  (** [text { e }] *)
+
+and step = { axis : axis; test : node_test; predicates : expr list }
+
+and path = {
+  absolute : bool;  (** starts at the document root *)
+  steps : (bool * step) list;  (** the [bool] is true after a [//] *)
+}
+
+val axis_to_string : axis -> string
+
+val pp : Format.formatter -> expr -> unit
+
+val to_string : expr -> string

@@ -1,0 +1,518 @@
+module Xml = Imprecise_xml
+
+type node = { tree : Xml.Tree.t; parent : node option; order : int list }
+
+type item =
+  | Node of node
+  | Attr of { owner : node; name : string; value : string }
+
+type value = Nodeset of item list | Bool of bool | Num of float | Str of string
+
+exception Eval_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+let root_node tree = { tree; parent = None; order = [] }
+
+let children_nodes n =
+  List.mapi (fun i c -> { tree = c; parent = Some n; order = n.order @ [ i ] }) (Xml.Tree.children n.tree)
+
+let rec descendants_or_self n = n :: List.concat_map descendants_or_self (children_nodes n)
+
+let item_order = function
+  | Node n -> (n.order, -1)
+  | Attr a ->
+      (* Attributes sort directly after their owner, by position. *)
+      let rec index i = function
+        | [] -> max_int
+        | (k, _) :: rest -> if k = a.name then i else index (i + 1) rest
+      in
+      (a.owner.order, index 0 (Xml.Tree.attributes a.owner.tree))
+
+let compare_items a b = Stdlib.compare (item_order a) (item_order b)
+
+let sort_dedup items =
+  let sorted = List.sort_uniq (fun a b -> Stdlib.compare (item_order a) (item_order b)) items in
+  sorted
+
+let string_of_item = function
+  | Node n -> Xml.Tree.text_content n.tree
+  | Attr a -> a.value
+
+let number_of_string s =
+  match float_of_string_opt (String.trim s) with Some f -> f | None -> Float.nan
+
+let string_of_number f =
+  if Float.is_nan f then "NaN"
+  else if Float.is_integer f && Float.abs f < 1e16 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let string_value = function
+  | Str s -> s
+  | Num f -> string_of_number f
+  | Bool b -> if b then "true" else "false"
+  | Nodeset [] -> ""
+  | Nodeset (i :: _) -> string_of_item i
+
+let number_value = function
+  | Num f -> f
+  | Str s -> number_of_string s
+  | Bool b -> if b then 1. else 0.
+  | Nodeset _ as v -> number_of_string (string_value v)
+
+let boolean_value = function
+  | Bool b -> b
+  | Num f -> f <> 0. && not (Float.is_nan f)
+  | Str s -> String.length s > 0
+  | Nodeset l -> l <> []
+
+(* XPath 1.0 §3.4 comparison semantics. *)
+let compare_values op (a : value) (b : value) =
+  let cmp_num x y =
+    match op with
+    | Ast.Eq -> x = y
+    | Ast.Neq -> x <> y
+    | Ast.Lt -> x < y
+    | Ast.Le -> x <= y
+    | Ast.Gt -> x > y
+    | Ast.Ge -> x >= y
+    | _ -> assert false
+  in
+  let cmp_str x y =
+    match op with
+    | Ast.Eq -> String.equal x y
+    | Ast.Neq -> not (String.equal x y)
+    | _ -> cmp_num (number_of_string x) (number_of_string y)
+  in
+  let exists_in l f = List.exists f l in
+  match a, b with
+  | Nodeset xs, Nodeset ys ->
+      exists_in xs (fun x -> exists_in ys (fun y -> cmp_str (string_of_item x) (string_of_item y)))
+  | Nodeset xs, (Num _ as v) | (Num _ as v), Nodeset xs ->
+      let n = number_value v in
+      let flip = match a with Nodeset _ -> false | _ -> true in
+      exists_in xs (fun x ->
+          let xn = number_of_string (string_of_item x) in
+          if flip then cmp_num n xn else cmp_num xn n)
+  | Nodeset xs, (Str _ as v) | (Str _ as v), Nodeset xs -> (
+      let s = string_value v in
+      let flip = match a with Nodeset _ -> false | _ -> true in
+      exists_in xs (fun x ->
+          let xs' = string_of_item x in
+          if flip then cmp_str s xs' else cmp_str xs' s))
+  | Nodeset _, Bool _ | Bool _, Nodeset _ ->
+      cmp_num (if boolean_value a then 1. else 0.) (if boolean_value b then 1. else 0.)
+  | _ -> (
+      match op with
+      | Ast.Eq | Ast.Neq -> (
+          match a, b with
+          | Bool _, _ | _, Bool _ ->
+              cmp_num (if boolean_value a then 1. else 0.) (if boolean_value b then 1. else 0.)
+          | Num _, _ | _, Num _ -> cmp_num (number_value a) (number_value b)
+          | _ -> cmp_str (string_value a) (string_value b))
+      | _ -> cmp_num (number_value a) (number_value b))
+
+type context = {
+  item : item;
+  position : int;
+  size : int;
+  vars : (string * value) list;
+  root : node;
+  fresh : int ref;
+      (* document-order key source for nodes built by constructors *)
+}
+
+let test_matches test (n : node) =
+  match test, n.tree with
+  | Ast.Any_node, _ -> true
+  | Ast.Wildcard, Xml.Tree.Element ("#document", _, _) ->
+      false (* the synthetic document node is never selected by * *)
+  | Ast.Wildcard, Xml.Tree.Element _ -> true
+  | Ast.Wildcard, Xml.Tree.Text _ -> false
+  | Ast.Name name, Xml.Tree.Element (tag, _, _) -> String.equal name tag
+  | Ast.Name _, Xml.Tree.Text _ -> false
+  | Ast.Text_node, Xml.Tree.Text _ -> true
+  | Ast.Text_node, Xml.Tree.Element _ -> false
+
+let axis_items axis (ctx_item : item) : item list =
+  match ctx_item with
+  | Attr a -> (
+      (* The only axes that make sense from an attribute. *)
+      match axis with
+      | Ast.Self -> [ ctx_item ]
+      | Ast.Parent -> [ Node a.owner ]
+      | _ -> [])
+  | Node n -> (
+      match axis with
+      | Ast.Child -> List.map (fun c -> Node c) (children_nodes n)
+      | Ast.Descendant -> List.concat_map (fun c -> List.map (fun d -> Node d) (descendants_or_self c)) (children_nodes n)
+      | Ast.Descendant_or_self -> List.map (fun d -> Node d) (descendants_or_self n)
+      | Ast.Self -> [ Node n ]
+      | Ast.Parent -> ( match n.parent with None -> [] | Some p -> [ Node p ])
+      (* Reverse axes list the nearest node first, as XPath positions
+         require; results are re-sorted to document order afterwards. *)
+      | Ast.Ancestor ->
+          let rec up n =
+            match n.parent with None -> [] | Some p -> Node p :: up p
+          in
+          up n
+      | Ast.Ancestor_or_self ->
+          let rec up n =
+            match n.parent with None -> [] | Some p -> Node p :: up p
+          in
+          Node n :: up n
+      | Ast.Following_sibling -> (
+          match n.parent with
+          | None -> []
+          | Some p ->
+              List.filter_map
+                (fun c ->
+                  if Stdlib.compare c.order n.order > 0 then Some (Node c) else None)
+                (children_nodes p))
+      | Ast.Preceding_sibling -> (
+          match n.parent with
+          | None -> []
+          | Some p ->
+              List.rev
+                (List.filter_map
+                   (fun c ->
+                     if Stdlib.compare c.order n.order < 0 then Some (Node c) else None)
+                   (children_nodes p)))
+      | Ast.Attribute ->
+          List.map (fun (name, value) -> Attr { owner = n; name; value }) (Xml.Tree.attributes n.tree))
+
+let apply_test test items =
+  List.filter
+    (fun it ->
+      match it with
+      | Node n -> test_matches test n
+      | Attr a -> (
+          match test with
+          | Ast.Name name -> String.equal name a.name
+          | Ast.Wildcard | Ast.Any_node -> true
+          | Ast.Text_node -> false))
+    items
+
+(* Nodes built by constructors live outside the source document; they get
+   fresh order keys after every real node so that iteration order is
+   preserved by the document-order sort. *)
+let constructed_base = max_int / 2
+
+let make_node_item ctx tree =
+  incr ctx.fresh;
+  Node { tree; parent = None; order = [ constructed_base + !(ctx.fresh) ] }
+
+let make_text_item ctx s = make_node_item ctx (Xml.Tree.Text s)
+
+let rec eval_expr (ctx : context) (e : Ast.expr) : value =
+  match e with
+  | Ast.Literal s -> Str s
+  | Ast.Number f -> Num f
+  | Ast.Var v -> (
+      match List.assoc_opt v ctx.vars with
+      | Some value -> value
+      | None -> fail "unbound variable $%s" v)
+  | Ast.Neg e -> Num (-.number_value (eval_expr ctx e))
+  | Ast.Union (a, b) -> (
+      match eval_expr ctx a, eval_expr ctx b with
+      | Nodeset xs, Nodeset ys -> Nodeset (sort_dedup (xs @ ys))
+      | _ -> fail "'|' requires node-sets")
+  | Ast.Binop (op, a, b) -> eval_binop ctx op a b
+  | Ast.Call (f, args) -> eval_call ctx f args
+  | Ast.Quantified (q, v, domain, cond) -> (
+      match eval_expr ctx domain with
+      | Nodeset items ->
+          let test it =
+            boolean_value (eval_expr { ctx with vars = (v, Nodeset [ it ]) :: ctx.vars } cond)
+          in
+          Bool
+            (match q with
+            | Ast.Some_q -> List.exists test items
+            | Ast.Every_q -> List.for_all test items)
+      | _ -> fail "quantifier domain must be a node-set")
+  | Ast.Path p -> Nodeset (eval_path ctx p)
+  | Ast.Let (v, value, body) ->
+      let bound = eval_expr ctx value in
+      eval_expr { ctx with vars = (v, bound) :: ctx.vars } body
+  | Ast.If (cond, then_, else_) ->
+      if boolean_value (eval_expr ctx cond) then eval_expr ctx then_
+      else eval_expr ctx else_
+  | Ast.For (v, domain, where, body) -> (
+      match eval_expr ctx domain with
+      | Nodeset items ->
+          let results =
+            List.concat_map
+              (fun it ->
+                let ctx' = { ctx with vars = (v, Nodeset [ it ]) :: ctx.vars } in
+                let keep =
+                  match where with
+                  | None -> true
+                  | Some cond -> boolean_value (eval_expr ctx' cond)
+                in
+                if not keep then []
+                else
+                  match eval_expr ctx' body with
+                  | Nodeset out -> out
+                  | atomic -> [ make_text_item ctx (string_value atomic) ])
+              items
+          in
+          Nodeset (sort_dedup results)
+      | _ -> fail "'for' domain must be a node-set")
+  | Ast.Element_ctor (name, content) ->
+      let attrs = ref [] and children = ref [] in
+      List.iter
+        (fun e ->
+          match eval_expr ctx e with
+          | Nodeset items ->
+              List.iter
+                (fun it ->
+                  match it with
+                  | Node n -> children := n.tree :: !children
+                  | Attr a -> attrs := (a.name, a.value) :: !attrs)
+                items
+          | atomic -> children := Xml.Tree.Text (string_value atomic) :: !children)
+        content;
+      Nodeset
+        [ make_node_item ctx (Xml.Tree.Element (name, List.rev !attrs, List.rev !children)) ]
+  | Ast.Text_ctor e -> Nodeset [ make_text_item ctx (string_value (eval_expr ctx e)) ]
+  | Ast.Filter (primary, predicates, continuation) -> (
+      match eval_expr ctx primary with
+      | Nodeset items ->
+          let filtered = apply_predicates ctx predicates items in
+          Nodeset (eval_steps ctx continuation filtered)
+      | v when predicates = [] && continuation = [] -> v
+      | _ -> fail "predicates and path steps require a node-set")
+
+and eval_binop ctx op a b =
+  match op with
+  | Ast.Or -> Bool (boolean_value (eval_expr ctx a) || boolean_value (eval_expr ctx b))
+  | Ast.And -> Bool (boolean_value (eval_expr ctx a) && boolean_value (eval_expr ctx b))
+  | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      Bool (compare_values op (eval_expr ctx a) (eval_expr ctx b))
+  | Ast.Add -> Num (number_value (eval_expr ctx a) +. number_value (eval_expr ctx b))
+  | Ast.Sub -> Num (number_value (eval_expr ctx a) -. number_value (eval_expr ctx b))
+  | Ast.Mul -> Num (number_value (eval_expr ctx a) *. number_value (eval_expr ctx b))
+  | Ast.Div -> Num (number_value (eval_expr ctx a) /. number_value (eval_expr ctx b))
+  | Ast.Mod -> Num (Float.rem (number_value (eval_expr ctx a)) (number_value (eval_expr ctx b)))
+
+and eval_path ctx (p : Ast.path) : item list =
+  let start = if p.absolute then Node ctx.root else ctx.item in
+  eval_steps ctx p.steps [ start ]
+
+and eval_steps ctx steps items =
+  List.fold_left
+    (fun items (descendant_sep, step) ->
+      let items =
+        if descendant_sep then
+          sort_dedup
+            (List.concat_map (fun it -> axis_items Ast.Descendant_or_self it) items)
+        else items
+      in
+      let results =
+        List.concat_map
+          (fun it ->
+            let candidates = apply_test step.Ast.test (axis_items step.Ast.axis it) in
+            apply_predicates ctx step.Ast.predicates candidates)
+          items
+      in
+      sort_dedup results)
+    items steps
+
+and apply_predicates ctx predicates items =
+  List.fold_left
+    (fun items pred ->
+      let size = List.length items in
+      List.filteri
+        (fun i it ->
+          let ctx' = { ctx with item = it; position = i + 1; size } in
+          match eval_expr ctx' pred with
+          | Num f -> f = float_of_int (i + 1)
+          | v -> boolean_value v)
+        items)
+    items predicates
+
+and eval_call ctx f args =
+  let arity n =
+    if List.length args <> n then fail "%s expects %d argument(s), got %d" f n (List.length args)
+  in
+  let arg i = List.nth args i in
+  let str i = string_value (eval_expr ctx (arg i)) in
+  let num i = number_value (eval_expr ctx (arg i)) in
+  let value i = eval_expr ctx (arg i) in
+  let str0_or_context () =
+    if args = [] then
+      string_value (Nodeset [ ctx.item ])
+    else str 0
+  in
+  match f with
+  | "last" -> arity 0; Num (float_of_int ctx.size)
+  | "position" -> arity 0; Num (float_of_int ctx.position)
+  | "count" -> (
+      arity 1;
+      match value 0 with
+      | Nodeset l -> Num (float_of_int (List.length l))
+      | _ -> fail "count() requires a node-set")
+  | "name" | "local-name" ->
+      if args = [] then
+        Str
+          (match ctx.item with
+          | Node n -> Option.value ~default:"" (Xml.Tree.name n.tree)
+          | Attr a -> a.name)
+      else (
+        arity 1;
+        match value 0 with
+        | Nodeset (Node n :: _) -> Str (Option.value ~default:"" (Xml.Tree.name n.tree))
+        | Nodeset (Attr a :: _) -> Str a.name
+        | Nodeset [] -> Str ""
+        | _ -> fail "name() requires a node-set")
+  | "string" -> if args = [] then Str (string_value (Nodeset [ ctx.item ])) else (arity 1; Str (str 0))
+  | "concat" ->
+      if List.length args < 2 then fail "concat expects at least 2 arguments";
+      Str (String.concat "" (List.mapi (fun i _ -> str i) args))
+  | "starts-with" -> arity 2; Bool (String.starts_with ~prefix:(str 1) (str 0))
+  | "ends-with" -> arity 2; Bool (String.ends_with ~suffix:(str 1) (str 0))
+  | "contains" ->
+      arity 2;
+      let hay = str 0 and needle = str 1 in
+      let nh = String.length hay and nn = String.length needle in
+      let rec search i = i + nn <= nh && (String.sub hay i nn = needle || search (i + 1)) in
+      Bool (nn = 0 || search 0)
+  | "substring-before" | "substring-after" ->
+      arity 2;
+      let hay = str 0 and needle = str 1 in
+      let nh = String.length hay and nn = String.length needle in
+      let rec search i = if i + nn > nh then None else if String.sub hay i nn = needle then Some i else search (i + 1) in
+      Str
+        (match search 0 with
+        | None -> ""
+        | Some i ->
+            if f = "substring-before" then String.sub hay 0 i
+            else String.sub hay (i + nn) (nh - i - nn))
+  | "substring" ->
+      if List.length args < 2 || List.length args > 3 then fail "substring expects 2 or 3 arguments";
+      let s = str 0 in
+      let start = Float.round (num 1) in
+      let len =
+        if List.length args = 3 then Float.round (num 2) else Float.of_int (String.length s)
+      in
+      let first = int_of_float (Float.max 1. start) in
+      let last = int_of_float (start +. len -. 1.) in
+      let last = min last (String.length s) in
+      if Float.is_nan start || last < first then Str ""
+      else Str (String.sub s (first - 1) (last - first + 1))
+  | "string-length" -> Str (str0_or_context ()) |> fun v -> Num (float_of_int (String.length (string_value v)))
+  | "normalize-space" -> Str (Xml.Tree.normalize_space (str0_or_context ()))
+  | "translate" ->
+      arity 3;
+      let s = str 0 and from = str 1 and into = str 2 in
+      let buf = Buffer.create (String.length s) in
+      String.iter
+        (fun c ->
+          match String.index_opt from c with
+          | None -> Buffer.add_char buf c
+          | Some i -> if i < String.length into then Buffer.add_char buf into.[i])
+        s;
+      Str (Buffer.contents buf)
+  | "boolean" -> arity 1; Bool (boolean_value (value 0))
+  | "not" -> arity 1; Bool (not (boolean_value (value 0)))
+  | "true" -> arity 0; Bool true
+  | "false" -> arity 0; Bool false
+  | "number" -> if args = [] then Num (number_value (Nodeset [ ctx.item ])) else (arity 1; Num (num 0))
+  | "sum" -> (
+      arity 1;
+      match value 0 with
+      | Nodeset l ->
+          Num (List.fold_left (fun acc it -> acc +. number_of_string (string_of_item it)) 0. l)
+      | _ -> fail "sum() requires a node-set")
+  | "floor" -> arity 1; Num (Float.floor (num 0))
+  | "ceiling" -> arity 1; Num (Float.ceil (num 0))
+  | "round" -> arity 1; Num (Float.round (num 0))
+  | "min" | "max" | "avg" -> (
+      arity 1;
+      match value 0 with
+      | Nodeset [] -> Num Float.nan
+      | Nodeset l ->
+          let nums = List.map (fun it -> number_of_string (string_of_item it)) l in
+          let total = List.fold_left ( +. ) 0. nums in
+          Num
+            (match f with
+            | "min" -> List.fold_left Float.min Float.infinity nums
+            | "max" -> List.fold_left Float.max Float.neg_infinity nums
+            | _ -> total /. float_of_int (List.length nums))
+      | v -> Num (number_value v))
+  | "string-join" ->
+      arity 2;
+      let sep = str 1 in
+      (match value 0 with
+      | Nodeset l -> Str (String.concat sep (List.map string_of_item l))
+      | v -> Str (string_value v))
+  | "distinct-values" -> (
+      arity 1;
+      match value 0 with
+      | Nodeset l ->
+          let seen = Hashtbl.create 8 in
+          Nodeset
+            (List.filter
+               (fun it ->
+                 let s = string_of_item it in
+                 if Hashtbl.mem seen s then false
+                 else begin
+                   Hashtbl.add seen s ();
+                   true
+                 end)
+               l)
+      | v -> v)
+  | "exists" -> (
+      arity 1;
+      match value 0 with
+      | Nodeset l -> Bool (l <> [])
+      | _ -> fail "exists() requires a node-set")
+  | "empty" -> (
+      arity 1;
+      match value 0 with
+      | Nodeset l -> Bool (l = [])
+      | _ -> fail "empty() requires a node-set")
+  | "deep-equal" -> (
+      arity 2;
+      let tree_of = function
+        | Nodeset (Node n :: _) -> Some n.tree
+        | Nodeset _ -> None
+        | v -> Some (Xml.Tree.Text (string_value v))
+      in
+      match tree_of (value 0), tree_of (value 1) with
+      | Some a, Some b -> Bool (Xml.Tree.deep_equal a b)
+      | _ -> Bool false)
+  | f -> fail "unknown function %s()" f
+
+let make_context ?(vars = []) root item =
+  { item; position = 1; size = 1; vars; root; fresh = ref 0 }
+
+(* XPath evaluates absolute paths from the document node above the root
+   element; we synthesise one. It is never selected itself: every axis step
+   out of it goes through child/descendant. *)
+let document_node tree =
+  { tree = Xml.Tree.Element ("#document", [], [ tree ]); parent = None; order = [] }
+
+let eval ?vars tree expr =
+  let root = document_node tree in
+  eval_expr (make_context ?vars root (Node root)) expr
+
+let eval_at ?vars ~root node expr = eval_expr (make_context ?vars root (Node node)) expr
+
+let select tree query =
+  match eval tree (Parser.parse_exn query) with
+  | Nodeset items ->
+      List.filter_map (function Node n -> Some n.tree | Attr _ -> None) items
+  | _ -> fail "query %S did not return a node-set" query
+
+let select_strings tree query =
+  match eval tree (Parser.parse_exn query) with
+  | Nodeset items -> List.map string_of_item items
+  | v -> [ string_value v ]
+
+let eval_string tree query = string_value (eval tree (Parser.parse_exn query))
+
+let eval_bool tree query = boolean_value (eval tree (Parser.parse_exn query))
+
+let eval_number tree query = number_value (eval tree (Parser.parse_exn query))

@@ -1,0 +1,74 @@
+(** Query evaluation over plain XML trees (XPath 1.0 data model).
+
+    Nodes carry identity: the same subtree reached twice is one node. Result
+    node-sets are in document order without duplicates. *)
+
+module Xml = Imprecise_xml
+
+(** A node with identity: the subtree plus its position in the document. *)
+type node = {
+  tree : Xml.Tree.t;
+  parent : node option;
+  order : int list;  (** root is []; child i of n is n.order @ [i] *)
+}
+
+type item =
+  | Node of node
+  | Attr of { owner : node; name : string; value : string }
+
+type value =
+  | Nodeset of item list  (** document order, no duplicates *)
+  | Bool of bool
+  | Num of float
+  | Str of string
+
+exception Eval_error of string
+
+(** {1 Coercions (XPath 1.0 §3.2–3.5)} *)
+
+val string_of_item : item -> string
+
+val string_value : value -> string
+
+val number_value : value -> float
+
+val boolean_value : value -> bool
+
+val compare_items : item -> item -> int
+
+(** {1 Evaluation} *)
+
+(** [eval ?vars root expr] evaluates [expr] with the root element of the
+    document as context node. Raises {!Eval_error} on unknown functions or
+    variables and on type errors. *)
+val eval : ?vars:(string * value) list -> Xml.Tree.t -> Ast.expr -> value
+
+(** [eval_at ?vars ~root node expr] evaluates with an explicit context node
+    (used by the probabilistic evaluator to scope predicates). *)
+val eval_at : ?vars:(string * value) list -> root:node -> node -> Ast.expr -> value
+
+(** [root_node tree] wraps a tree as a context node. *)
+val root_node : Xml.Tree.t -> node
+
+(** [children_nodes n] is [n]'s children with identity attached. *)
+val children_nodes : node -> node list
+
+val descendants_or_self : node -> node list
+
+(** {1 Convenience} *)
+
+(** [select root query] parses [query] and returns matching element/text
+    subtrees in document order. Raises [Failure] on parse errors and
+    {!Eval_error} if the result is not a node-set. *)
+val select : Xml.Tree.t -> string -> Xml.Tree.t list
+
+(** [select_strings root query] is the XPath string-value of each selected
+    node. *)
+val select_strings : Xml.Tree.t -> string -> string list
+
+(** [eval_string root query] coerces the result to a string. *)
+val eval_string : Xml.Tree.t -> string -> string
+
+val eval_bool : Xml.Tree.t -> string -> bool
+
+val eval_number : Xml.Tree.t -> string -> float

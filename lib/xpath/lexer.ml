@@ -1,0 +1,152 @@
+type token =
+  | Name of string
+  | Number of float
+  | Literal of string
+  | Variable of string
+  | Slash
+  | Double_slash
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | At
+  | Dot
+  | Dotdot
+  | Axis_sep
+  | Assign
+  | Comma
+  | Pipe
+  | Plus
+  | Minus
+  | Star
+  | Equal
+  | Not_equal
+  | Less
+  | Less_equal
+  | Greater
+  | Greater_equal
+  | Eof
+
+let token_to_string = function
+  | Name s -> s
+  | Number f -> string_of_float f
+  | Literal s -> Printf.sprintf "%S" s
+  | Variable v -> "$" ^ v
+  | Slash -> "/"
+  | Double_slash -> "//"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | At -> "@"
+  | Dot -> "."
+  | Dotdot -> ".."
+  | Axis_sep -> "::"
+  | Assign -> ":="
+  | Comma -> ","
+  | Pipe -> "|"
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Equal -> "="
+  | Not_equal -> "!="
+  | Less -> "<"
+  | Less_equal -> "<="
+  | Greater -> ">"
+  | Greater_equal -> ">="
+  | Eof -> "<eof>"
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || Char.code c >= 128
+
+let is_name_char c = is_name_start c || is_digit c || c = '-' || c = '.' || c = ':'
+
+let tokenize src =
+  let n = String.length src in
+  let exception Lex_error of string in
+  let peek i = if i < n then src.[i] else '\000' in
+  let rec go i acc =
+    if i >= n then Ok (List.rev (Eof :: acc))
+    else
+      let c = src.[i] in
+      if is_space c then go (i + 1) acc
+      else
+        match c with
+        | '/' -> if peek (i + 1) = '/' then go (i + 2) (Double_slash :: acc) else go (i + 1) (Slash :: acc)
+        | '[' -> go (i + 1) (Lbracket :: acc)
+        | ']' -> go (i + 1) (Rbracket :: acc)
+        | '(' -> go (i + 1) (Lparen :: acc)
+        | ')' -> go (i + 1) (Rparen :: acc)
+        | '@' -> go (i + 1) (At :: acc)
+        | ',' -> go (i + 1) (Comma :: acc)
+        | '|' -> go (i + 1) (Pipe :: acc)
+        | '+' -> go (i + 1) (Plus :: acc)
+        | '-' -> go (i + 1) (Minus :: acc)
+        | '*' -> go (i + 1) (Star :: acc)
+        | '=' -> go (i + 1) (Equal :: acc)
+        | '!' ->
+            if peek (i + 1) = '=' then go (i + 2) (Not_equal :: acc)
+            else raise (Lex_error "'!' must be followed by '='")
+        | '<' -> if peek (i + 1) = '=' then go (i + 2) (Less_equal :: acc) else go (i + 1) (Less :: acc)
+        | '>' ->
+            if peek (i + 1) = '=' then go (i + 2) (Greater_equal :: acc)
+            else go (i + 1) (Greater :: acc)
+        | ':' ->
+            if peek (i + 1) = ':' then go (i + 2) (Axis_sep :: acc)
+            else if peek (i + 1) = '=' then go (i + 2) (Assign :: acc)
+            else raise (Lex_error "unexpected ':'")
+        | '.' ->
+            if peek (i + 1) = '.' then go (i + 2) (Dotdot :: acc)
+            else if is_digit (peek (i + 1)) then number i acc
+            else go (i + 1) (Dot :: acc)
+        | '{' -> go (i + 1) (Lbrace :: acc)
+        | '}' -> go (i + 1) (Rbrace :: acc)
+        | '"' | '\'' -> literal c (i + 1) (i + 1) acc
+        | '$' ->
+            if is_name_start (peek (i + 1)) then begin
+              let j = name_end (i + 1) in
+              go j (Variable (String.sub src (i + 1) (j - i - 1)) :: acc)
+            end
+            else raise (Lex_error "'$' must be followed by a name")
+        | c when is_digit c -> number i acc
+        | c when is_name_start c ->
+            let j = name_end i in
+            go j (Name (String.sub src i (j - i)) :: acc)
+        | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c))
+  and name_end i =
+    (* A ':' is part of the name (QName) only when followed by exactly one
+       name character — never when it starts the '::' axis separator. *)
+    let rec go i =
+      if i >= n || not (is_name_char src.[i]) then i
+      else if src.[i] = ':' then
+        if peek (i + 1) <> ':' && is_name_start (peek (i + 1)) then go (i + 2)
+        else i
+      else go (i + 1)
+    in
+    go i
+  and number i acc =
+    let j = ref i in
+    while !j < n && is_digit (peek !j) do incr j done;
+    if peek !j = '.' && is_digit (peek (!j + 1)) then begin
+      incr j;
+      while !j < n && is_digit (peek !j) do incr j done
+    end;
+    let s = String.sub src i (!j - i) in
+    match float_of_string_opt s with
+    | Some f -> go !j (Number f :: acc)
+    | None -> raise (Lex_error (Printf.sprintf "bad number %S" s))
+  and literal quote start i acc =
+    if i >= n then raise (Lex_error "unterminated string literal")
+    else if src.[i] = quote then
+      go (i + 1) (Literal (String.sub src start (i - start)) :: acc)
+    else literal quote start (i + 1) acc
+  in
+  try go 0 [] with Lex_error msg -> Error msg

@@ -1,0 +1,39 @@
+(** Tokeniser for the query language. Operator-vs-name disambiguation
+    ([and], [or], [div], [mod], [*]) is left to the parser, which knows
+    whether an operator or an operand is expected. *)
+
+type token =
+  | Name of string  (** includes axis names and operator keywords *)
+  | Number of float
+  | Literal of string
+  | Variable of string  (** [$name] *)
+  | Slash
+  | Double_slash
+  | Lbracket
+  | Rbracket
+  | Lbrace  (** [{] — constructor bodies *)
+  | Rbrace
+  | Lparen
+  | Rparen
+  | At
+  | Dot
+  | Dotdot
+  | Axis_sep  (** [::] *)
+  | Assign  (** [:=] *)
+  | Comma
+  | Pipe
+  | Plus
+  | Minus
+  | Star
+  | Equal
+  | Not_equal
+  | Less
+  | Less_equal
+  | Greater
+  | Greater_equal
+  | Eof
+
+val token_to_string : token -> string
+
+(** [tokenize s] is the token stream of [s], ending with [Eof]. *)
+val tokenize : string -> (token list, string) result

@@ -1,0 +1,346 @@
+exception Parse_error of string
+
+type stream = { mutable toks : Lexer.token list }
+
+let peek st = match st.toks with [] -> Lexer.Eof | t :: _ -> t
+
+let peek2 st = match st.toks with _ :: t :: _ -> t | _ -> Lexer.Eof
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let expect st tok =
+  if peek st = tok then advance st
+  else fail "expected %s, found %s" (Lexer.token_to_string tok) (Lexer.token_to_string (peek st))
+
+let axis_of_name = function
+  | "child" -> Ast.Child
+  | "descendant" -> Ast.Descendant
+  | "descendant-or-self" -> Ast.Descendant_or_self
+  | "self" -> Ast.Self
+  | "parent" -> Ast.Parent
+  | "ancestor" -> Ast.Ancestor
+  | "ancestor-or-self" -> Ast.Ancestor_or_self
+  | "following-sibling" -> Ast.Following_sibling
+  | "preceding-sibling" -> Ast.Preceding_sibling
+  | "attribute" -> Ast.Attribute
+  | a -> fail "unsupported axis %s" a
+
+(* Tokens that may start a location-path step. *)
+let starts_step = function
+  | Lexer.Name _ | Lexer.Star | Lexer.At | Lexer.Dot | Lexer.Dotdot -> true
+  | _ -> false
+
+let rec parse_expr st : Ast.expr =
+  match peek st, peek2 st with
+  | Lexer.Name ("some" | "every"), Lexer.Variable _ -> parse_quantified st
+  | Lexer.Name "for", Lexer.Variable _ -> parse_for st
+  | Lexer.Name "let", Lexer.Variable _ -> parse_let st
+  | Lexer.Name "if", Lexer.Lparen -> parse_if st
+  | _ -> parse_or st
+
+and parse_for st =
+  advance st;
+  let var =
+    match peek st with
+    | Lexer.Variable v -> advance st; v
+    | t -> fail "expected $variable, found %s" (Lexer.token_to_string t)
+  in
+  expect st (Lexer.Name "in");
+  let domain = parse_or st in
+  let where =
+    match peek st with
+    | Lexer.Name "where" ->
+        advance st;
+        Some (parse_or st)
+    | _ -> None
+  in
+  expect st (Lexer.Name "return");
+  let body = parse_expr st in
+  Ast.For (var, domain, where, body)
+
+and parse_let st =
+  advance st;
+  let var =
+    match peek st with
+    | Lexer.Variable v -> advance st; v
+    | t -> fail "expected $variable, found %s" (Lexer.token_to_string t)
+  in
+  expect st Lexer.Assign;
+  let value = parse_expr st in
+  expect st (Lexer.Name "return");
+  let body = parse_expr st in
+  Ast.Let (var, value, body)
+
+and parse_if st =
+  advance st;
+  expect st Lexer.Lparen;
+  let cond = parse_expr st in
+  expect st Lexer.Rparen;
+  expect st (Lexer.Name "then");
+  let then_ = parse_expr st in
+  expect st (Lexer.Name "else");
+  let else_ = parse_expr st in
+  Ast.If (cond, then_, else_)
+
+and parse_quantified st =
+  let quant =
+    match peek st with
+    | Lexer.Name "some" -> Ast.Some_q
+    | Lexer.Name "every" -> Ast.Every_q
+    | t -> fail "expected quantifier, found %s" (Lexer.token_to_string t)
+  in
+  advance st;
+  let var =
+    match peek st with
+    | Lexer.Variable v -> advance st; v
+    | t -> fail "expected $variable, found %s" (Lexer.token_to_string t)
+  in
+  expect st (Lexer.Name "in");
+  let domain = parse_or st in
+  expect st (Lexer.Name "satisfies");
+  let condition = parse_expr st in
+  Ast.Quantified (quant, var, domain, condition)
+
+and parse_or st =
+  let left = parse_and st in
+  match peek st with
+  | Lexer.Name "or" ->
+      advance st;
+      Ast.Binop (Ast.Or, left, parse_or st)
+  | _ -> left
+
+and parse_and st =
+  let left = parse_equality st in
+  match peek st with
+  | Lexer.Name "and" ->
+      advance st;
+      Ast.Binop (Ast.And, left, parse_and st)
+  | _ -> left
+
+and parse_equality st =
+  let rec go left =
+    match peek st with
+    | Lexer.Equal -> advance st; go (Ast.Binop (Ast.Eq, left, parse_relational st))
+    | Lexer.Not_equal -> advance st; go (Ast.Binop (Ast.Neq, left, parse_relational st))
+    | _ -> left
+  in
+  go (parse_relational st)
+
+and parse_relational st =
+  let rec go left =
+    match peek st with
+    | Lexer.Less -> advance st; go (Ast.Binop (Ast.Lt, left, parse_additive st))
+    | Lexer.Less_equal -> advance st; go (Ast.Binop (Ast.Le, left, parse_additive st))
+    | Lexer.Greater -> advance st; go (Ast.Binop (Ast.Gt, left, parse_additive st))
+    | Lexer.Greater_equal -> advance st; go (Ast.Binop (Ast.Ge, left, parse_additive st))
+    | _ -> left
+  in
+  go (parse_additive st)
+
+and parse_additive st =
+  let rec go left =
+    match peek st with
+    | Lexer.Plus -> advance st; go (Ast.Binop (Ast.Add, left, parse_multiplicative st))
+    | Lexer.Minus -> advance st; go (Ast.Binop (Ast.Sub, left, parse_multiplicative st))
+    | _ -> left
+  in
+  go (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec go left =
+    match peek st with
+    | Lexer.Star -> advance st; go (Ast.Binop (Ast.Mul, left, parse_union st))
+    | Lexer.Name "div" -> advance st; go (Ast.Binop (Ast.Div, left, parse_union st))
+    | Lexer.Name "mod" -> advance st; go (Ast.Binop (Ast.Mod, left, parse_union st))
+    | _ -> left
+  in
+  go (parse_union st)
+
+and parse_union st =
+  let rec go left =
+    match peek st with
+    | Lexer.Pipe -> advance st; go (Ast.Union (left, parse_unary st))
+    | _ -> left
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Lexer.Minus ->
+      advance st;
+      Ast.Neg (parse_unary st)
+  | _ -> parse_path_expr st
+
+and parse_path_expr st =
+  match peek st, peek2 st with
+  | Lexer.Name "element", Lexer.Name _ -> with_continuation st (parse_element_ctor st)
+  | Lexer.Name "text", Lexer.Lbrace ->
+      advance st;
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.Rbrace;
+      with_continuation st (Ast.Text_ctor e)
+  | (Lexer.Slash | Lexer.Double_slash), _ -> parse_location_path st
+  | (Lexer.Lparen | Lexer.Literal _ | Lexer.Number _ | Lexer.Variable _), _ ->
+      parse_filter st
+  | Lexer.Name n, Lexer.Lparen when n <> "text" && n <> "node" -> parse_filter st
+  | t, _ when starts_step t -> parse_location_path st
+  | t, _ -> fail "unexpected token %s" (Lexer.token_to_string t)
+
+(* Constructors are primary expressions: they accept predicates and path
+   continuations like any other filter expression. *)
+and with_continuation st primary =
+  let predicates = parse_predicates st in
+  let continuation = parse_path_continuation st in
+  match predicates, continuation with
+  | [], [] -> primary
+  | _ -> Ast.Filter (primary, predicates, continuation)
+
+and parse_element_ctor st =
+  advance st;
+  let name =
+    match peek st with
+    | Lexer.Name n -> advance st; n
+    | t -> fail "expected element name, found %s" (Lexer.token_to_string t)
+  in
+  expect st Lexer.Lbrace;
+  if peek st = Lexer.Rbrace then begin
+    advance st;
+    Ast.Element_ctor (name, [])
+  end
+  else begin
+    let rec contents acc =
+      let e = parse_expr st in
+      match peek st with
+      | Lexer.Comma -> advance st; contents (e :: acc)
+      | Lexer.Rbrace -> advance st; List.rev (e :: acc)
+      | t -> fail "expected ',' or '}', found %s" (Lexer.token_to_string t)
+    in
+    Ast.Element_ctor (name, contents [])
+  end
+
+and parse_filter st =
+  let primary =
+    match peek st with
+    | Lexer.Lparen ->
+        advance st;
+        let e = parse_expr st in
+        expect st Lexer.Rparen;
+        e
+    | Lexer.Literal s -> advance st; Ast.Literal s
+    | Lexer.Number f -> advance st; Ast.Number f
+    | Lexer.Variable v -> advance st; Ast.Var v
+    | Lexer.Name f when peek2 st = Lexer.Lparen ->
+        advance st;
+        advance st;
+        let rec args acc =
+          if peek st = Lexer.Rparen then begin advance st; List.rev acc end
+          else
+            let a = parse_expr st in
+            match peek st with
+            | Lexer.Comma -> advance st; args (a :: acc)
+            | Lexer.Rparen -> advance st; List.rev (a :: acc)
+            | t -> fail "expected ',' or ')', found %s" (Lexer.token_to_string t)
+        in
+        Ast.Call (f, args [])
+    | t -> fail "unexpected token %s" (Lexer.token_to_string t)
+  in
+  let predicates = parse_predicates st in
+  let continuation = parse_path_continuation st in
+  match predicates, continuation with
+  | [], [] -> primary
+  | _ -> Ast.Filter (primary, predicates, continuation)
+
+and parse_path_continuation st =
+  match peek st with
+  | Lexer.Slash when starts_step (peek2 st) ->
+      advance st;
+      let s = parse_step st in
+      (false, s) :: parse_path_continuation st
+  | Lexer.Double_slash when starts_step (peek2 st) ->
+      advance st;
+      let s = parse_step st in
+      (true, s) :: parse_path_continuation st
+  | _ -> []
+
+and parse_location_path st =
+  match peek st with
+  | Lexer.Slash ->
+      advance st;
+      if starts_step (peek st) then
+        let s = parse_step st in
+        Ast.Path { absolute = true; steps = (false, s) :: parse_path_continuation st }
+      else Ast.Path { absolute = true; steps = [] }
+  | Lexer.Double_slash ->
+      advance st;
+      let s = parse_step st in
+      Ast.Path { absolute = true; steps = (true, s) :: parse_path_continuation st }
+  | _ ->
+      let s = parse_step st in
+      Ast.Path { absolute = false; steps = (false, s) :: parse_path_continuation st }
+
+and parse_predicates st =
+  match peek st with
+  | Lexer.Lbracket ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.Rbracket;
+      e :: parse_predicates st
+  | _ -> []
+
+and parse_step st : Ast.step =
+  match peek st with
+  | Lexer.Dot ->
+      advance st;
+      { Ast.axis = Ast.Self; test = Ast.Any_node; predicates = parse_predicates st }
+  | Lexer.Dotdot ->
+      advance st;
+      { Ast.axis = Ast.Parent; test = Ast.Any_node; predicates = parse_predicates st }
+  | Lexer.At ->
+      advance st;
+      let test = parse_node_test st in
+      { Ast.axis = Ast.Attribute; test; predicates = parse_predicates st }
+  | Lexer.Name a when peek2 st = Lexer.Axis_sep ->
+      advance st;
+      advance st;
+      let axis = axis_of_name a in
+      let test = parse_node_test st in
+      { Ast.axis; test; predicates = parse_predicates st }
+  | _ ->
+      let test = parse_node_test st in
+      { Ast.axis = Ast.Child; test; predicates = parse_predicates st }
+
+and parse_node_test st : Ast.node_test =
+  match peek st with
+  | Lexer.Star -> advance st; Ast.Wildcard
+  | Lexer.Name "text" when peek2 st = Lexer.Lparen ->
+      advance st;
+      advance st;
+      expect st Lexer.Rparen;
+      Ast.Text_node
+  | Lexer.Name "node" when peek2 st = Lexer.Lparen ->
+      advance st;
+      advance st;
+      expect st Lexer.Rparen;
+      Ast.Any_node
+  | Lexer.Name n -> advance st; Ast.Name n
+  | t -> fail "expected a node test, found %s" (Lexer.token_to_string t)
+
+let parse src =
+  match Lexer.tokenize src with
+  | Error e -> Error e
+  | Ok toks -> (
+      let st = { toks } in
+      try
+        let e = parse_expr st in
+        match peek st with
+        | Lexer.Eof -> Ok e
+        | t -> Error (Printf.sprintf "trailing tokens starting at %s" (Lexer.token_to_string t))
+      with Parse_error msg -> Error msg)
+
+let parse_exn src =
+  match parse src with
+  | Ok e -> e
+  | Error msg -> failwith (Printf.sprintf "query parse error: %s (in %S)" msg src)

@@ -1,0 +1,30 @@
+(** Recursive-descent parser for the query language.
+
+    Grammar (after XPath 1.0, plus XQuery quantified expressions):
+    {v
+    Expr        ::= QuantExpr | OrExpr
+    QuantExpr   ::= ("some" | "every") "$" Name "in" Expr "satisfies" Expr
+    OrExpr      ::= AndExpr ("or" AndExpr)*
+    AndExpr     ::= EqExpr ("and" EqExpr)*
+    EqExpr      ::= RelExpr (("=" | "!=") RelExpr)*
+    RelExpr     ::= AddExpr (("<" | "<=" | ">" | ">=") AddExpr)*
+    AddExpr     ::= MulExpr (("+" | "-") MulExpr)*
+    MulExpr     ::= UnionExpr (("*" | "div" | "mod") UnionExpr)*
+    UnionExpr   ::= UnaryExpr ("|" UnaryExpr)*
+    UnaryExpr   ::= "-"* PathExpr
+    PathExpr    ::= LocationPath
+                  | FilterExpr (("/" | "//") RelPath)?
+    FilterExpr  ::= Primary Predicate*
+    Primary     ::= "(" Expr ")" | Literal | Number | Variable | Call
+    LocationPath::= ("/" | "//")? RelPath | "/"
+    RelPath     ::= Step (("/" | "//") Step)*
+    Step        ::= "." | ".." | (AxisName "::" | "@")? NodeTest Predicate*
+    NodeTest    ::= "*" | Name | "text" "(" ")" | "node" "(" ")"
+    v}
+
+    Operator keywords ([and], [or], [div], [mod]) and [*] are disambiguated
+    by parse position, as the XPath specification prescribes. *)
+
+val parse : string -> (Ast.expr, string) result
+
+val parse_exn : string -> Ast.expr

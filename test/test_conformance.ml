@@ -1,0 +1,194 @@
+(* A conformance-style battery for the query engine: coercion corner cases,
+   string-function edges, axis interactions, numeric formatting — the cases
+   that distinguish an XPath implementation from a toy. Plus parser
+   robustness under mutation fuzzing. *)
+
+module Eval = Imprecise.Xpath.Eval
+module Parser = Imprecise.Xpath.Parser
+module Prng = Imprecise.Data.Prng
+
+let check = Alcotest.check
+
+let doc =
+  Imprecise.parse_xml_exn
+    {|<root version="2">
+        <nums><n>1</n><n>2</n><n>03</n><n>-4</n><n> 5 </n><n>x</n></nums>
+        <strs><s>alpha</s><s></s><s>  spaced  </s><s>UPPER</s></strs>
+        <dup><v>7</v><v>7</v></dup>
+        <deep><a><b><c>leaf</c></b></a></deep>
+      </root>|}
+
+let n q expected () = check (Alcotest.float 1e-9) q expected (Eval.eval_number doc q)
+
+let s q expected () = check Alcotest.string q expected (Eval.eval_string doc q)
+
+let b q expected () = check Alcotest.bool q expected (Eval.eval_bool doc q)
+
+let nan q () = check Alcotest.bool q true (Float.is_nan (Eval.eval_number doc q))
+
+let cases =
+  [
+    (* -- number coercion -- *)
+    ("leading zeros parse", n "//nums/n[3] + 0" 3.);
+    ("negative numbers", n "//nums/n[4] + 0" (-4.));
+    ("whitespace-trimmed numbers", n "//nums/n[5] + 0" 5.);
+    ("non-numeric text is NaN", nan "number(//nums/n[6])");
+    ("NaN is not equal to itself", b "number('x') = number('x')" false);
+    ("NaN != itself is true", b "number('x') != number('x')" true);
+    ("NaN comparisons are false", b "number('x') < 1 or number('x') > 1" false);
+    ("boolean of NaN is false", b "boolean(number('x'))" false);
+    ("number of true", n "number(true())" 1.);
+    ("number of empty node-set", nan "number(//missing)");
+    ("sum skips nothing (NaN poisons)", nan "sum(//nums/n)");
+    ("sum over clean numbers", n "sum(//dup/v)" 14.);
+    ("div by zero is infinity", b "1 div 0 > 1000000" true);
+    ("negative div by zero", b "-1 div 0 < -1000000" true);
+    ("0 div 0 is NaN", nan "0 div 0");
+    ("mod sign follows dividend", n "-7 mod 3" (-1.));
+    ("float mod", n "5.5 mod 2" 1.5);
+    (* -- string coercion and formatting -- *)
+    ("integer formatting has no decimal point", s "string(4)" "4");
+    ("negative zero", s "string(0 - 0)" "0");
+    ("string of boolean", s "string(1 = 1)" "true");
+    ("string of node-set takes the first node", s "string(//strs/s)" "alpha");
+    ("string of empty node-set", s "string(//missing)" "");
+    ("string-length of context node", n "string-length(string(//deep))" 4.);
+    (* -- string functions -- *)
+    ("substring with NaN start", s "substring('abc', number('x'))" "");
+    ("substring rounds per spec", s "substring('12345', 1.5, 2.6)" "234");
+    ("substring negative start clamps", s "substring('abc', -1, 3)" "a");
+    ("substring-before missing needle", s "substring-before('abc', 'z')" "");
+    ("substring-after self", s "substring-after('abc', 'abc')" "");
+    ("contains is case-sensitive", b "contains('UPPER', 'upper')" false);
+    ("translate shrinking map deletes", s "translate('banana', 'an', 'N')" "bNNN");
+    ("normalize-space of element", s "normalize-space(//strs/s[3])" "spaced");
+    ("concat coerces", s "concat(1 + 1, '-', true())" "2-true");
+    ("string-join on empty set", s "string-join(//missing, ',')" "");
+    (* -- boolean semantics -- *)
+    ("empty string is false", b "boolean(//strs/s[2])" true);
+    (* node-set with one (empty) node is TRUE: existence, not content *)
+    ("empty-text node exists", b "boolean(//strs/s[2]) and not(boolean(string(//strs/s[2])))" true);
+    ("and short-circuit result", b "false() and (1 div 0 = 0)" false);
+    (* -- node-set comparisons -- *)
+    ("duplicate values compare once", b "//dup/v = 7" true);
+    ("set != same-valued set is false here", b "//dup/v != //dup/v" false);
+    ("set vs set existential", b "//nums/n = //dup/v" false);
+    ("set less-than picks any witness", b "//nums/n < 0" true);
+    ("attribute compares numerically", b "//root/@version + 1 = 3" true);
+    ("attribute compares as string", b "/root/@version = '2'" true);
+    (* -- axes interactions -- *)
+    ("descendant of self", n "count(//deep/descendant::*)" 3.);
+    ("descendant-or-self count", n "count(//deep/descendant-or-self::*)" 4.);
+    ("parent of root element is not an element", n "count(/root/parent::*)" 0.);
+    ("parent of root is the document node", n "count(/root/..)" 1.);
+    ("chained parents", s "string(//c/../../../a/b/c)" "leaf");
+    ("attribute axis has no children", n "count(//root/@version/node())" 0.);
+    ("self on attribute", n "count(//root/@version/.)" 1.);
+    ("union with attributes", n "count(//root/@version | //deep)" 2.);
+    (* -- predicates -- *)
+    ("predicate on empty set", n "count(//missing[1])" 0.);
+    ("numeric predicate out of range", n "count(//nums/n[99])" 0.);
+    ("predicate chaining preserves positions", s "string(//nums/n[position() > 1][2])" "03");
+    ("last() in arithmetic", s "string(//nums/n[last() - 1])" " 5 ");
+    ("boolean predicate over attribute", n "count(//root[@version])" 1.);
+    ("negated attribute predicate", n "count(//root[not(@missing)])" 1.);
+  ]
+
+(* ---- FLWOR and constructor edges ------------------------------------------- *)
+
+let flwor_cases =
+  [
+    ("for over empty domain", n "count(for $x in //missing return $x)" 0.);
+    ("nested for (cross product)", n "count(for $a in //dup/v return (for $b in //dup/v return concat($a, $b)))" 4.);
+    ("for body producing atomics becomes text nodes", s
+       "string-join(for $v in //dup/v return concat($v, '!'), '-')" "7!-7!");
+    ("let shadows outer binding", n "let $x := 1 return (let $x := 2 return $x)" 2.);
+    ("if with node-set condition", s "if (//dup) then 'yes' else 'no'" "yes");
+    ("constructor inside predicate context", n "count(element w { //dup/v })" 1.);
+    ("constructed element has copied children", n "count(element w { //dup/v }/v)" 2.);
+    ("constructed text node", s "string(text { 40 + 2 })" "42");
+    ("empty constructor", n "count(element empty { }/node())" 0.);
+    ("quantifier over constructed set", b
+       "some $x in (for $v in //dup/v return $v) satisfies $x = 7" true);
+  ]
+
+let flwor_errors =
+  [ "for $x in 1 return $x"; "for x in //a return x"; "let $x = 1 return $x";
+    "if //a then 1 else 2"; "if (//a) then 1"; "element { 'x' }" ]
+
+let test_flwor_errors () =
+  List.iter
+    (fun q ->
+      match Parser.parse q with
+      | Ok ast -> (
+          (* a few of these parse but must fail in evaluation *)
+          match Eval.eval doc ast with
+          | exception Eval.Eval_error _ -> ()
+          | _ -> Alcotest.failf "%S accepted and evaluated" q)
+      | Error _ -> ())
+    flwor_errors
+
+(* ---- parser robustness: mutation fuzzing ---------------------------------- *)
+
+let valid_queries =
+  [|
+    "//movie[.//genre=\"Horror\"]/title";
+    "for $m in //movie where $m/year > 1976 return element e { $m/title }";
+    "some $d in .//director satisfies contains($d, 'John')";
+    "count(//a[b='c'][2]) + sum(//n) div 2";
+    "/a/b/../c/@d | //e[last()]";
+  |]
+
+let mutate rng s =
+  let n = String.length s in
+  if n = 0 then (s, rng)
+  else begin
+    let i, rng = Prng.int rng n in
+    let op, rng = Prng.int rng 3 in
+    let s' =
+      match op with
+      | 0 -> String.sub s 0 i ^ String.sub s (min n (i + 1)) (n - min n (i + 1)) (* delete *)
+      | 1 ->
+          let c, _ = Prng.pick rng [ "["; "]"; "("; ")"; "$"; "/"; "'"; "{"; "@" ] in
+          String.sub s 0 i ^ c ^ String.sub s i (n - i) (* insert *)
+      | _ -> String.sub s 0 i ^ "\x01" ^ String.sub s (min n (i + 1)) (n - min n (i + 1))
+    in
+    (s', rng)
+  end
+
+let prop_parser_total_under_mutation =
+  QCheck.Test.make ~name:"query parser is total under mutation" ~count:500 QCheck.int
+    (fun seed ->
+      let rng = Prng.make seed in
+      let q, rng = Prng.pick rng (Array.to_list valid_queries) in
+      let rounds, rng = Prng.int rng 4 in
+      let rec go k q rng = if k = 0 then q else let q, rng = mutate rng q in go (k - 1) q rng in
+      let q = go (rounds + 1) q rng in
+      match Parser.parse q with Ok _ | Error _ -> true)
+
+let prop_eval_total_on_parse_success =
+  (* whatever parses either evaluates or raises Eval_error — never anything
+     else *)
+  QCheck.Test.make ~name:"evaluator is total on parsed queries" ~count:300 QCheck.int
+    (fun seed ->
+      let rng = Prng.make seed in
+      let q, rng = Prng.pick rng (Array.to_list valid_queries) in
+      let q, _ = mutate rng q in
+      match Parser.parse q with
+      | Error _ -> true
+      | Ok expr -> (
+          match Eval.eval doc expr with
+          | _ -> true
+          | exception Eval.Eval_error _ -> true))
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  let qc p = QCheck_alcotest.to_alcotest p in
+  [
+    ("xpath.conformance", List.map (fun (name, f) -> t name f) cases);
+    ( "xpath.flwor-edges",
+      List.map (fun (name, f) -> t name f) flwor_cases
+      @ [ t "malformed FLWOR rejected" test_flwor_errors ] );
+    ( "xpath.fuzz",
+      [ qc prop_parser_total_under_mutation; qc prop_eval_total_on_parse_success ] );
+  ]

@@ -1,0 +1,224 @@
+(* Tests for the workload substrate: PRNG determinism, movie rendering
+   conventions, and the structural guarantees the experiments rely on. *)
+
+module Prng = Imprecise.Data.Prng
+module Movie = Imprecise.Data.Movie
+module Workloads = Imprecise.Data.Workloads
+module Addressbook = Imprecise.Data.Addressbook
+module Tree = Imprecise.Tree
+module Dtd = Imprecise.Dtd
+module Similarity = Imprecise.Similarity
+
+let check = Alcotest.check
+
+(* ---- prng ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let seq seed = List.init 10 (fun i -> fst (Prng.int (Prng.make (seed + i)) 1000)) in
+  check Alcotest.(list int) "same seed, same stream" (seq 42) (seq 42);
+  check Alcotest.bool "different seeds differ" true (seq 42 <> seq 43)
+
+let test_prng_bounds () =
+  let rng = ref (Prng.make 7) in
+  for _ = 1 to 1000 do
+    let v, r = Prng.int !rng 17 in
+    rng := r;
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done;
+  let f, _ = Prng.float (Prng.make 3) in
+  check Alcotest.bool "float in [0,1)" true (f >= 0. && f < 1.)
+
+let test_prng_split_independent () =
+  let a, b = Prng.split (Prng.make 99) in
+  let va, _ = Prng.int a 1_000_000 and vb, _ = Prng.int b 1_000_000 in
+  check Alcotest.bool "split streams differ" true (va <> vb)
+
+let test_prng_shuffle_permutes () =
+  let xs = List.init 20 (fun i -> i) in
+  let ys, _ = Prng.shuffle (Prng.make 5) xs in
+  check Alcotest.(list int) "same multiset" xs (List.sort compare ys);
+  check Alcotest.bool "actually shuffled" true (xs <> ys)
+
+let test_prng_pick () =
+  let v, _ = Prng.pick (Prng.make 1) [ "only" ] in
+  check Alcotest.string "singleton" "only" v;
+  match Prng.pick (Prng.make 1) [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty pick accepted"
+
+(* ---- movie rendering --------------------------------------------------------- *)
+
+let sample =
+  {
+    Movie.rwo = "x";
+    title = "Die Hard";
+    year = 1988;
+    genres = [ "Action"; "Thriller" ];
+    directors = [ "John McTiernan" ];
+  }
+
+let test_flip_name () =
+  check Alcotest.string "flip" "McTiernan, John" (Movie.flip_name "John McTiernan");
+  check Alcotest.string "multi first names" "Palma, Brian De" (Movie.flip_name "Brian De Palma");
+  check Alcotest.string "mononym unchanged" "Cher" (Movie.flip_name "Cher")
+
+let test_render_conventions () =
+  let mpeg7 = Movie.render Movie.Mpeg7 sample and imdb = Movie.render Movie.Imdb sample in
+  check Alcotest.(option string) "mpeg7 director" (Some "John McTiernan")
+    (Tree.field mpeg7 "director");
+  check Alcotest.(option string) "imdb director" (Some "McTiernan, John")
+    (Tree.field imdb "director");
+  check Alcotest.bool "never deep-equal across conventions" false
+    (Tree.deep_equal mpeg7 imdb);
+  check Alcotest.(option string) "title same" (Tree.field mpeg7 "title")
+    (Tree.field imdb "title");
+  check Alcotest.int "two genres" 2 (List.length (Tree.find_children mpeg7 "genre"))
+
+let test_render_no_rwo_leak () =
+  let t = Movie.render Movie.Imdb sample in
+  let s = Imprecise.Xml.Printer.to_string t in
+  check Alcotest.bool "rwo id not rendered" false (Astring_contains.contains s "\"x\"")
+
+let test_collection_valid_against_dtd () =
+  let doc = Movie.collection Movie.Mpeg7 [ sample; sample ] in
+  check Alcotest.bool "movie dtd holds" true (Result.is_ok (Dtd.validate Movie.dtd doc))
+
+(* ---- workloads ----------------------------------------------------------------- *)
+
+let test_confusing_structure () =
+  let wl = Workloads.confusing () in
+  check Alcotest.int "6 mpeg7 movies" 6 (List.length wl.mpeg7);
+  check Alcotest.int "6 imdb movies" 6 (List.length wl.imdb);
+  let pairs = Workloads.coref_pairs wl in
+  check Alcotest.int "exactly 3 co-referent pairs (one per franchise)" 3 (List.length pairs);
+  (* one co-ref per franchise *)
+  let franchise (m : Movie.t) =
+    if Astring_contains.contains m.title "Jaws" then "jaws"
+    else if Astring_contains.contains m.title "Die Hard" then "diehard"
+    else "mi"
+  in
+  check
+    Alcotest.(list string)
+    "one per franchise" [ "diehard"; "jaws"; "mi" ]
+    (List.sort String.compare (List.map (fun (m, _) -> franchise m) pairs))
+
+let test_confusing_sequel_similarity () =
+  (* Every MPEG-7 movie has a title-rule candidate on the IMDB side, and
+     most have a candidate that is NOT their own co-referent entry — that
+     is what makes the workload confusing. *)
+  let wl = Workloads.confusing () in
+  let candidates coref_ok (m : Movie.t) =
+    List.exists
+      (fun (i : Movie.t) ->
+        (coref_ok || i.rwo <> m.rwo)
+        && Similarity.title_similarity m.title i.title >= Imprecise.Rulesets.title_threshold)
+      wl.imdb
+  in
+  List.iter
+    (fun (m : Movie.t) ->
+      check Alcotest.bool (m.title ^ " has a candidate") true (candidates true m))
+    wl.mpeg7;
+  let with_confuser = List.filter (candidates false) wl.mpeg7 in
+  check Alcotest.bool "most movies have a non-co-ref confuser" true
+    (List.length with_confuser >= 4)
+
+let test_figure5_growth () =
+  let wl12 = Workloads.figure5 ~n_imdb:12 and wl60 = Workloads.figure5 ~n_imdb:60 in
+  check Alcotest.int "12 imdb" 12 (List.length wl12.imdb);
+  check Alcotest.int "60 imdb" 60 (List.length wl60.imdb);
+  (* prefix-stable: growing the workload only appends *)
+  List.iter2
+    (fun (a : Movie.t) (b : Movie.t) -> check Alcotest.string "prefix stable" a.rwo b.rwo)
+    wl12.imdb
+    (List.filteri (fun i _ -> i < 12) wl60.imdb);
+  (* distinct rwo ids *)
+  let ids = List.map (fun (m : Movie.t) -> m.Movie.rwo) wl60.imdb in
+  check Alcotest.int "no duplicate ids" (List.length ids)
+    (List.length (List.sort_uniq String.compare ids))
+
+let test_figure5_franchise_mix () =
+  let wl = Workloads.figure5 ~n_imdb:30 in
+  let count needle =
+    List.length
+      (List.filter (fun (m : Movie.t) -> Astring_contains.contains m.title needle) wl.imdb)
+  in
+  check Alcotest.bool "jaws confusers" true (count "Jaws" >= 8);
+  check Alcotest.bool "die hard confusers" true (count "Die Hard" >= 8);
+  check Alcotest.bool "mi confusers" true (count "Mission" >= 8);
+  let docs =
+    List.filter (fun (m : Movie.t) -> m.Movie.genres = [ "Documentary" ]) wl.imdb
+  in
+  check Alcotest.bool "some documentaries" true (List.length docs >= 3)
+
+let test_typical_structure () =
+  let wl = Workloads.typical () in
+  check Alcotest.int "60 imdb" 60 (List.length wl.imdb);
+  check Alcotest.int "2 co-referent pairs" 2 (List.length (Workloads.coref_pairs wl));
+  (* co-refs agree on title and year but are never deep-equal as XML *)
+  List.iter
+    (fun ((m : Movie.t), (i : Movie.t)) ->
+      check Alcotest.string "same title" m.title i.title;
+      check Alcotest.int "same year" m.year i.year;
+      check Alcotest.bool "not deep-equal" false
+        (Tree.deep_equal (Movie.render Movie.Mpeg7 m) (Movie.render Movie.Imdb i)))
+    (Workloads.coref_pairs wl);
+  (* filler titles never confusable with the mpeg7 movies *)
+  let corefs = List.map (fun ((_ : Movie.t), i) -> i) (Workloads.coref_pairs wl) in
+  List.iter
+    (fun (m : Movie.t) ->
+      List.iter
+        (fun (i : Movie.t) ->
+          if not (List.memq i corefs) then
+            check Alcotest.bool
+              (Printf.sprintf "%s vs %s below threshold" m.title i.title)
+              true
+              (Similarity.title_similarity m.title i.title < Imprecise.Rulesets.title_threshold))
+        wl.imdb)
+    wl.mpeg7
+
+let test_titles_with_genre () =
+  let wl = Workloads.confusing () in
+  check
+    Alcotest.(list string)
+    "horror ground truth" [ "Jaws"; "Jaws 2" ]
+    (Workloads.titles_with_genre wl "Horror")
+
+(* ---- addressbook ----------------------------------------------------------------- *)
+
+let test_addressbook_larger () =
+  let a, b = Addressbook.larger 30 11 in
+  check Alcotest.int "30 persons in a" 30 (List.length (Tree.children a));
+  check Alcotest.bool "b differs in size" true (List.length (Tree.children b) <> 30);
+  (* deterministic *)
+  let a', _ = Addressbook.larger 30 11 in
+  check Alcotest.bool "deterministic" true (Tree.deep_equal a a')
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "data.prng",
+      [
+        t "deterministic" test_prng_deterministic;
+        t "bounds" test_prng_bounds;
+        t "split independence" test_prng_split_independent;
+        t "shuffle permutes" test_prng_shuffle_permutes;
+        t "pick" test_prng_pick;
+      ] );
+    ( "data.movie",
+      [
+        t "flip_name" test_flip_name;
+        t "rendering conventions differ" test_render_conventions;
+        t "rwo ids never rendered" test_render_no_rwo_leak;
+        t "collections validate against the movie DTD" test_collection_valid_against_dtd;
+      ] );
+    ( "data.workloads",
+      [
+        t "confusing 6v6 structure" test_confusing_structure;
+        t "confusing titles are confusable" test_confusing_sequel_similarity;
+        t "figure-5 growth and prefix stability" test_figure5_growth;
+        t "figure-5 franchise mix" test_figure5_franchise_mix;
+        t "typical structure" test_typical_structure;
+        t "genre ground truth" test_titles_with_genre;
+      ] );
+    ("data.addressbook", [ t "larger generator" test_addressbook_larger ]);
+  ]

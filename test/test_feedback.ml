@@ -1,0 +1,187 @@
+(* Tests for the user-feedback loop: conditioning the probabilistic document
+   on answer correctness is Bayes on the world distribution, and iterated
+   feedback drives the document to certainty. *)
+
+module Feedback = Imprecise.Feedback
+module Worlds = Imprecise.Worlds
+module Pxml = Imprecise.Pxml
+module Tree = Imprecise.Tree
+module Oracle = Imprecise.Oracle
+module Integrate = Imprecise.Integrate
+module Addressbook = Imprecise.Data.Addressbook
+module Prng = Imprecise.Data.Prng
+module Random_docs = Imprecise.Data.Random_docs
+
+let check = Alcotest.check
+
+let fig2 =
+  let cfg =
+    Integrate.config ~oracle:(Oracle.make [ Oracle.deep_equal_rule ]) ~dtd:Addressbook.dtd ()
+  in
+  Result.get_ok (Integrate.integrate cfg Addressbook.source_a Addressbook.source_b)
+
+let get = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "feedback failed: %a" Feedback.pp_error e
+
+let test_confirm_phone () =
+  (* The user confirms John's number is 1111: the 2222-only world dies; the
+     two remaining worlds renormalise to 2/3 and 1/3. *)
+  let doc = get (Feedback.assert_answer fig2 ~query:"//person/tel" ~value:"1111" ~correct:true) in
+  check Alcotest.bool "still valid" true (Result.is_ok (Pxml.validate doc));
+  match Worlds.merged doc with
+  | [ (p1, _); (p2, _) ] ->
+      check (Alcotest.float 1e-9) "two-person world" (2. /. 3.) p1;
+      check (Alcotest.float 1e-9) "merged 1111 world" (1. /. 3.) p2
+  | l -> Alcotest.failf "expected 2 worlds, got %d" (List.length l)
+
+let test_reject_phone () =
+  (* The user says 2222 is wrong: every world containing it dies. *)
+  let doc = get (Feedback.assert_answer fig2 ~query:"//person/tel" ~value:"2222" ~correct:false) in
+  let worlds = Worlds.merged doc in
+  check Alcotest.int "one world" 1 (List.length worlds);
+  let _, forest = List.hd worlds in
+  List.iter
+    (fun w ->
+      Tree.iter
+        (fun n ->
+          if Tree.name n = Some "tel" then
+            check Alcotest.string "only 1111 left" "1111" (Tree.text_content n))
+        w)
+    forest
+
+let test_feedback_reaches_certainty () =
+  (* Confirm 1111 AND confirm there are two persons: single world left. *)
+  let doc = get (Feedback.assert_answer fig2 ~query:"//person/tel" ~value:"1111" ~correct:true) in
+  let doc =
+    get (Feedback.assert_answer doc ~query:"//person/tel" ~value:"2222" ~correct:true)
+  in
+  check Alcotest.bool "certain" true (Pxml.is_certain doc);
+  check (Alcotest.float 1e-9) "certainty 1" 1. (Feedback.certainty doc)
+
+let test_contradiction () =
+  match Feedback.assert_answer fig2 ~query:"//person/nm" ~value:"John" ~correct:false with
+  | Error Feedback.Contradiction -> ()
+  | Ok _ -> Alcotest.fail "conditioning on a probability-0 event succeeded"
+  | Error e -> Alcotest.failf "wrong error: %a" Feedback.pp_error e
+
+let test_world_limit () =
+  match Feedback.condition ~limit:1. fig2 (fun _ -> true) with
+  | Error (Feedback.Too_many_worlds _) -> ()
+  | _ -> Alcotest.fail "expected Too_many_worlds"
+
+let test_certainty_monotone () =
+  let before = Feedback.certainty fig2 in
+  let doc = get (Feedback.assert_answer fig2 ~query:"//person/tel" ~value:"1111" ~correct:true) in
+  check Alcotest.bool "certainty rose" true (Feedback.certainty doc >= before)
+
+let prop_condition_is_bayes =
+  (* Conditioning on an arbitrary world predicate = filtering + renormalising
+     the merged world distribution. *)
+  let gen = QCheck.map (fun seed -> fst (Random_docs.pxml (Prng.make seed) ~depth:2)) QCheck.int in
+  QCheck.Test.make ~name:"conditioning = Bayes on the world distribution" ~count:80 gen
+    (fun doc ->
+      (* predicate: worlds whose serialisation has even length *)
+      let pred forest =
+        List.fold_left (fun n t -> n + Tree.node_count t) 0 forest mod 2 = 0
+      in
+      match Feedback.condition doc pred with
+      | Error Feedback.Contradiction -> true
+      | Error _ -> QCheck.assume_fail ()
+      | Ok doc' ->
+          let expected =
+            let kept = List.filter (fun (_, w) -> pred w) (Worlds.merged doc) in
+            let total = List.fold_left (fun acc (p, _) -> acc +. p) 0. kept in
+            List.map (fun (p, w) -> (p /. total, w)) kept
+          in
+          let actual = Worlds.merged doc' in
+          List.length expected = List.length actual
+          && List.for_all2
+               (fun (p, w) (q, v) ->
+                 Float.abs (p -. q) < 1e-6 && List.equal Tree.deep_equal w v)
+               expected actual)
+
+(* ---- structure-preserving pruning -------------------------------------------- *)
+
+let test_prune_denial () =
+  (* Denying 2222 kills both the two-person world (where 2222 certainly
+     exists) and the 2222 branch of the merged person: only John/1111
+     survives, in place. *)
+  let doc = get (Feedback.prune fig2 ~query:"//person/tel" ~value:"2222" ~correct:false) in
+  check Alcotest.bool "certain" true (Pxml.is_certain doc);
+  (match Worlds.merged doc with
+  | [ (p, [ w ]) ] ->
+      check (Alcotest.float 1e-9) "prob 1" 1. p;
+      check Alcotest.int "one person" 1 (List.length (Tree.children w));
+      check Alcotest.bool "kept 1111" true
+        (Astring_contains.contains (Imprecise.Xml.Printer.to_string w) "1111")
+  | _ -> Alcotest.fail "expected one world");
+  check Alcotest.bool "representation shrank" true
+    (Pxml.node_count doc < Pxml.node_count fig2)
+
+let test_prune_conservative () =
+  (* Confirming 1111 removes no single possibility: every choice leaves
+     some world containing 1111. Pruning must be a no-op (up to
+     compaction). *)
+  let doc = get (Feedback.prune fig2 ~query:"//person/tel" ~value:"1111" ~correct:true) in
+  check Alcotest.int "worlds unchanged" 3 (List.length (Worlds.merged doc))
+
+let test_prune_contradiction () =
+  let doc = get (Feedback.prune fig2 ~query:"//person/tel" ~value:"1111" ~correct:false) in
+  match Feedback.prune doc ~query:"//person/tel" ~value:"2222" ~correct:false with
+  | Error Feedback.Contradiction -> ()
+  | Ok _ -> Alcotest.fail "pruned away every world without an error"
+  | Error e -> Alcotest.failf "wrong error: %a" Feedback.pp_error e
+
+let test_prune_preserves_support () =
+  (* Pruning keeps exactly the worlds consistent with the assertion — the
+     same support as exact conditioning. *)
+  let pruned = get (Feedback.prune fig2 ~query:"//person/tel" ~value:"2222" ~correct:false) in
+  let conditioned =
+    get (Feedback.assert_answer fig2 ~query:"//person/tel" ~value:"2222" ~correct:false)
+  in
+  let canon doc = List.map snd (Worlds.merged doc) in
+  check Alcotest.bool "same worlds" true
+    (List.equal (List.equal Tree.deep_equal) (canon pruned) (canon conditioned))
+
+let test_prune_count_feedback () =
+  (* Count-based feedback on the typical workload resolves one undecided
+     pair at a time (used by the bench demo). *)
+  let wl = Imprecise.Data.Workloads.typical () in
+  let doc =
+    Result.get_ok
+      (Imprecise.integrate ~rules:Imprecise.Rulesets.full ~dtd:wl.dtd
+         (Imprecise.Data.Workloads.mpeg7_doc wl)
+         (Imprecise.Data.Workloads.imdb_doc wl))
+  in
+  check (Alcotest.float 0.) "four worlds before" 4. (Pxml.world_count doc);
+  let doc =
+    get
+      (Feedback.prune doc ~query:"count(//movie[title='Twelve Monkeys'])" ~value:"1"
+         ~correct:true)
+  in
+  check (Alcotest.float 0.) "two worlds after" 2. (Pxml.world_count doc)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  let q p = QCheck_alcotest.to_alcotest p in
+  [
+    ( "feedback",
+      [
+        t "confirming an answer renormalises" test_confirm_phone;
+        t "rejecting an answer removes worlds" test_reject_phone;
+        t "iterated feedback reaches certainty" test_feedback_reaches_certainty;
+        t "contradictory feedback is an error" test_contradiction;
+        t "world-limit guard" test_world_limit;
+        t "certainty is monotone under true feedback" test_certainty_monotone;
+        q prop_condition_is_bayes;
+      ] );
+    ( "feedback.prune",
+      [
+        t "denial prunes in place" test_prune_denial;
+        t "pruning is conservative" test_prune_conservative;
+        t "pruning detects contradictions" test_prune_contradiction;
+        t "pruning preserves the conditioned support" test_prune_preserves_support;
+        t "count-based feedback resolves matchings" test_prune_count_feedback;
+      ] );
+  ]

@@ -1,0 +1,227 @@
+(* Tests for string similarity and the Oracle's rule machinery. *)
+
+module Similarity = Imprecise.Similarity
+module Oracle = Imprecise.Oracle
+module Tree = Imprecise.Tree
+
+let check = Alcotest.check
+
+let fcheck name = check (Alcotest.float 1e-9) name
+
+(* ---- similarity ----------------------------------------------------------- *)
+
+let test_levenshtein () =
+  check Alcotest.int "identical" 0 (Similarity.levenshtein "kitten" "kitten");
+  check Alcotest.int "classic" 3 (Similarity.levenshtein "kitten" "sitting");
+  check Alcotest.int "empty left" 3 (Similarity.levenshtein "" "abc");
+  check Alcotest.int "empty right" 3 (Similarity.levenshtein "abc" "");
+  check Alcotest.int "single subst" 1 (Similarity.levenshtein "cat" "car")
+
+let test_edit_similarity () =
+  fcheck "identical" 1. (Similarity.edit_similarity "abc" "abc");
+  fcheck "both empty" 1. (Similarity.edit_similarity "" "");
+  fcheck "disjoint" 0. (Similarity.edit_similarity "abc" "xyz");
+  fcheck "partial" (1. -. (1. /. 4.)) (Similarity.edit_similarity "abcd" "abce")
+
+let test_jaro_winkler () =
+  fcheck "identical" 1. (Similarity.jaro_winkler "martha" "martha");
+  check Alcotest.bool "transposition-tolerant" true
+    (Similarity.jaro "martha" "marhta" > 0.9);
+  check Alcotest.bool "prefix boost" true
+    (Similarity.jaro_winkler "dixon" "dicksonx" >= Similarity.jaro "dixon" "dicksonx");
+  fcheck "empty vs nonempty" 0. (Similarity.jaro "" "abc");
+  fcheck "both empty" 1. (Similarity.jaro "" "")
+
+let test_tokens () =
+  check
+    Alcotest.(list string)
+    "split and lowercase" [ "jaws"; "2"; "the"; "revenge" ]
+    (Similarity.tokens "Jaws 2: The  Revenge!");
+  check Alcotest.(list string) "empty" [] (Similarity.tokens "  ... ")
+
+let test_token_jaccard () =
+  fcheck "reordered names" 1. (Similarity.token_jaccard "John Woo" "Woo, John");
+  fcheck "disjoint" 0. (Similarity.token_jaccard "Jaws" "Die Hard");
+  fcheck "half" 0.5 (Similarity.token_jaccard "Jaws" "Jaws 2");
+  fcheck "both empty" 1. (Similarity.token_jaccard "" "")
+
+let test_name_similarity () =
+  fcheck "convention flip" 1. (Similarity.name_similarity "John McTiernan" "McTiernan, John");
+  check Alcotest.bool "typo tolerated" true (Similarity.name_similarity "Jon Woo" "John Woo" > 0.7);
+  check Alcotest.bool "different people" true
+    (Similarity.name_similarity "Renny Harlin" "Len Wiseman" < 0.4)
+
+let test_title_similarity () =
+  check Alcotest.bool "sequel capped" true (Similarity.title_similarity "Jaws" "Jaws 2" <= 0.9);
+  fcheck "same sequel marker uncapped" 1.
+    (Similarity.title_similarity "Jaws 2" "jaws 2");
+  check Alcotest.bool "franchise vs other franchise" true
+    (Similarity.title_similarity "Jaws" "Die Hard 2" < 0.3);
+  check Alcotest.bool "paper's II confusion stays plausible" true
+    (Similarity.title_similarity "Mission: Impossible II" "Mission: Impossible" >= 0.3)
+
+let prop_similarity_bounds =
+  QCheck.Test.make ~name:"similarities stay in [0,1] and are symmetric" ~count:300
+    QCheck.(pair (string_of_size (Gen.int_bound 12)) (string_of_size (Gen.int_bound 12)))
+    (fun (a, b) ->
+      List.for_all
+        (fun f ->
+          let x = f a b and y = f b a in
+          x >= 0. && x <= 1. +. 1e-9 && Float.abs (x -. y) < 1e-9)
+        [
+          Similarity.edit_similarity;
+          Similarity.jaro;
+          Similarity.jaro_winkler;
+          Similarity.token_jaccard;
+          Similarity.name_similarity;
+          Similarity.title_similarity;
+        ])
+
+let prop_levenshtein_triangle =
+  QCheck.Test.make ~name:"levenshtein triangle inequality" ~count:200
+    QCheck.(triple (string_of_size (Gen.int_bound 8)) (string_of_size (Gen.int_bound 8)) (string_of_size (Gen.int_bound 8)))
+    (fun (a, b, c) ->
+      Similarity.levenshtein a c <= Similarity.levenshtein a b + Similarity.levenshtein b c)
+
+(* ---- oracle rules ----------------------------------------------------------- *)
+
+let movie title year genres director =
+  Tree.element "movie"
+    (Tree.leaf "title" title :: Tree.leaf "year" (string_of_int year)
+     :: List.map (Tree.leaf "genre") genres
+    @ [ Tree.leaf "director" director ])
+
+let jaws = movie "Jaws" 1975 [ "Horror" ] "Steven Spielberg"
+
+let jaws_again = movie "Jaws" 1975 [ "Horror" ] "Steven Spielberg"
+
+let jaws2 = movie "Jaws 2" 1978 [ "Horror" ] "Jeannot Szwarc"
+
+let diehard = movie "Die Hard" 1988 [ "Action" ] "John McTiernan"
+
+let verdict = Alcotest.testable Oracle.pp_verdict ( = )
+
+let test_deep_equal_rule () =
+  check verdict "identical movies" Oracle.Same
+    (Oracle.decide (Oracle.make [ Oracle.deep_equal_rule ]) jaws jaws_again);
+  check verdict "different movies fall to default" (Oracle.Unsure 0.5)
+    (Oracle.decide (Oracle.make [ Oracle.deep_equal_rule ]) jaws jaws2)
+
+let test_key_rule () =
+  let o = Oracle.make [ Oracle.key_rule ~tag:"movie" ~field:"title" ] in
+  check verdict "same key" Oracle.Same (Oracle.decide o jaws jaws_again);
+  check verdict "different key" Oracle.Different (Oracle.decide o jaws jaws2)
+
+let test_field_differs_rule () =
+  let o = Oracle.make [ Oracle.field_differs_rule ~tag:"movie" ~field:"year" ] in
+  check verdict "different years" Oracle.Different (Oracle.decide o jaws jaws2);
+  check verdict "same year abstains" (Oracle.Unsure 0.5) (Oracle.decide o jaws jaws_again)
+
+let test_set_disjoint_rule () =
+  let o = Oracle.make [ Oracle.set_disjoint_rule ~tag:"movie" ~field:"genre" ] in
+  check verdict "disjoint genres" Oracle.Different (Oracle.decide o jaws diehard);
+  check verdict "shared genre abstains" (Oracle.Unsure 0.5) (Oracle.decide o jaws jaws2);
+  (* missing genres on one side: abstain *)
+  let nogenre = movie "Jaws" 1975 [] "X" in
+  check verdict "missing genres abstain" (Oracle.Unsure 0.5) (Oracle.decide o jaws nogenre)
+
+let test_similarity_rule () =
+  let o =
+    Oracle.make [ Oracle.similarity_rule ~tag:"movie" ~field:"title" ~threshold:0.3 () ]
+  in
+  check verdict "dissimilar titles" Oracle.Different (Oracle.decide o jaws diehard);
+  check verdict "sequels abstain" (Oracle.Unsure 0.5) (Oracle.decide o jaws jaws2)
+
+let test_text_key_rule () =
+  let o = Oracle.make [ Oracle.text_key_rule ~tag:"genre" ] in
+  let g1 = Tree.leaf "genre" "Horror" and g2 = Tree.leaf "genre" " horror " in
+  let g3 = Tree.leaf "genre" "Action" in
+  check verdict "same text (case/ws-insensitive)" Oracle.Same (Oracle.decide o g1 g2);
+  check verdict "different text" Oracle.Different (Oracle.decide o g1 g3);
+  check verdict "other tags fall through" (Oracle.Unsure 0.5)
+    (Oracle.decide o (Tree.leaf "x" "a") (Tree.leaf "x" "b"))
+
+let test_text_match_rule () =
+  let o =
+    Oracle.make [ Oracle.text_match_rule ~tag:"director" ~same_above:0.95 ~diff_below:0.3 () ]
+  in
+  let d1 = Tree.leaf "director" "John McTiernan" in
+  let d2 = Tree.leaf "director" "McTiernan, John" in
+  let d3 = Tree.leaf "director" "Renny Harlin" in
+  check verdict "convention flip" Oracle.Same (Oracle.decide o d1 d2);
+  check verdict "different person" Oracle.Different (Oracle.decide o d1 d3)
+
+let test_attr_key_rule () =
+  let o = Oracle.make [ Oracle.attr_key_rule ~tag:"item" ~attr:"id" ] in
+  let item id = Tree.element "item" ~attrs:[ ("id", id) ] [] in
+  let no_id = Tree.element "item" [] in
+  check verdict "same id" Oracle.Same (Oracle.decide o (item "7") (item "7"));
+  check verdict "different id" Oracle.Different (Oracle.decide o (item "7") (item "8"));
+  check verdict "missing id abstains" (Oracle.Unsure 0.5) (Oracle.decide o (item "7") no_id)
+
+let test_rule_priority_and_conflict () =
+  let always_same = { Oracle.name = "always-same"; judge = (fun _ _ -> Some Oracle.Same) } in
+  let always_diff =
+    { Oracle.name = "always-diff"; judge = (fun _ _ -> Some Oracle.Different) }
+  in
+  let o = Oracle.make [ always_same; always_diff ] in
+  (match Oracle.decide o jaws jaws2 with
+  | exception Oracle.Conflict msg ->
+      check Alcotest.bool "conflict names rules" true
+        (Astring_contains.contains msg "always-same")
+  | v -> Alcotest.failf "expected conflict, got %a" Oracle.pp_verdict v);
+  (* absolute beats unsure *)
+  let unsure p = { Oracle.name = "u"; judge = (fun _ _ -> Some (Oracle.Unsure p)) } in
+  check verdict "absolute wins over unsure" Oracle.Different
+    (Oracle.decide (Oracle.make [ unsure 0.9; always_diff ]) jaws jaws2);
+  (* first unsure wins when no absolutes *)
+  check verdict "first unsure wins" (Oracle.Unsure 0.9)
+    (Oracle.decide (Oracle.make [ unsure 0.9; unsure 0.1 ]) jaws jaws2)
+
+let test_default_prob () =
+  let o =
+    Oracle.make ~default:(Oracle.field_similarity_prob ~field:"title" ()) [ Oracle.deep_equal_rule ]
+  in
+  (match Oracle.decide o jaws (movie "Jaws" 1977 [ "Horror" ] "S") with
+  | Oracle.Unsure p -> check (Alcotest.float 1e-9) "ceiling" 0.95 p
+  | v -> Alcotest.failf "expected unsure, got %a" Oracle.pp_verdict v);
+  match Oracle.decide o jaws diehard with
+  | Oracle.Unsure p ->
+      check Alcotest.bool "low but floored" true (p >= 0.05 && p <= 0.3)
+  | v -> Alcotest.failf "expected unsure, got %a" Oracle.pp_verdict v
+
+let test_rule_names () =
+  let rs = Imprecise.Rulesets.movie ~genre:true ~title:true ~year:true () in
+  check Alcotest.bool "names listed" true (List.length (Oracle.rule_names rs.oracle) >= 4)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  let q p = QCheck_alcotest.to_alcotest p in
+  [
+    ( "oracle.similarity",
+      [
+        t "levenshtein" test_levenshtein;
+        t "edit similarity" test_edit_similarity;
+        t "jaro / jaro-winkler" test_jaro_winkler;
+        t "tokens" test_tokens;
+        t "token jaccard" test_token_jaccard;
+        t "name similarity" test_name_similarity;
+        t "title similarity (sequel cap)" test_title_similarity;
+        q prop_similarity_bounds;
+        q prop_levenshtein_triangle;
+      ] );
+    ( "oracle.rules",
+      [
+        t "deep-equal rule" test_deep_equal_rule;
+        t "key rule" test_key_rule;
+        t "field-differs (year) rule" test_field_differs_rule;
+        t "set-disjoint (genre) rule" test_set_disjoint_rule;
+        t "similarity (title) rule" test_similarity_rule;
+        t "text-key rule" test_text_key_rule;
+        t "text-match rule" test_text_match_rule;
+        t "attribute-key rule" test_attr_key_rule;
+        t "priority and conflicts" test_rule_priority_and_conflict;
+        t "similarity-based default probability" test_default_prob;
+        t "rule names" test_rule_names;
+      ] );
+  ]

@@ -1,0 +1,123 @@
+(* Tests for the second integration domain (bibliographies): conventions,
+   rules, reconciliation, and the end-to-end integration result. *)
+
+module Pub = Imprecise.Data.Publications
+module Tree = Imprecise.Tree
+module Oracle = Imprecise.Oracle
+module Integrate = Imprecise.Integrate
+module Worlds = Imprecise.Worlds
+module Pxml = Imprecise.Pxml
+module Answer = Imprecise.Answer
+module Pquery = Imprecise.Pquery
+
+let check = Alcotest.check
+
+let integrated =
+  lazy
+    (let dblp, acm = Pub.sources () in
+     let cfg =
+       Integrate.config ~oracle:(Pub.rules ()) ~reconcile:Pub.reconcile ~dtd:Pub.dtd ()
+     in
+     match
+       Integrate.integrate cfg (Pub.collection Pub.Dblp dblp) (Pub.collection Pub.Acm acm)
+     with
+     | Ok doc -> doc
+     | Error e -> Alcotest.failf "integration failed: %a" Integrate.pp_error e)
+
+let test_conventions () =
+  let dblp, _ = Pub.sources () in
+  let p = List.hd dblp in
+  let d = Pub.render Pub.Dblp p and a = Pub.render Pub.Acm p in
+  check Alcotest.bool "never deep-equal across conventions" false (Tree.deep_equal d a);
+  check Alcotest.(option string) "dblp venue" (Some "Proc. ICDE") (Tree.field d "venue");
+  check Alcotest.(option string) "acm venue" (Some "ICDE Conference") (Tree.field a "venue");
+  check Alcotest.bool "dblp has pages" true (Tree.field d "pages" <> None);
+  check Alcotest.bool "acm omits pages" true (Tree.field a "pages" = None);
+  check Alcotest.(option string) "author flipped" (Some "Keulen, Maurice van")
+    (Tree.field a "author")
+
+let test_rules_decide () =
+  let dblp, acm = Pub.sources () in
+  let rules = Pub.rules () in
+  let find title l = List.find (fun (p : Pub.publication) -> p.title = title) l in
+  (* co-referent pair stays unsure (never deep-equal) *)
+  (match
+     Oracle.decide rules
+       (Pub.render Pub.Dblp (find "Principles of Dataspace Systems" dblp))
+       (Pub.render Pub.Acm (find "Principles of Dataspace Systems" acm))
+   with
+  | Oracle.Unsure _ -> ()
+  | v -> Alcotest.failf "expected unsure, got %a" Oracle.pp_verdict v);
+  (* the demo/full confuser pair is separated by the year rule *)
+  match
+    Oracle.decide rules
+      (Pub.render Pub.Dblp (find "IMPrECISE: Good-is-good-enough Data Integration" dblp))
+      (Pub.render Pub.Acm (find "Good-is-good-enough Data Integration" acm))
+  with
+  | Oracle.Different -> ()
+  | v -> Alcotest.failf "expected Different, got %a" Oracle.pp_verdict v
+
+let test_reconcile () =
+  check Alcotest.(option string) "venues" (Some "ICDE")
+    (Pub.reconcile "venue" "Proc. ICDE" "ICDE Conference");
+  check Alcotest.(option string) "authors" (Some "Dan Suciu")
+    (Pub.reconcile "author" "Dan Suciu" "Suciu, Dan");
+  check Alcotest.(option string) "different venues stay" None
+    (Pub.reconcile "venue" "Proc. ICDE" "VLDB Conference");
+  check Alcotest.(option string) "titles are not reconciled" None
+    (Pub.reconcile "title" "A" "B")
+
+let test_integration_shape () =
+  let doc = Lazy.force integrated in
+  check Alcotest.bool "valid" true (Result.is_ok (Pxml.validate doc));
+  (* three unsure co-ref pairs, each a 2-way choice -> 8 worlds *)
+  check (Alcotest.float 0.) "eight worlds" 8. (Pxml.world_count doc)
+
+let test_reconciled_venue_queryable () =
+  let doc = Lazy.force integrated in
+  let answers = Pquery.rank doc "//publication[venue='ICDE']/title" in
+  match answers with
+  | [ a ] ->
+      check Alcotest.string "the 2005 paper" "A Probabilistic XML Approach to Data Integration"
+        a.Answer.value;
+      (* only in the (likely) matched world was the venue reconciled *)
+      check Alcotest.bool "high but not certain" true (a.Answer.prob > 0.9 && a.Answer.prob < 1.)
+  | l -> Alcotest.failf "expected one answer, got %d" (List.length l)
+
+let test_one_sided_knowledge_survives () =
+  let doc = Lazy.force integrated in
+  let answers = Pquery.rank doc "//publication[pages]/pages" in
+  check Alcotest.int "three page ranges" 3 (List.length answers);
+  List.iter
+    (fun (a : Answer.t) -> check (Alcotest.float 1e-9) a.value 1. a.prob)
+    answers
+
+let test_confusers_stay_distinct () =
+  let doc = Lazy.force integrated in
+  (* in every world, the demo (2008) and the full (2006) paper coexist *)
+  List.iter
+    (fun (_, forest) ->
+      List.iter
+        (fun w ->
+          let titles = Imprecise.Xpath.Eval.select_strings w "//publication/title" in
+          check Alcotest.bool "demo present" true
+            (List.mem "IMPrECISE: Good-is-good-enough Data Integration" titles);
+          check Alcotest.bool "full version present" true
+            (List.mem "Good-is-good-enough Data Integration" titles))
+        forest)
+    (Worlds.merged doc)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "publications",
+      [
+        t "rendering conventions" test_conventions;
+        t "rules decide the right pairs" test_rules_decide;
+        t "reconciliation knowledge" test_reconcile;
+        t "integration shape (8 worlds)" test_integration_shape;
+        t "reconciled venue is queryable" test_reconciled_venue_queryable;
+        t "one-sided knowledge survives" test_one_sided_knowledge_survives;
+        t "demo/full confusers stay distinct" test_confusers_stay_distinct;
+      ] );
+  ]

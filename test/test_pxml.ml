@@ -1,0 +1,288 @@
+(* Tests for the probabilistic XML model: layering invariants, world
+   enumeration, counting, compaction, and the XML encoding. *)
+
+module Tree = Imprecise.Tree
+module Pxml = Imprecise.Pxml
+module Worlds = Imprecise.Worlds
+module Compact = Imprecise.Compact
+module Codec = Imprecise.Codec
+module Prng = Imprecise.Data.Prng
+module Random_docs = Imprecise.Data.Random_docs
+
+let check = Alcotest.check
+
+let parse = Imprecise.parse_xml_exn
+
+let random_doc seed = fst (Random_docs.pxml (Prng.make seed) ~depth:2)
+
+let doc_gen = QCheck.map random_doc QCheck.int
+
+(* Figure 2's example document, built by hand: an address book where the two
+   Johns are the same person (with one of two phones) or two persons. *)
+let fig2_doc =
+  let person tel =
+    Pxml.elem "person"
+      [
+        Pxml.certain [ Pxml.elem "nm" [ Pxml.certain [ Pxml.text "John" ] ] ];
+        tel;
+      ]
+  in
+  let tel v = Pxml.elem "tel" [ Pxml.certain [ Pxml.text v ] ] in
+  let certain_tel v = Pxml.certain [ tel v ] in
+  let uncertain_tel =
+    Pxml.dist [ Pxml.choice ~prob:0.5 [ tel "1111" ]; Pxml.choice ~prob:0.5 [ tel "2222" ] ]
+  in
+  Pxml.certain
+    [
+      Pxml.elem "addressbook"
+        [
+          Pxml.dist
+            [
+              Pxml.choice ~prob:0.5 [ person uncertain_tel ];
+              Pxml.choice ~prob:0.5 [ person (certain_tel "1111"); person (certain_tel "2222") ];
+            ];
+        ];
+    ]
+
+(* ---- construction and validation ----------------------------------------- *)
+
+let test_dist_validation () =
+  (match Pxml.dist [] with
+  | exception Pxml.Invalid _ -> ()
+  | _ -> Alcotest.fail "empty dist accepted");
+  (match Pxml.dist [ Pxml.choice ~prob:0.7 [] ] with
+  | exception Pxml.Invalid _ -> ()
+  | _ -> Alcotest.fail "sum 0.7 accepted");
+  (match Pxml.dist [ Pxml.choice ~prob:1.5 []; Pxml.choice ~prob:(-0.5) [] ] with
+  | exception Pxml.Invalid _ -> ()
+  | _ -> Alcotest.fail "out-of-range probability accepted");
+  match Pxml.dist [ Pxml.choice ~prob:0.25 []; Pxml.choice ~prob:0.75 [ Pxml.text "x" ] ] with
+  | _ -> ()
+
+let test_validate_deep () =
+  let bad =
+    { Pxml.choices = [ { Pxml.prob = 1.; nodes = [ Pxml.Elem ("a", [], [ { Pxml.choices = [ { Pxml.prob = 0.4; nodes = [] } ] } ]) ] } ] }
+  in
+  check Alcotest.bool "nested invalid detected" true (Result.is_error (Pxml.validate bad));
+  check Alcotest.bool "fig2 valid" true (Result.is_ok (Pxml.validate fig2_doc))
+
+let test_of_tree_roundtrip () =
+  let t = parse "<r><a>x</a><b/>tail</r>" in
+  let doc = Pxml.doc_of_tree t in
+  check Alcotest.bool "certain" true (Pxml.is_certain doc);
+  match Pxml.to_tree_exn doc with
+  | [ t' ] -> check Alcotest.bool "same tree" true (Tree.deep_equal t t')
+  | _ -> Alcotest.fail "expected one root"
+
+let test_to_tree_exn_uncertain () =
+  match Pxml.to_tree_exn fig2_doc with
+  | exception Pxml.Invalid _ -> ()
+  | _ -> Alcotest.fail "uncertain document extracted"
+
+let test_is_certain_nested () =
+  let deep_uncertain =
+    Pxml.certain
+      [ Pxml.elem "a" [ Pxml.dist [ Pxml.choice ~prob:0.5 []; Pxml.choice ~prob:0.5 [ Pxml.text "x" ] ] ] ]
+  in
+  check Alcotest.bool "nested uncertainty detected" false (Pxml.is_certain deep_uncertain)
+
+(* ---- statistics ----------------------------------------------------------- *)
+
+let test_stats_fig2 () =
+  let s = Pxml.stats fig2_doc in
+  (* Hand count: root prob/poss (1/1); addressbook's person-level prob with
+     2 poss; merged-person branch: 4 elems (person, nm, 2×tel), 3 texts,
+     5 prob + 6 poss (two certain wrappers, nm text, tel choice, 2 tel
+     texts); two-person branch: 6 elems, 4 texts, 8 prob + 8 poss. *)
+  check Alcotest.int "prob nodes" 15 s.Pxml.prob_nodes;
+  check Alcotest.int "poss nodes" 17 s.Pxml.poss_nodes;
+  check Alcotest.int "elements" 11 s.Pxml.elements;
+  check Alcotest.int "texts" 7 s.Pxml.texts;
+  check Alcotest.int "total" 50 (Pxml.node_count fig2_doc)
+
+let test_world_count_fig2 () =
+  check (Alcotest.float 1e-9) "combinations" 3. (Pxml.world_count fig2_doc);
+  check Alcotest.(option int) "exact" (Some 3) (Pxml.world_count_int fig2_doc)
+
+let test_world_count_multiplies () =
+  let two = Pxml.dist [ Pxml.choice ~prob:0.5 [ Pxml.text "a" ]; Pxml.choice ~prob:0.5 [ Pxml.text "b" ] ] in
+  let doc = Pxml.certain [ Pxml.elem "r" [ two; two; two ] ] in
+  check (Alcotest.float 1e-9) "independent choices multiply" 8. (Pxml.world_count doc)
+
+(* ---- worlds ---------------------------------------------------------------- *)
+
+let test_fig2_worlds () =
+  let worlds = Worlds.merged fig2_doc in
+  check Alcotest.int "three worlds" 3 (List.length worlds);
+  let probs = List.map fst worlds in
+  check (Alcotest.float 1e-9) "total" 1. (List.fold_left ( +. ) 0. probs);
+  match worlds with
+  | (p0, w0) :: rest ->
+      check (Alcotest.float 1e-9) "two-person world" 0.5 p0;
+      (match w0 with
+      | [ book ] -> check Alcotest.int "two persons" 2 (List.length (Tree.children book))
+      | _ -> Alcotest.fail "one root expected");
+      List.iter (fun (p, _) -> check (Alcotest.float 1e-9) "quarter" 0.25 p) rest
+  | [] -> Alcotest.fail "no worlds"
+
+let test_certain_single_world () =
+  let t = parse "<r><a>x</a></r>" in
+  match Worlds.merged (Pxml.doc_of_tree t) with
+  | [ (p, [ w ]) ] ->
+      check (Alcotest.float 1e-9) "prob 1" 1. p;
+      check Alcotest.bool "same" true (Tree.deep_equal t w)
+  | _ -> Alcotest.fail "expected exactly one world"
+
+let prop_world_probabilities_sum_to_one =
+  QCheck.Test.make ~name:"world probabilities sum to 1" ~count:100 doc_gen (fun doc ->
+      Float.abs (Worlds.total_probability doc -. 1.) < 1e-6)
+
+let prop_world_count_matches_enumeration =
+  QCheck.Test.make ~name:"world_count = length of enumeration" ~count:100 doc_gen
+    (fun doc ->
+      let counted = Pxml.world_count doc in
+      let enumerated = Seq.fold_left (fun n _ -> n + 1) 0 (Worlds.enumerate doc) in
+      counted = float_of_int enumerated)
+
+let prop_validate_random =
+  QCheck.Test.make ~name:"generated documents validate" ~count:100 doc_gen (fun doc ->
+      Result.is_ok (Pxml.validate doc))
+
+(* ---- compaction ------------------------------------------------------------ *)
+
+let world_distributions_equal a b =
+  let wa = Worlds.merged a and wb = Worlds.merged b in
+  List.length wa = List.length wb
+  && List.for_all2
+       (fun (p, w) (q, v) ->
+         Float.abs (p -. q) < 1e-6 && List.equal Tree.deep_equal w v)
+       wa wb
+
+let test_compact_merges_duplicates () =
+  let dup =
+    Pxml.dist
+      [
+        Pxml.choice ~prob:0.3 [ Pxml.text "x" ];
+        Pxml.choice ~prob:0.45 [ Pxml.text "x" ];
+        Pxml.choice ~prob:0.25 [ Pxml.text "y" ];
+      ]
+  in
+  let c = Compact.compact dup in
+  check Alcotest.int "two choices left" 2 (List.length c.Pxml.choices);
+  check Alcotest.bool "distribution preserved" true (world_distributions_equal dup c)
+
+let test_compact_prunes_zero () =
+  let z =
+    Pxml.dist [ Pxml.choice ~prob:0. [ Pxml.text "ghost" ]; Pxml.choice ~prob:1. [ Pxml.text "real" ] ]
+  in
+  let c = Compact.compact z in
+  check Alcotest.int "one choice" 1 (List.length c.Pxml.choices);
+  check Alcotest.bool "certain now" true (Pxml.is_certain c)
+
+let test_compact_fuses_certain_dists () =
+  let doc =
+    Pxml.certain
+      [
+        Pxml.elem "r"
+          [ Pxml.certain [ Pxml.text "a" ]; Pxml.certain [ Pxml.text "b" ]; Pxml.certain [] ];
+      ]
+  in
+  let c = Compact.compact doc in
+  (match c.Pxml.choices with
+  | [ { Pxml.nodes = [ Pxml.Elem (_, _, [ d ]) ]; _ } ] ->
+      check Alcotest.int "one fused dist" 1 (List.length d.Pxml.choices)
+  | _ -> Alcotest.fail "unexpected shape");
+  check Alcotest.bool "distribution preserved" true (world_distributions_equal doc c)
+
+let test_compact_idempotent_fig2 () =
+  let c = Compact.compact fig2_doc in
+  check Alcotest.bool "fixpoint" true (Pxml.equal c (Compact.compact c));
+  check Alcotest.bool "distribution preserved" true (world_distributions_equal fig2_doc c)
+
+let prop_compact_preserves_distribution =
+  QCheck.Test.make ~name:"compact preserves world distribution" ~count:100 doc_gen
+    (fun doc -> world_distributions_equal doc (Compact.compact doc))
+
+let prop_compact_never_grows =
+  QCheck.Test.make ~name:"compact never grows the representation" ~count:100 doc_gen
+    (fun doc -> Pxml.node_count (Compact.compact doc) <= Pxml.node_count doc)
+
+let prop_compact_valid =
+  QCheck.Test.make ~name:"compact output validates" ~count:100 doc_gen (fun doc ->
+      Result.is_ok (Pxml.validate (Compact.compact doc)))
+
+(* ---- codec ------------------------------------------------------------------ *)
+
+let test_codec_roundtrip_fig2 () =
+  match Codec.decode (Codec.encode fig2_doc) with
+  | Ok doc -> check Alcotest.bool "roundtrip" true (Pxml.equal fig2_doc doc)
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+
+let test_codec_string_roundtrip () =
+  match Codec.of_string (Codec.to_string ~indent:2 fig2_doc) with
+  | Ok doc -> check Alcotest.bool "string roundtrip" true (Pxml.equal fig2_doc doc)
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+
+let test_codec_rejects_malformed () =
+  let reject s =
+    match Codec.of_string s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error _ -> ()
+  in
+  reject "<p:poss p=\"1\"/>";
+  reject "<p:prob><p:poss/></p:prob>";
+  reject "<p:prob><p:poss p=\"abc\"/></p:prob>";
+  reject "<p:prob><p:poss p=\"0.5\"/></p:prob>";
+  reject "<p:prob><wrong/></p:prob>";
+  reject "<p:prob><p:poss p=\"1\"><a>text<p:prob><p:poss p=\"1\"/></p:prob></a></p:poss></p:prob>"
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"encode ∘ decode = id" ~count:100 doc_gen (fun doc ->
+      match Codec.of_string (Codec.to_string doc) with
+      | Ok doc' -> Pxml.equal doc doc'
+      | Error msg -> QCheck.Test.fail_reportf "decode failed: %s" msg)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  let q p = QCheck_alcotest.to_alcotest p in
+  [
+    ( "pxml.model",
+      [
+        t "dist validation" test_dist_validation;
+        t "deep validation" test_validate_deep;
+        t "of_tree/to_tree roundtrip" test_of_tree_roundtrip;
+        t "to_tree_exn rejects uncertainty" test_to_tree_exn_uncertain;
+        t "is_certain sees nesting" test_is_certain_nested;
+        q prop_validate_random;
+      ] );
+    ( "pxml.stats",
+      [
+        t "figure-2 node breakdown" test_stats_fig2;
+        t "figure-2 world count" test_world_count_fig2;
+        t "independent choices multiply" test_world_count_multiplies;
+      ] );
+    ( "pxml.worlds",
+      [
+        t "figure-2 has three worlds" test_fig2_worlds;
+        t "certain document = one world" test_certain_single_world;
+        q prop_world_probabilities_sum_to_one;
+        q prop_world_count_matches_enumeration;
+      ] );
+    ( "pxml.compact",
+      [
+        t "merges duplicate possibilities" test_compact_merges_duplicates;
+        t "prunes zero-probability" test_compact_prunes_zero;
+        t "fuses certain probability nodes" test_compact_fuses_certain_dists;
+        t "idempotent on figure-2" test_compact_idempotent_fig2;
+        q prop_compact_preserves_distribution;
+        q prop_compact_never_grows;
+        q prop_compact_valid;
+      ] );
+    ( "pxml.codec",
+      [
+        t "figure-2 roundtrip" test_codec_roundtrip_fig2;
+        t "string roundtrip" test_codec_string_roundtrip;
+        t "rejects malformed encodings" test_codec_rejects_malformed;
+        q prop_codec_roundtrip;
+      ] );
+  ]

@@ -1,0 +1,144 @@
+(* End-to-end robustness: messy real-world data (unicode, XML special
+   characters) must survive the whole pipeline — parse, integrate, encode,
+   persist, reload, query; plus overflow handling and store error paths. *)
+
+module Tree = Imprecise.Tree
+module Pxml = Imprecise.Pxml
+module Worlds = Imprecise.Worlds
+module Codec = Imprecise.Codec
+module Oracle = Imprecise.Oracle
+module Integrate = Imprecise.Integrate
+module Store = Imprecise.Store
+module Answer = Imprecise.Answer
+
+let check = Alcotest.check
+
+let messy_a =
+  {|<library>
+      <book><title>कथा &amp; Context: l'éducation</title><author>Zoë O'Brien</author></book>
+      <book><title>C&lt;T&gt; — generics in anger</title><author>Bjørn Ångström</author></book>
+    </library>|}
+
+let messy_b =
+  {|<library>
+      <book><title>कथा &amp; Context: l'éducation</title><author>Zoë O'Brien</author><year>2003</year></book>
+      <book><title>Nothing in common</title><author>N. N.</author></book>
+    </library>|}
+
+let oracle = Oracle.make [ Oracle.deep_equal_rule; Oracle.key_rule ~tag:"book" ~field:"title" ]
+
+let dtd = Result.get_ok (Imprecise.Dtd.of_string "book: title?, year?")
+
+let integrate_messy () =
+  let a = Imprecise.parse_xml_exn messy_a and b = Imprecise.parse_xml_exn messy_b in
+  match Integrate.integrate (Integrate.config ~oracle ~dtd ()) a b with
+  | Ok doc -> doc
+  | Error e -> Alcotest.failf "integration failed: %a" Integrate.pp_error e
+
+let test_unicode_survives_integration () =
+  let doc = integrate_messy () in
+  check Alcotest.bool "certain (titles are keys)" true (Pxml.is_certain doc);
+  match Pxml.to_tree_exn doc with
+  | [ t ] ->
+      let titles = Imprecise.query_certain t "//book/title" in
+      check Alcotest.bool "devanagari + accents intact" true
+        (List.mem "कथा & Context: l'éducation" (List.map Tree.normalize_space titles));
+      check Alcotest.bool "angle brackets intact" true
+        (List.exists (fun s -> Astring_contains.contains s "C<T>") titles);
+      (* one-sided year got merged into the matched book *)
+      check Alcotest.(list string) "year merged" [ "2003" ] (Imprecise.query_certain t "//book/year")
+  | _ -> Alcotest.fail "one root expected"
+
+let test_unicode_survives_codec_and_store () =
+  let doc = integrate_messy () in
+  (match Codec.of_string (Codec.to_string ~indent:2 doc) with
+  | Ok doc' -> check Alcotest.bool "codec roundtrip" true (Pxml.equal doc doc')
+  | Error msg -> Alcotest.failf "decode failed: %s" msg);
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "imprecise-messy" in
+  let s = Store.create () in
+  Store.put s "messy" (Store.Probabilistic doc);
+  (match Store.save s ~dir with Ok () -> () | Error m -> Alcotest.failf "save: %s" m);
+  match Store.load ~dir with
+  | Error m -> Alcotest.failf "load: %s" m
+  | Ok s' -> (
+      match Store.get_probabilistic s' "messy" with
+      | Some doc' -> check Alcotest.bool "store roundtrip" true (Pxml.equal doc doc')
+      | None -> Alcotest.fail "document lost")
+
+let test_unicode_in_queries () =
+  let doc = integrate_messy () in
+  let answers =
+    Imprecise.rank doc {|//book[author="Zoë O'Brien"]/title|}
+  in
+  check Alcotest.int "one book" 1 (List.length answers);
+  check Alcotest.bool "query with unicode literal matched" true
+    (Astring_contains.contains (List.hd answers).Answer.value "Context")
+
+let test_quotes_in_query_literals () =
+  let doc = Pxml.doc_of_tree (Imprecise.parse_xml_exn {|<r><a>say "hi"</a></r>|}) in
+  let answers = Imprecise.rank doc {|//a[contains(., '"hi"')]|} in
+  check Alcotest.int "matched across quote styles" 1 (List.length answers)
+
+(* ---- overflow handling ---------------------------------------------------- *)
+
+let test_world_count_int_overflow () =
+  (* 64 independent binary choices: 2^64 combinations overflows int. *)
+  let flip = Pxml.dist [ Pxml.choice ~prob:0.5 [ Pxml.Text "0" ]; Pxml.choice ~prob:0.5 [ Pxml.Text "1" ] ] in
+  let doc = Pxml.certain [ Pxml.Elem ("bits", [], List.init 64 (fun _ -> flip)) ] in
+  check Alcotest.(option int) "overflow detected" None (Pxml.world_count_int doc);
+  check Alcotest.bool "float count still works" true (Pxml.world_count doc > 1e18)
+
+let test_most_likely_on_huge_space () =
+  let flip p = Pxml.dist [ Pxml.choice ~prob:p [ Pxml.Text "a" ]; Pxml.choice ~prob:(1. -. p) [ Pxml.Text "b" ] ] in
+  let doc = Pxml.certain [ Pxml.Elem ("bits", [], List.init 40 (fun _ -> flip 0.9)) ] in
+  match Worlds.most_likely ~k:2 doc with
+  | [ (p1, _); (p2, _) ] ->
+      check (Alcotest.float 1e-9) "all-a world" (0.9 ** 40.) p1;
+      check (Alcotest.float 1e-9) "one flip" (0.9 ** 39. *. 0.1) p2
+  | _ -> Alcotest.fail "expected two worlds from a 2^40 space"
+
+(* ---- store error paths ------------------------------------------------------ *)
+
+let test_store_load_skips_nothing_but_fails_on_bad_xml () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "imprecise-badxml" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out (Filename.concat dir "broken.xml") in
+  output_string oc "<unclosed>";
+  close_out oc;
+  (match Store.load ~dir with
+  | Error msg -> check Alcotest.bool "names the file" true (Astring_contains.contains msg "broken")
+  | Ok _ -> Alcotest.fail "bad XML accepted");
+  Sys.remove (Filename.concat dir "broken.xml")
+
+let test_store_load_rejects_bad_encoding () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "imprecise-badenc" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out (Filename.concat dir "badprob.xml") in
+  output_string oc "<p:prob><p:poss p=\"0.4\"/></p:prob>";
+  close_out oc;
+  (match Store.load ~dir with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "invalid probabilities accepted");
+  Sys.remove (Filename.concat dir "badprob.xml")
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "robustness.unicode",
+      [
+        t "unicode survives integration" test_unicode_survives_integration;
+        t "unicode survives codec and store" test_unicode_survives_codec_and_store;
+        t "unicode query literals" test_unicode_in_queries;
+        t "quotes in query literals" test_quotes_in_query_literals;
+      ] );
+    ( "robustness.limits",
+      [
+        t "world_count_int overflow" test_world_count_int_overflow;
+        t "k-best over a 2^40 world space" test_most_likely_on_huge_space;
+      ] );
+    ( "robustness.store",
+      [
+        t "load fails cleanly on bad XML" test_store_load_skips_nothing_but_fails_on_bad_xml;
+        t "load rejects invalid probability encodings" test_store_load_rejects_bad_encoding;
+      ] );
+  ]

@@ -1,0 +1,104 @@
+(* Tests for the document store: CRUD, name validation, and persistence of
+   both certain and probabilistic documents. *)
+
+module Store = Imprecise.Store
+module Tree = Imprecise.Tree
+module Pxml = Imprecise.Pxml
+module Oracle = Imprecise.Oracle
+module Integrate = Imprecise.Integrate
+module Addressbook = Imprecise.Data.Addressbook
+
+let check = Alcotest.check
+
+let tree = Imprecise.parse_xml_exn "<catalog><item>x</item></catalog>"
+
+let pdoc =
+  let cfg =
+    Integrate.config ~oracle:(Oracle.make [ Oracle.deep_equal_rule ]) ~dtd:Addressbook.dtd ()
+  in
+  Result.get_ok (Integrate.integrate cfg Addressbook.source_a Addressbook.source_b)
+
+let test_crud () =
+  let s = Store.create () in
+  check Alcotest.int "empty" 0 (Store.size s);
+  Store.put s "catalog" (Store.Certain tree);
+  Store.put s "john" (Store.Probabilistic pdoc);
+  check Alcotest.int "two docs" 2 (Store.size s);
+  check Alcotest.(list string) "insertion order" [ "catalog"; "john" ] (Store.names s);
+  check Alcotest.bool "mem" true (Store.mem s "catalog");
+  (match Store.get_certain s "catalog" with
+  | Some t -> check Alcotest.bool "same tree" true (Tree.deep_equal tree t)
+  | None -> Alcotest.fail "missing");
+  check Alcotest.bool "typed getter mismatches" true (Store.get_certain s "john" = None);
+  (match Store.get_probabilistic s "john" with
+  | Some d -> check Alcotest.bool "same doc" true (Pxml.equal pdoc d)
+  | None -> Alcotest.fail "missing");
+  Store.put s "catalog" (Store.Certain (Tree.element "catalog" []));
+  check Alcotest.int "replace keeps size" 2 (Store.size s);
+  Store.remove s "catalog";
+  check Alcotest.bool "removed" false (Store.mem s "catalog");
+  check Alcotest.(list string) "order updated" [ "john" ] (Store.names s)
+
+let test_name_validation () =
+  let s = Store.create () in
+  List.iter
+    (fun name ->
+      match Store.put s name (Store.Certain tree) with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.failf "accepted bad name %S" name)
+    [ ""; "a/b"; "a b"; "../evil"; "a\n" ]
+
+let test_save_load_roundtrip () =
+  let s = Store.create () in
+  Store.put s "catalog" (Store.Certain tree);
+  Store.put s "john" (Store.Probabilistic pdoc);
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "imprecise-store-test" in
+  (match Store.save s ~dir with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "save failed: %s" msg);
+  match Store.load ~dir with
+  | Error msg -> Alcotest.failf "load failed: %s" msg
+  | Ok s' -> (
+      check Alcotest.int "both docs back" 2 (Store.size s');
+      (match Store.get_certain s' "catalog" with
+      | Some t -> check Alcotest.bool "certain round-trips" true (Tree.deep_equal tree t)
+      | None -> Alcotest.fail "catalog missing or mistyped");
+      match Store.get_probabilistic s' "john" with
+      | Some d -> check Alcotest.bool "probabilistic round-trips" true (Pxml.equal pdoc d)
+      | None -> Alcotest.fail "john missing or mistyped")
+
+let test_load_ignores_non_xml () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "imprecise-mixed-files" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let write name content =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc content;
+    close_out oc
+  in
+  write "notes.txt" "not xml at all <<<";
+  write "data.xml" "<catalog><item>x</item></catalog>";
+  (match Store.load ~dir with
+  | Ok s ->
+      check Alcotest.int "only the xml file" 1 (Store.size s);
+      check Alcotest.bool "named after the file" true (Store.mem s "data")
+  | Error msg -> Alcotest.failf "load failed: %s" msg);
+  Sys.remove (Filename.concat dir "notes.txt");
+  Sys.remove (Filename.concat dir "data.xml")
+
+let test_load_missing_dir () =
+  match Store.load ~dir:"/nonexistent/imprecise" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error"
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "store",
+      [
+        t "put/get/remove/list" test_crud;
+        t "name validation" test_name_validation;
+        t "save/load roundtrip" test_save_load_roundtrip;
+        t "loading a missing directory fails" test_load_missing_dir;
+        t "load ignores non-XML files" test_load_ignores_non_xml;
+      ] );
+  ]

@@ -1,0 +1,271 @@
+(* Tests for the query substrate: lexer, parser, and the XPath 1.0 subset
+   evaluator with XQuery quantifiers. *)
+
+module Parser = Imprecise.Xpath.Parser
+module Ast = Imprecise.Xpath.Ast
+module Eval = Imprecise.Xpath.Eval
+module Lexer = Imprecise.Xpath.Lexer
+
+let check = Alcotest.check
+
+let doc =
+  Imprecise.parse_xml_exn
+    {|<movies year="2008">
+        <movie id="m1"><title>Jaws</title><year>1975</year><genre>Horror</genre>
+          <cast><director>Steven Spielberg</director></cast></movie>
+        <movie id="m2"><title>Jaws 2</title><year>1978</year><genre>Horror</genre><genre>Thriller</genre>
+          <cast><director>Jeannot Szwarc</director></cast></movie>
+        <movie id="m3"><title>Mission: Impossible II</title><year>2000</year><genre>Action</genre>
+          <cast><director>John Woo</director></cast></movie>
+      </movies>|}
+
+let strings q = Imprecise.query_certain doc q
+
+let bool q = Eval.eval_bool doc q
+
+let number q = Eval.eval_number doc q
+
+let str q = Eval.eval_string doc q
+
+let check_q q expected () = check Alcotest.(list string) q expected (strings q)
+
+let check_b q expected () = check Alcotest.bool q expected (bool q)
+
+let check_n q expected () = check (Alcotest.float 1e-9) q expected (number q)
+
+let check_s q expected () = check Alcotest.string q expected (str q)
+
+let parse_err q () =
+  match Parser.parse q with
+  | Ok _ -> Alcotest.failf "expected parse error for %S" q
+  | Error _ -> ()
+
+(* ---- lexer ---------------------------------------------------------------- *)
+
+let test_lexer_basic () =
+  match Lexer.tokenize "//a[@k='v' and 2<=3]" with
+  | Error e -> Alcotest.failf "lex error: %s" e
+  | Ok toks ->
+      check Alcotest.int "token count" 13 (List.length toks);
+      check Alcotest.bool "starts with //" true (List.hd toks = Lexer.Double_slash)
+
+let test_lexer_qname_vs_axis () =
+  (match Lexer.tokenize "child::p:prob" with
+  | Ok [ Lexer.Name "child"; Lexer.Axis_sep; Lexer.Name "p:prob"; Lexer.Eof ] -> ()
+  | Ok toks ->
+      Alcotest.failf "unexpected tokens: %s"
+        (String.concat " " (List.map Lexer.token_to_string toks))
+  | Error e -> Alcotest.failf "lex error: %s" e);
+  match Lexer.tokenize "descendant-or-self::node()" with
+  | Ok (Lexer.Name "descendant-or-self" :: Lexer.Axis_sep :: _) -> ()
+  | _ -> Alcotest.fail "axis name mislexed"
+
+let test_lexer_errors () =
+  List.iter
+    (fun s ->
+      match Lexer.tokenize s with
+      | Ok _ -> Alcotest.failf "expected lex error for %S" s
+      | Error _ -> ())
+    [ "'unterminated"; "a ! b"; "$"; "a # b" ]
+
+(* ---- parser --------------------------------------------------------------- *)
+
+let roundtrip q () =
+  match Parser.parse q with
+  | Error e -> Alcotest.failf "parse error for %S: %s" q e
+  | Ok ast -> (
+      (* printing then reparsing yields the same AST *)
+      match Parser.parse (Ast.to_string ast) with
+      | Error e -> Alcotest.failf "reparse error for %S: %s" (Ast.to_string ast) e
+      | Ok ast2 ->
+          check Alcotest.string "pp stable" (Ast.to_string ast) (Ast.to_string ast2))
+
+let test_parser_precedence () =
+  match Parser.parse "1 + 2 * 3 = 7 and true()" with
+  | Ok (Ast.Binop (Ast.And, Ast.Binop (Ast.Eq, Ast.Binop (Ast.Add, _, Ast.Binop (Ast.Mul, _, _)), _), _)) -> ()
+  | Ok ast -> Alcotest.failf "wrong tree: %s" (Ast.to_string ast)
+  | Error e -> Alcotest.fail e
+
+let test_parser_operator_names_as_tags () =
+  (* 'and', 'or', 'div', 'mod' in operand position are element names *)
+  match Parser.parse "//and/or[div=1]" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "keyword-as-name failed: %s" e
+
+(* ---- evaluator: paths and axes -------------------------------------------- *)
+
+let suite_paths =
+  [
+    ("child path", check_q "/movies/movie/title" [ "Jaws"; "Jaws 2"; "Mission: Impossible II" ]);
+    ("descendant //", check_q "//director" [ "Steven Spielberg"; "Jeannot Szwarc"; "John Woo" ]);
+    ("// mid-path", check_q "/movies//director" [ "Steven Spielberg"; "Jeannot Szwarc"; "John Woo" ]);
+    ("wildcard", check_q "/movies/movie[1]/*[1]" [ "Jaws" ]);
+    ("parent ..", check_q "//director/../../title[1]" [ "Jaws"; "Jaws 2"; "Mission: Impossible II" ]);
+    ("self .", check_q "//title/." [ "Jaws"; "Jaws 2"; "Mission: Impossible II" ]);
+    ("attribute @", check_q "//movie/@id" [ "m1"; "m2"; "m3" ]);
+    ("attribute exists filter", check_q "//movie[@id='m2']/title" [ "Jaws 2" ]);
+    ("root attribute", check_q "/movies/@year" [ "2008" ]);
+    (* [1] applies per context node: the first descendant director of EACH movie *)
+    ("explicit axes", check_q "/movies/child::movie/descendant::director[1]"
+       [ "Steven Spielberg"; "Jeannot Szwarc"; "John Woo" ]);
+    ("descendant-or-self axis", check_q "//movie[1]/descendant-or-self::movie/title" [ "Jaws" ]);
+    ("text()", check_q "//movie[1]/title/text()" [ "Jaws" ]);
+    ("node() includes text", check_q "//movie[1]/title/node()" [ "Jaws" ]);
+    ("no match", check_q "//nonexistent" []);
+    ("union |", check_q "//movie[1]/title | //movie[3]/title" [ "Jaws"; "Mission: Impossible II" ]);
+    ("union dedups and orders", check_q "//title | //movie/title" [ "Jaws"; "Jaws 2"; "Mission: Impossible II" ]);
+  ]
+
+(* ---- evaluator: predicates ------------------------------------------------- *)
+
+let suite_predicates =
+  [
+    ("value =", check_q {|//movie[year="1975"]/title|} [ "Jaws" ]);
+    ("numeric >", check_q "//movie[year>1976]/title" [ "Jaws 2"; "Mission: Impossible II" ]);
+    ("numeric <=", check_q "//movie[year<=1975]/title" [ "Jaws" ]);
+    ("!= over nodeset (exists semantics)", check_q {|//movie[genre!="Horror"]/title|} [ "Jaws 2"; "Mission: Impossible II" ]);
+    ("position", check_q "//movie[2]/title" [ "Jaws 2" ]);
+    ("position()", check_q "//movie[position()=3]/title" [ "Mission: Impossible II" ]);
+    ("last()", check_q "//movie[last()]/title" [ "Mission: Impossible II" ]);
+    ("chained predicates", check_q {|//movie[genre="Horror"][2]/title|} [ "Jaws 2" ]);
+    ("predicate on deep path", check_q {|//movie[cast/director="John Woo"]/title|} [ "Mission: Impossible II" ]);
+    ("predicate with //", check_q {|//movie[.//director="John Woo"]/title|} [ "Mission: Impossible II" ]);
+    ("boolean and", check_q {|//movie[genre="Horror" and year>1976]/title|} [ "Jaws 2" ]);
+    ("boolean or", check_q {|//movie[year=1975 or year=2000]/title|} [ "Jaws"; "Mission: Impossible II" ]);
+    ("not()", check_q {|//movie[not(genre="Horror")]/title|} [ "Mission: Impossible II" ]);
+    ("count() in predicate", check_q "//movie[count(genre)=2]/title" [ "Jaws 2" ]);
+    ("attribute in predicate", check_q "//movie[@id='m3']/year" [ "2000" ]);
+  ]
+
+(* ---- evaluator: functions, arithmetic, coercions ---------------------------- *)
+
+let suite_functions =
+  [
+    ("count", check_n "count(//movie)" 3.);
+    ("sum", check_n "sum(//year)" (1975. +. 1978. +. 2000.));
+    ("arithmetic", check_n "(1 + 2 * 3 - 4) div 3" 1.);
+    ("mod", check_n "10 mod 3" 1.);
+    ("unary minus", check_n "-(2 + 3)" (-5.));
+    ("floor/ceiling/round", check_n "floor(1.7) + ceiling(1.2) + round(2.5)" 6.);
+    ("string()", check_s "string(//movie[1]/year)" "1975");
+    ("string of number", check_s "string(2 + 2)" "4");
+    ("concat", check_s "concat(//movie[1]/title, ' (', //movie[1]/year, ')')" "Jaws (1975)");
+    ("contains", check_b "contains(//movie[3]/title, 'Impossible')" true);
+    ("contains false", check_b "contains('abc', 'z')" false);
+    ("contains empty needle", check_b "contains('abc', '')" true);
+    ("starts-with", check_b "starts-with('Jaws 2', 'Jaws')" true);
+    ("ends-with", check_b "ends-with('Jaws 2', '2')" true);
+    ("substring", check_s "substring('12345', 2, 3)" "234");
+    ("substring out of range", check_s "substring('12345', 0, 2)" "1");
+    ("substring-before/after", check_s "concat(substring-before('a-b', '-'), substring-after('a-b', '-'))" "ab");
+    ("string-length", check_n "string-length('hello')" 5.);
+    ("normalize-space", check_s "normalize-space('  a   b ')" "a b");
+    ("translate", check_s "translate('abcabc', 'ab', 'BA')" "BAcBAc");
+    ("translate deletes", check_s "translate('abc', 'b', '')" "ac");
+    ("boolean coercions", check_b "boolean('x') and boolean(1) and not(boolean('')) and not(boolean(0))" true);
+    ("number of string", check_n "number('42') + number(' 1 ')" 43.);
+    ("NaN comparisons", check_b "number('x') = number('x')" false);
+    ("name()", check_s "name(//movie[1]/*[1])" "title");
+    ("deep-equal true", check_b "deep-equal(//movie[1]/genre, //movie[2]/genre[1])" true);
+    ("deep-equal false", check_b "deep-equal(//movie[1], //movie[2])" false);
+    ("true/false", check_b "true() and not(false())" true);
+  ]
+
+(* ---- evaluator: comparison semantics ---------------------------------------- *)
+
+let suite_comparisons =
+  [
+    ("nodeset = string, exists", check_b {|//genre = "Thriller"|} true);
+    ("nodeset = string, none", check_b {|//genre = "Western"|} false);
+    ("nodeset != string (exists non-equal)", check_b {|//genre != "Horror"|} true);
+    ("nodeset = nodeset", check_b "//movie[1]/genre = //movie[2]/genre" true);
+    ("nodeset vs number", check_b "//year > 1999" true);
+    ("nodeset vs bool", check_b "//nonexistent = false()" true);
+    ("empty nodeset vs number", check_b "//nonexistent = 0" false);
+    ("string number compare", check_b "'10' > '9'" true);
+    (* numeric, not lexicographic *)
+  ]
+
+(* ---- quantified expressions --------------------------------------------------- *)
+
+let suite_quantified =
+  [
+    ( "some satisfies (paper Q2 shape)",
+      check_q {|//movie[some $d in .//director satisfies contains($d, "John")]/title|}
+        [ "Mission: Impossible II" ] );
+    ("some over genres", check_q {|//movie[some $g in genre satisfies $g = "Thriller"]/title|} [ "Jaws 2" ]);
+    ("every", check_b {|every $y in //year satisfies $y > 1900|} true);
+    ("every false", check_b {|every $g in //genre satisfies $g = "Horror"|} false);
+    ("some empty domain is false", check_b {|some $x in //nonexistent satisfies true()|} false);
+    ("every empty domain is true", check_b {|every $x in //nonexistent satisfies false()|} true);
+    ( "nested quantifiers",
+      check_b
+        {|some $m in //movie satisfies (every $g in $m/genre satisfies $g = "Horror")|}
+        true );
+  ]
+
+(* ---- filter expressions -------------------------------------------------------- *)
+
+let suite_filters =
+  [
+    ("parenthesised path with predicate", check_q "(//title)[2]" [ "Jaws 2" ]);
+    ("filter with continuation", check_q "(//movie)[3]/title" [ "Mission: Impossible II" ]);
+    ("filter with // continuation", check_q "(//movie)[1]//director" [ "Steven Spielberg" ]);
+    ("variable-free filter of literal", check_s "string(('x'))" "x");
+  ]
+
+(* ---- errors ---------------------------------------------------------------------- *)
+
+let test_eval_errors () =
+  let expect_error q =
+    match Eval.eval doc (Parser.parse_exn q) with
+    | exception Eval.Eval_error _ -> ()
+    | _ -> Alcotest.failf "expected Eval_error for %S" q
+  in
+  expect_error "$unbound";
+  expect_error "unknownfn(1)";
+  expect_error "count(1)";
+  expect_error "sum('x')";
+  expect_error "1 | 2";
+  expect_error "some $d in 42 satisfies true()"
+
+let test_vars () =
+  let v =
+    Eval.eval ~vars:[ ("x", Eval.Num 2.) ] doc (Parser.parse_exn "$x + 3")
+  in
+  check (Alcotest.float 1e-9) "bound variable" 5. (Eval.number_value v)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  let ts l = List.map (fun (n, f) -> t n f) l in
+  [
+    ( "xpath.lexer",
+      [
+        t "basic tokens" test_lexer_basic;
+        t "qname vs axis separator" test_lexer_qname_vs_axis;
+        t "lex errors" test_lexer_errors;
+      ] );
+    ( "xpath.parser",
+      [
+        t "precedence" test_parser_precedence;
+        t "operator keywords as element names" test_parser_operator_names_as_tags;
+        t "roundtrip: paper Q1" (roundtrip {|//movie[.//genre="Horror"]/title|});
+        t "roundtrip: paper Q2"
+          (roundtrip {|//movie[some $d in .//director satisfies contains($d,"John")]/title|});
+        t "roundtrip: arithmetic" (roundtrip "1 + 2 * -3 div (4 mod 5)");
+        t "roundtrip: axes" (roundtrip "/a//b/child::c/@d[. = 'x']");
+        t "roundtrip: union filter" (roundtrip "(//a | //b)[2]/c");
+        t "parse error: empty" (parse_err "");
+        t "parse error: dangling slash op" (parse_err "//");
+        t "parse error: bad axis" (parse_err "preceding::a");
+        t "parse error: unclosed bracket" (parse_err "//a[b");
+        t "parse error: trailing tokens" (parse_err "//a )");
+      ] );
+    ("xpath.paths", ts suite_paths);
+    ("xpath.predicates", ts suite_predicates);
+    ("xpath.functions", ts suite_functions);
+    ("xpath.comparisons", ts suite_comparisons);
+    ("xpath.quantified", ts suite_quantified);
+    ("xpath.filters", ts suite_filters);
+    ("xpath.errors", [ t "eval errors" test_eval_errors; t "variables" test_vars ]);
+  ]

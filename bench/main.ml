@@ -466,6 +466,20 @@ let perf () =
     integrate_or_fail ~rules:Rulesets.generic ~dtd:Data.Addressbook.dtd
       Data.Addressbook.source_a Data.Addressbook.source_b
   in
+  (* the atomicity overhead of persistence (tmp + fsync + rename, CRC-32,
+     manifest commit) measured on a mixed certain/probabilistic collection *)
+  let store_dir = Filename.concat (Filename.get_temp_dir_name ()) "imprecise-bench-store" in
+  let doc_store =
+    let s = Store.create () in
+    Store.put s "mpeg7" (Store.Certain a);
+    Store.put s "imdb" (Store.Certain b);
+    Store.put s "fig2" (Store.Probabilistic fig2);
+    Store.put s "query-doc" (Store.Probabilistic qdoc);
+    s
+  in
+  (match Store.save doc_store ~dir:store_dir with
+  | Ok () -> ()
+  | Error msg -> Fmt.failwith "bench store save failed: %s" msg);
   let tests =
     [
       Test.make ~name:"xml.parse movie collection"
@@ -489,6 +503,16 @@ let perf () =
       Test.make ~name:"compact query doc" (Staged.stage (fun () -> Compact.compact qdoc));
       Test.make ~name:"codec.encode+decode fig2"
         (Staged.stage (fun () -> Codec.of_string (Codec.to_string fig2)));
+      Test.make ~name:"store.save 4 docs (atomic, fsync+manifest)"
+        (Staged.stage (fun () ->
+             match Store.save doc_store ~dir:store_dir with
+             | Ok () -> ()
+             | Error msg -> Fmt.failwith "store-save bench failed: %s" msg));
+      Test.make ~name:"store.load 4 docs (manifest verify + salvage)"
+        (Staged.stage (fun () ->
+             match Store.load store_dir with
+             | Ok (s, _) -> s
+             | Error msg -> Fmt.failwith "store-load bench failed: %s" msg));
     ]
   in
   let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None () in

@@ -6,6 +6,7 @@
      imprecise query out.xml '//movie[.//genre="Horror"]/title'
      imprecise worlds out.xml
      imprecise feedback out.xml '//person/tel' 2222 --incorrect -o out.xml
+     imprecise doctor /var/lib/imprecise/store
      imprecise demo *)
 
 open Cmdliner
@@ -371,6 +372,54 @@ let validate_cmd =
     (Cmd.info "validate" ~doc:"Check probabilistic structure (and optionally a DTD in every world).")
     Term.(const run $ path $ dtd_arg)
 
+(* ---- doctor ------------------------------------------------------------------------ *)
+
+let doctor_cmd =
+  let run dir strict repair =
+    let mode = if strict then Store.Strict else Store.Salvage in
+    match Store.load ~mode dir with
+    | Error msg ->
+        Fmt.epr "imprecise: %s@." msg;
+        exit 1
+    | Ok (s, report) ->
+        Fmt.pr "%a" Store.pp_report report;
+        Fmt.pr "recovered %d of %d document(s)@." (Store.size s)
+          (List.length report.Store.docs);
+        let clean = Store.recovered_all report in
+        if repair && not clean then begin
+          match Store.save s ~dir with
+          | Ok () -> Fmt.pr "rewrote a clean manifest for the recovered documents@."
+          | Error msg ->
+              Fmt.epr "imprecise: repair failed: %s@." msg;
+              exit 1
+        end;
+        exit (if clean then 0 else 1)
+  in
+  let dir = Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR") in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "All-or-nothing: fail on the first problem and leave the directory untouched \
+             instead of quarantining damage.")
+  in
+  let repair =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:
+            "After salvaging, re-save the recovered documents so the manifest matches \
+             what is on disk again (quarantined $(b,*.corrupt) files are kept).")
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:
+         "Check a store directory: verify every document against the checksummed \
+          manifest, quarantine damage, and print a per-document recovery report. Exits \
+          0 only if everything was recovered.")
+    Term.(const run $ dir $ strict $ repair)
+
 (* ---- demo -------------------------------------------------------------------------- *)
 
 let demo_cmd =
@@ -400,7 +449,7 @@ let main =
        ~doc:"Good-is-good-enough probabilistic XML data integration (IMPrECISE, ICDE 2008).")
     [
       integrate_cmd; stats_cmd; query_cmd; worlds_cmd; explain_cmd; feedback_cmd;
-      validate_cmd; rules_cmd; demo_cmd;
+      validate_cmd; rules_cmd; doctor_cmd; demo_cmd;
     ]
 
 let () = exit (Cmd.eval main)

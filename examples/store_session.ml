@@ -28,13 +28,17 @@ let () =
   Fmt.pr "store now holds: %s@." (String.concat ", " (Store.names store));
 
   (* Persist and reopen — probabilistic documents round-trip through their
-     XML encoding. *)
+     XML encoding. The save is atomic (tmp + fsync + rename, committed by a
+     checksummed MANIFEST) and the load verifies every file against the
+     manifest, salvaging what it can and reporting the rest. *)
   (match Store.save store ~dir with
   | Ok () -> Fmt.pr "saved to %s@." dir
   | Error msg -> Fmt.failwith "save failed: %s" msg);
   let reopened =
-    match Store.load ~dir with
-    | Ok s -> s
+    match Store.load dir with
+    | Ok (s, report) ->
+        assert (Store.recovered_all report);
+        s
     | Error msg -> Fmt.failwith "load failed: %s" msg
   in
   let doc' = Option.get (Store.get_probabilistic reopened "movies-integrated") in

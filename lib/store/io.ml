@@ -1,0 +1,148 @@
+type t = {
+  list_dir : string -> string list;
+  read_file : string -> string;
+  write_file : string -> string -> unit;
+  fsync : string -> unit;
+  rename : src:string -> dst:string -> unit;
+  delete : string -> unit;
+  mkdir : string -> unit;
+  exists : string -> bool;
+}
+
+type op = List_dir | Read | Write | Fsync | Rename | Delete | Mkdir
+
+let is_mutating = function
+  | Write | Fsync | Rename | Delete | Mkdir -> true
+  | List_dir | Read -> false
+
+exception Fault of string
+
+(* One exception family for callers: Unix_error becomes Sys_error. *)
+let sys_errors path f =
+  try f ()
+  with Unix.Unix_error (e, _, _) ->
+    raise (Sys_error (Fmt.str "%s: %s" path (Unix.error_message e)))
+
+let real =
+  {
+    list_dir = (fun dir -> Sys.readdir dir |> Array.to_list);
+    read_file =
+      (fun path ->
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic)));
+    write_file =
+      (fun path data ->
+        sys_errors path (fun () ->
+            let fd =
+              Unix.openfile path Unix.[ O_WRONLY; O_CREAT; O_TRUNC; O_CLOEXEC ] 0o644
+            in
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                let n = String.length data in
+                let written = ref 0 in
+                while !written < n do
+                  written :=
+                    !written + Unix.write_substring fd data !written (n - !written)
+                done)));
+    fsync =
+      (fun path ->
+        sys_errors path (fun () ->
+            let fd = Unix.openfile path Unix.[ O_WRONLY; O_CLOEXEC ] 0 in
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () -> Unix.fsync fd)));
+    rename = (fun ~src ~dst -> Sys.rename src dst);
+    delete = Sys.remove;
+    mkdir = (fun dir -> Sys.mkdir dir 0o755);
+    exists = Sys.file_exists;
+  }
+
+type fault_mode = Crash | Torn | Enospc
+
+let faulty ?(mode = Crash) ~fail_at base =
+  let n = ref 0 in
+  (* true iff this mutating operation is the one that fails *)
+  let armed () =
+    incr n;
+    !n = fail_at
+  in
+  let boom what =
+    match mode with
+    | Crash | Torn -> raise (Fault (Fmt.str "injected crash at operation %d (%s)" fail_at what))
+    | Enospc ->
+        raise (Sys_error (Fmt.str "%s: No space left on device (injected at operation %d)" what fail_at))
+  in
+  {
+    base with
+    write_file =
+      (fun path data ->
+        if armed () then begin
+          (match mode with
+          | Crash -> ()
+          | Torn | Enospc ->
+              (* a partial flush: only a prefix of the bytes reached disk *)
+              base.write_file path (String.sub data 0 (String.length data / 2)));
+          boom ("write " ^ path)
+        end
+        else base.write_file path data);
+    fsync = (fun path -> if armed () then boom ("fsync " ^ path) else base.fsync path);
+    rename =
+      (fun ~src ~dst ->
+        if armed () then boom ("rename " ^ dst) else base.rename ~src ~dst);
+    delete = (fun path -> if armed () then boom ("delete " ^ path) else base.delete path);
+    mkdir = (fun dir -> if armed () then boom ("mkdir " ^ dir) else base.mkdir dir);
+  }
+
+let observe f base =
+  {
+    list_dir =
+      (fun dir ->
+        let r = base.list_dir dir in
+        f List_dir dir;
+        r);
+    read_file =
+      (fun path ->
+        let r = base.read_file path in
+        f Read path;
+        r);
+    write_file =
+      (fun path data ->
+        base.write_file path data;
+        f Write path);
+    fsync =
+      (fun path ->
+        base.fsync path;
+        f Fsync path);
+    rename =
+      (fun ~src ~dst ->
+        base.rename ~src ~dst;
+        f Rename dst);
+    delete =
+      (fun path ->
+        base.delete path;
+        f Delete path);
+    mkdir =
+      (fun dir ->
+        base.mkdir dir;
+        f Mkdir dir);
+    exists = base.exists;
+  }
+
+let list_dir t = t.list_dir
+
+let read_file t = t.read_file
+
+let write_file t = t.write_file
+
+let fsync t = t.fsync
+
+let rename t = t.rename
+
+let delete t = t.delete
+
+let mkdir t = t.mkdir
+
+let exists t = t.exists

@@ -1,0 +1,66 @@
+(** Pluggable filesystem operations for the store.
+
+    Every byte the store reads or writes goes through a value of type {!t}.
+    The default, {!real}, performs direct syscalls ([Unix.fsync] included);
+    tests swap in {!faulty}, a shim that simulates a crash, a torn write or
+    a full disk at a chosen operation, and {!observe}, a spy that reports
+    each completed operation — together they let the fault-injection suite
+    walk every crash point of a [save] and assert what a subsequent [load]
+    can still recover. *)
+
+type t
+
+(** The operation classes a shim can observe or fail. *)
+type op = List_dir | Read | Write | Fsync | Rename | Delete | Mkdir
+
+(** [is_mutating op] is [true] for the operations that change the disk
+    (write, fsync, rename, delete, mkdir) — the ones {!faulty} counts. *)
+val is_mutating : op -> bool
+
+(** Raised by {!faulty} in [Crash] and [Torn] modes: the process "died" at
+    this operation. *)
+exception Fault of string
+
+(** Direct syscalls. Writes go through a file descriptor and report short
+    writes; [fsync] forces data to disk. [Unix.Unix_error] is translated to
+    [Sys_error] so callers handle one exception family. *)
+val real : t
+
+(** How the failing operation misbehaves:
+    - [Crash]: the operation raises {!Fault} before doing anything;
+    - [Torn]: a failing write flushes only a prefix of its bytes before
+      raising {!Fault} (a partial flush at power loss); non-writes crash;
+    - [Enospc]: like [Torn], but raises [Sys_error] "No space left on
+      device" — the error path a full disk takes. *)
+type fault_mode = Crash | Torn | Enospc
+
+(** [faulty ~mode ~fail_at base] fails the [fail_at]-th (1-based) mutating
+    operation; earlier and later operations pass through to [base].
+    Default mode: [Crash]. *)
+val faulty : ?mode:fault_mode -> fail_at:int -> t -> t
+
+(** [observe f base] calls [f op path] after each operation of [base]
+    {e completes} ([path] is the destination for renames). Failed
+    operations are not reported, so wrapping a {!faulty} shim records
+    exactly what reached the disk before the crash. *)
+val observe : (op -> string -> unit) -> t -> t
+
+(** {1 Operations}
+
+    All raise [Sys_error] on real filesystem errors. *)
+
+val list_dir : t -> string -> string list
+
+val read_file : t -> string -> string
+
+val write_file : t -> string -> string -> unit
+
+val fsync : t -> string -> unit
+
+val rename : t -> src:string -> dst:string -> unit
+
+val delete : t -> string -> unit
+
+val mkdir : t -> string -> unit
+
+val exists : t -> string -> bool

@@ -1,0 +1,95 @@
+type kind = Certain | Probabilistic
+
+type entry = { name : string; kind : kind; length : int; crc : int32 }
+
+type t = entry list
+
+let filename = "MANIFEST"
+
+let header = "imprecise-manifest 1"
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let crc = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let i = Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code ch))) 0xFFl) in
+      crc := Int32.logxor table.(i) (Int32.shift_right_logical !crc 8))
+    s;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let kind_to_string = function Certain -> "certain" | Probabilistic -> "probabilistic"
+
+let kind_of_string = function
+  | "certain" -> Some Certain
+  | "probabilistic" -> Some Probabilistic
+  | _ -> None
+
+let pp_kind ppf k = Format.pp_print_string ppf (kind_to_string k)
+
+let entry_line e = Fmt.str "%s %s %d %08lx" e.name (kind_to_string e.kind) e.length e.crc
+
+let to_string entries =
+  let block = String.concat "" (List.map (fun e -> entry_line e ^ "\n") entries) in
+  Fmt.str "%s\n%send %d %08lx\n" header block (List.length entries) (crc32 block)
+
+let parse_crc s = if String.length s = 8 then Int32.of_string_opt ("0x" ^ s) else None
+
+let parse_entry line =
+  match String.split_on_char ' ' line with
+  | [ name; kind; length; crc ] -> (
+      match (kind_of_string kind, int_of_string_opt length, parse_crc crc) with
+      | Some kind, Some length, Some crc when name <> "" && length >= 0 ->
+          Ok { name; kind; length; crc }
+      | _ -> Error (Fmt.str "malformed manifest entry %S" line))
+  | _ -> Error (Fmt.str "malformed manifest entry %S" line)
+
+let of_string s =
+  let ( let* ) = Result.bind in
+  match String.split_on_char '\n' s with
+  | h :: rest when h = header ->
+      let block = Buffer.create 256 in
+      let rec go acc = function
+        | [] | [ "" ] -> Error "truncated manifest: no end line"
+        | line :: rest -> (
+            (* the end line has three fields; an entry (even one for a
+               document named "end") always has four *)
+            match String.split_on_char ' ' line with
+            | [ "end"; count; crc ] -> (
+                match (int_of_string_opt count, parse_crc crc) with
+                | Some count, Some crc ->
+                    if count <> List.length acc then
+                      Error
+                        (Fmt.str "manifest end line declares %d entries, found %d" count
+                           (List.length acc))
+                    else if crc <> crc32 (Buffer.contents block) then
+                      Error "manifest entry block fails its checksum"
+                    else if rest <> [] && rest <> [ "" ] then
+                      Error "trailing data after manifest end line"
+                    else Ok (List.rev acc)
+                | _ -> Error (Fmt.str "malformed manifest end line %S" line))
+            | _ ->
+                let* e = parse_entry line in
+                if List.exists (fun e' -> e'.name = e.name) acc then
+                  Error (Fmt.str "duplicate manifest entry for %S" e.name)
+                else begin
+                  Buffer.add_string block (line ^ "\n");
+                  go (e :: acc) rest
+                end)
+      in
+      go [] rest
+  | _ -> Error "bad or missing manifest header"
+
+let find t name = List.find_opt (fun e -> e.name = name) t

@@ -1,0 +1,40 @@
+(** The store's on-disk commit record.
+
+    A saved directory carries a [MANIFEST] file naming every live document
+    with its kind, byte length and CRC-32 checksum. The manifest is written
+    last (tmp + fsync + rename), so its rename is the {e commit point} of a
+    save: a load that finds it trusts exactly the documents it lists, and a
+    crash before it leaves the previous manifest — and therefore the
+    previous store contents — in force.
+
+    The format is line-based and self-checking:
+    {v
+    imprecise-manifest 1
+    <name> certain|probabilistic <length> <crc32-hex>
+    ...
+    end <entry-count> <crc32-hex of the entry block>
+    v}
+    A torn write cannot pass for a complete manifest: truncation loses the
+    [end] line or breaks its count/checksum, and {!of_string} rejects it. *)
+
+type kind = Certain | Probabilistic
+
+type entry = { name : string; kind : kind; length : int; crc : int32 }
+
+type t = entry list
+
+(** ["MANIFEST"] — reserved; never a document name (names end in [.xml]). *)
+val filename : string
+
+(** CRC-32 (the IEEE/zlib polynomial) of a string. *)
+val crc32 : string -> int32
+
+val to_string : t -> string
+
+(** Parses and verifies header, entry syntax, entry count and block
+    checksum. Any deviation — including duplicate names — is an error. *)
+val of_string : string -> (t, string) result
+
+val find : t -> string -> entry option
+
+val pp_kind : Format.formatter -> kind -> unit

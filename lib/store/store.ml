@@ -2,12 +2,19 @@ module Xml = Imprecise_xml
 module Tree = Xml.Tree
 module Pxml = Imprecise_pxml.Pxml
 module Codec = Imprecise_pxml.Codec
+module Io = Io
+module Manifest = Manifest
 
 type doc = Certain of Tree.t | Probabilistic of Pxml.doc
 
-type t = { tbl : (string, doc) Hashtbl.t; mutable order : string list }
+type t = {
+  tbl : (string, doc) Hashtbl.t;
+  (* newest first, so put is O(1); [names] reverses once and caches *)
+  mutable rev_order : string list;
+  mutable order_cache : string list option;
+}
 
-let create () = { tbl = Hashtbl.create 16; order = [] }
+let create () = { tbl = Hashtbl.create 16; rev_order = []; order_cache = None }
 
 let valid_name name =
   name <> ""
@@ -22,7 +29,10 @@ let valid_name name =
 let put t name doc =
   if not (valid_name name) then
     invalid_arg (Fmt.str "Store.put: invalid document name %S" name);
-  if not (Hashtbl.mem t.tbl name) then t.order <- t.order @ [ name ];
+  if not (Hashtbl.mem t.tbl name) then begin
+    t.rev_order <- name :: t.rev_order;
+    t.order_cache <- None
+  end;
   Hashtbl.replace t.tbl name doc
 
 let get t name = Hashtbl.find_opt t.tbl name
@@ -36,12 +46,19 @@ let get_probabilistic t name =
 let remove t name =
   if Hashtbl.mem t.tbl name then begin
     Hashtbl.remove t.tbl name;
-    t.order <- List.filter (fun n -> n <> name) t.order
+    t.rev_order <- List.filter (fun n -> n <> name) t.rev_order;
+    t.order_cache <- None
   end
 
 let mem t name = Hashtbl.mem t.tbl name
 
-let names t = t.order
+let names t =
+  match t.order_cache with
+  | Some order -> order
+  | None ->
+      let order = List.rev t.rev_order in
+      t.order_cache <- Some order;
+      order
 
 let size t = Hashtbl.length t.tbl
 
@@ -49,45 +66,227 @@ let doc_to_tree = function
   | Certain tree -> tree
   | Probabilistic doc -> Codec.encode doc
 
-let save t ~dir =
+let kind_of_doc = function
+  | Certain _ -> Manifest.Certain
+  | Probabilistic _ -> Manifest.Probabilistic
+
+(* ---- on-disk naming --------------------------------------------------- *)
+
+let xml_suffix = ".xml"
+
+let tmp_suffix = ".tmp"
+
+let corrupt_suffix = ".corrupt"
+
+let xml_filename name = name ^ xml_suffix
+
+let serialize doc = Xml.Printer.to_string ~decl:true ~indent:2 (doc_to_tree doc) ^ "\n"
+
+(* ---- save ------------------------------------------------------------- *)
+
+let save ?(io = Io.real) t ~dir =
   try
-    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    if not (Io.exists io dir) then Io.mkdir io dir;
+    (* stage and publish every document: tmp, fsync, rename *)
+    let entries =
+      List.map
+        (fun name ->
+          let doc = Hashtbl.find t.tbl name in
+          let data = serialize doc in
+          let final = Filename.concat dir (xml_filename name) in
+          let tmp = final ^ tmp_suffix in
+          Io.write_file io tmp data;
+          Io.fsync io tmp;
+          Io.rename io ~src:tmp ~dst:final;
+          {
+            Manifest.name;
+            kind = kind_of_doc doc;
+            length = String.length data;
+            crc = Manifest.crc32 data;
+          })
+        (names t)
+    in
+    (* commit: the manifest names exactly the live documents *)
+    let mpath = Filename.concat dir Manifest.filename in
+    let mtmp = mpath ^ tmp_suffix in
+    Io.write_file io mtmp (Manifest.to_string entries);
+    Io.fsync io mtmp;
+    Io.rename io ~src:mtmp ~dst:mpath;
+    (* after the commit, clean up files of removed documents and any
+       leftover staging files *)
+    List.iter
+      (fun file ->
+        let stale_doc =
+          Filename.check_suffix file xml_suffix
+          && not (mem t (Filename.chop_suffix file xml_suffix))
+        in
+        if stale_doc || Filename.check_suffix file tmp_suffix then
+          Io.delete io (Filename.concat dir file))
+      (Io.list_dir io dir);
+    Ok ()
+  with
+  | Sys_error msg -> Error msg
+  | Io.Fault msg -> Error msg
+
+(* ---- load ------------------------------------------------------------- *)
+
+type load_mode = Strict | Salvage
+
+type outcome = Recovered | Quarantined of string | Missing
+
+type manifest_status = [ `Ok | `Absent | `Corrupt of string ]
+
+type report = { manifest : manifest_status; docs : (string * outcome) list }
+
+let recovered_all r = List.for_all (fun (_, o) -> o = Recovered) r.docs
+
+let pp_outcome ppf = function
+  | Recovered -> Fmt.string ppf "recovered"
+  | Quarantined reason -> Fmt.pf ppf "quarantined: %s" reason
+  | Missing -> Fmt.string ppf "missing (listed in manifest, no file)"
+
+let pp_report ppf r =
+  (match r.manifest with
+  | `Ok -> Fmt.pf ppf "manifest: ok@."
+  | `Absent -> Fmt.pf ppf "manifest: absent (legacy directory, files taken at face value)@."
+  | `Corrupt reason -> Fmt.pf ppf "manifest: corrupt (%s); quarantined@." reason);
+  List.iter (fun (name, o) -> Fmt.pf ppf "  %-24s %a@." name pp_outcome o) r.docs
+
+(* Strict mode turns the first problem into an [Error]. *)
+exception Abort of string
+
+let parse_doc data =
+  match Xml.Parser.parse_string data with
+  | Error e -> Error (Xml.Parser.error_to_string e)
+  | Ok tree ->
+      if Tree.name tree = Some Codec.prob_tag then
+        match Codec.decode tree with
+        | Ok d -> Ok (Probabilistic d)
+        | Error msg -> Error msg
+      else Ok (Certain tree)
+
+let load ?(io = Io.real) ?(mode = Salvage) dir =
+  try
+    let files = Io.list_dir io dir |> List.sort String.compare in
+    let t = create () in
+    let outcomes = ref [] (* newest first *) in
+    let note name o = outcomes := (name, o) :: !outcomes in
+    let noted name = List.exists (fun (n, _) -> n = name) !outcomes in
+    let quarantine path =
+      Io.rename io ~src:path ~dst:(path ^ corrupt_suffix)
+    in
+    (* the manifest, if any *)
+    let mpath = Filename.concat dir Manifest.filename in
+    let manifest_status, manifest =
+      if not (List.mem Manifest.filename files) then (`Absent, None)
+      else
+        match Manifest.of_string (Io.read_file io mpath) with
+        | Ok m -> (`Ok, Some m)
+        | Error reason -> (
+            match mode with
+            | Strict -> raise (Abort (Fmt.str "%s: %s" mpath reason))
+            | Salvage ->
+                quarantine mpath;
+                (`Corrupt reason, None))
+    in
+    (* leftover staging files are interrupted writes; salvage quarantines
+       them (strict leaves the directory untouched and ignores them, as the
+       pre-manifest loader did) *)
+    let tmp_notes =
+      match mode with
+      | Strict -> []
+      | Salvage ->
+          List.filter_map
+            (fun file ->
+              if not (Filename.check_suffix file tmp_suffix) then None
+              else begin
+                quarantine (Filename.concat dir file);
+                if Filename.check_suffix file (xml_suffix ^ tmp_suffix) then
+                  Some (Filename.chop_suffix file (xml_suffix ^ tmp_suffix))
+                else None
+              end)
+            files
+    in
+    let xml_files = List.filter (fun f -> Filename.check_suffix f xml_suffix) files in
+    let fail_or_quarantine path name reason =
+      match mode with
+      | Strict -> raise (Abort (Fmt.str "%s: %s" path reason))
+      | Salvage ->
+          quarantine path;
+          note name (Quarantined reason)
+    in
+    (match manifest with
+    | Some entries ->
+        (* the manifest is authoritative: verify each listed document *)
+        List.iter
+          (fun (e : Manifest.entry) ->
+            let path = Filename.concat dir (xml_filename e.name) in
+            if not (valid_name e.name) then
+              match mode with
+              | Strict -> raise (Abort (Fmt.str "%s: invalid document name in manifest" path))
+              | Salvage -> note e.name (Quarantined "invalid document name in manifest")
+            else if not (Io.exists io path) then
+              match mode with
+              | Strict -> raise (Abort (Fmt.str "%s: missing (listed in manifest)" path))
+              | Salvage -> note e.name Missing
+            else
+              let data = Io.read_file io path in
+              let verdict =
+                if String.length data <> e.length || Manifest.crc32 data <> e.crc then
+                  Error
+                    "checksum mismatch against manifest (torn write, or data from an \
+                     interrupted later save)"
+                else
+                  match parse_doc data with
+                  | Error msg -> Error (Fmt.str "parse error: %s" msg)
+                  | Ok doc ->
+                      if kind_of_doc doc <> e.kind then
+                        Error
+                          (Fmt.str "manifest says %a, file decodes as %a" Manifest.pp_kind
+                             e.kind Manifest.pp_kind (kind_of_doc doc))
+                      else Ok doc
+              in
+              (match verdict with
+              | Ok doc ->
+                  put t e.name doc;
+                  note e.name Recovered
+              | Error reason -> fail_or_quarantine path e.name reason))
+          entries;
+        (* files the manifest does not know: leftovers of removed documents
+           (deleted in memory, save interrupted before cleanup) or foreign
+           files; never resurrect them *)
+        List.iter
+          (fun file ->
+            let name = Filename.chop_suffix file xml_suffix in
+            if Manifest.find entries name = None then
+              fail_or_quarantine (Filename.concat dir file) name
+                "not listed in manifest (leftover of a removed document, or a foreign \
+                 file)")
+          xml_files
+    | None ->
+        (* no manifest: a legacy or uncommitted directory; take every
+           well-formed <valid-name>.xml at face value *)
+        List.iter
+          (fun file ->
+            let path = Filename.concat dir file in
+            let name = Filename.chop_suffix file xml_suffix in
+            if not (valid_name name) then
+              fail_or_quarantine path name (Fmt.str "invalid document name %S" name)
+            else
+              match parse_doc (Io.read_file io path) with
+              | Error msg -> fail_or_quarantine path name msg
+              | Ok doc ->
+                  put t name doc;
+                  note name Recovered)
+          xml_files);
+    (* interrupted writes with no surviving document of the same name *)
     List.iter
       (fun name ->
-        let doc = Hashtbl.find t.tbl name in
-        Xml.Printer.to_file ~decl:true ~indent:2
-          (Filename.concat dir (name ^ ".xml"))
-          (doc_to_tree doc))
-      t.order;
-    Ok ()
-  with Sys_error msg -> Error msg
-
-let load ~dir =
-  try
-    let files =
-      Sys.readdir dir |> Array.to_list
-      |> List.filter (fun f -> Filename.check_suffix f ".xml")
-      |> List.sort String.compare
-    in
-    let t = create () in
-    let rec go = function
-      | [] -> Ok t
-      | file :: rest -> (
-          let path = Filename.concat dir file in
-          match Xml.Parser.parse_file path with
-          | Error e -> Error (Fmt.str "%s: %s" path (Xml.Parser.error_to_string e))
-          | Ok tree -> (
-              let name = Filename.chop_suffix file ".xml" in
-              if Tree.name tree = Some Codec.prob_tag then
-                match Codec.decode tree with
-                | Error msg -> Error (Fmt.str "%s: %s" path msg)
-                | Ok doc ->
-                    put t name (Probabilistic doc);
-                    go rest
-              else begin
-                put t name (Certain tree);
-                go rest
-              end))
-    in
-    go files
-  with Sys_error msg -> Error msg
+        if not (noted name) then
+          note name (Quarantined "interrupted write (only a .tmp staging file found)"))
+      tmp_notes;
+    Ok (t, { manifest = manifest_status; docs = List.rev !outcomes })
+  with
+  | Abort msg -> Error msg
+  | Sys_error msg -> Error msg
+  | Io.Fault msg -> Error msg

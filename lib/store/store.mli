@@ -7,10 +7,22 @@
     XML files (probabilistic documents via the {!Imprecise_pxml.Codec}
     encoding, recognised on load by their [p:prob] root). The query half is
     {!Imprecise_xpath} / {!Imprecise_pquery}, which operate on the values
-    this store returns. *)
+    this store returns.
+
+    Persistence is crash-safe: saves stage each document through a
+    tmp + fsync + rename protocol and commit by renaming a checksummed
+    [MANIFEST]; loads salvage — they verify every file, quarantine what is
+    damaged, and report rather than refuse. See [doc/store.md] for the
+    on-disk layout and the exact guarantees. *)
 
 module Tree = Imprecise_xml.Tree
 module Pxml = Imprecise_pxml.Pxml
+
+(** The IO layer the store runs on; swap in {!Io.faulty} to test crashes. *)
+module Io = Io
+
+(** The on-disk commit record written by {!save}. *)
+module Manifest = Manifest
 
 type doc = Certain of Tree.t | Probabilistic of Pxml.doc
 
@@ -19,7 +31,7 @@ type t
 val create : unit -> t
 
 (** [put t name doc] adds or replaces. Names must be non-empty and use only
-    [A-Za-z0-9._-]; raises [Invalid_argument] otherwise. *)
+    [A-Za-z0-9._-]; raises [Invalid_argument] otherwise. O(1) per call. *)
 val put : t -> string -> doc -> unit
 
 val get : t -> string -> doc option
@@ -39,8 +51,53 @@ val size : t -> int
 
 (** {1 Persistence}
 
-    One file per document, [<name>.xml], in a directory. *)
+    One file per document, [<name>.xml], plus a [MANIFEST], in a directory.
 
-val save : t -> dir:string -> (unit, string) result
+    [save] is atomic per document {e and} per collection: each file is
+    written to [<name>.xml.tmp], fsynced, then renamed into place, and the
+    manifest — listing every live document with its byte length and CRC-32
+    — is written last by the same protocol. The manifest rename is the
+    commit point; after it, files of removed documents and leftover [.tmp]
+    staging files are deleted, so removed documents stay removed. A save
+    that fails mid-way (crash, full disk) leaves the previous commit
+    loadable. *)
 
-val load : dir:string -> (t, string) result
+val save : ?io:Io.t -> t -> dir:string -> (unit, string) result
+
+(** How {!load} treats damage:
+    - [Salvage] (default): recover every intact document; rename anything
+      unparseable, checksum-mismatched, stray, or left over as [.tmp] to
+      [<file>.corrupt] (bytes are kept, never silently deleted) and record
+      the reason in the report;
+    - [Strict]: all-or-nothing — the first problem aborts the load with
+      [Error] and the directory is not touched. *)
+type load_mode = Strict | Salvage
+
+(** Per-document result of a load. *)
+type outcome =
+  | Recovered  (** verified (against the manifest when present) and loaded *)
+  | Quarantined of string  (** renamed to [*.corrupt]; the reason why *)
+  | Missing  (** listed in the manifest but no file on disk *)
+
+type manifest_status =
+  [ `Ok  (** present and verified *)
+  | `Absent  (** legacy directory: files are taken at face value *)
+  | `Corrupt of string  (** unreadable; quarantined, files taken at face value *)
+  ]
+
+type report = { manifest : manifest_status; docs : (string * outcome) list }
+
+(** [true] iff every document came back [Recovered]. *)
+val recovered_all : report -> bool
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val pp_report : Format.formatter -> report -> unit
+
+(** [load dir] reads a saved directory back. With a manifest, exactly the
+    listed documents are candidates and each is verified against its length
+    and checksum — a document whose bytes do not match its manifest entry
+    is never returned. Without one, every [<valid-name>.xml] that parses is
+    accepted (legacy layout). [Error] is reserved for the directory being
+    unreadable — or, under [Strict], for any damage at all. *)
+val load : ?io:Io.t -> ?mode:load_mode -> string -> (t * report, string) result

@@ -58,9 +58,10 @@ let test_unicode_survives_codec_and_store () =
   let s = Store.create () in
   Store.put s "messy" (Store.Probabilistic doc);
   (match Store.save s ~dir with Ok () -> () | Error m -> Alcotest.failf "save: %s" m);
-  match Store.load ~dir with
+  match Store.load dir with
   | Error m -> Alcotest.failf "load: %s" m
-  | Ok s' -> (
+  | Ok (s', report) -> (
+      check Alcotest.bool "clean recovery" true (Store.recovered_all report);
       match Store.get_probabilistic s' "messy" with
       | Some doc' -> check Alcotest.bool "store roundtrip" true (Pxml.equal doc doc')
       | None -> Alcotest.fail "document lost")
@@ -105,10 +106,17 @@ let test_store_load_skips_nothing_but_fails_on_bad_xml () =
   let oc = open_out (Filename.concat dir "broken.xml") in
   output_string oc "<unclosed>";
   close_out oc;
-  (match Store.load ~dir with
+  (* strict keeps the all-or-nothing contract *)
+  (match Store.load ~mode:Store.Strict dir with
   | Error msg -> check Alcotest.bool "names the file" true (Astring_contains.contains msg "broken")
   | Ok _ -> Alcotest.fail "bad XML accepted");
-  Sys.remove (Filename.concat dir "broken.xml")
+  (* salvage quarantines the damage instead of refusing the directory *)
+  (match Store.load dir with
+  | Error msg -> Alcotest.failf "salvage refused the directory: %s" msg
+  | Ok (s, report) ->
+      check Alcotest.int "nothing loadable" 0 (Store.size s);
+      check Alcotest.bool "damage reported" false (Store.recovered_all report));
+  Sys.remove (Filename.concat dir "broken.xml.corrupt")
 
 let test_store_load_rejects_bad_encoding () =
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "imprecise-badenc" in
@@ -116,10 +124,13 @@ let test_store_load_rejects_bad_encoding () =
   let oc = open_out (Filename.concat dir "badprob.xml") in
   output_string oc "<p:prob><p:poss p=\"0.4\"/></p:prob>";
   close_out oc;
-  (match Store.load ~dir with
+  (match Store.load ~mode:Store.Strict dir with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "invalid probabilities accepted");
-  Sys.remove (Filename.concat dir "badprob.xml")
+  (match Store.load dir with
+  | Error msg -> Alcotest.failf "salvage refused the directory: %s" msg
+  | Ok (s, _) -> check Alcotest.bool "never returned decoded" false (Store.mem s "badprob"));
+  Sys.remove (Filename.concat dir "badprob.xml.corrupt")
 
 let suite =
   let t name f = Alcotest.test_case name `Quick f in

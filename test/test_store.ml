@@ -1,9 +1,11 @@
-(* Tests for the document store: CRUD, name validation, and persistence of
-   both certain and probabilistic documents. *)
+(* Tests for the document store: CRUD, name validation, and crash-safe
+   persistence of both certain and probabilistic documents. The fault-
+   injection crash matrix lives in test_crash.ml (dune alias @crash). *)
 
 module Store = Imprecise.Store
 module Tree = Imprecise.Tree
 module Pxml = Imprecise.Pxml
+module Worlds = Imprecise.Worlds
 module Oracle = Imprecise.Oracle
 module Integrate = Imprecise.Integrate
 module Addressbook = Imprecise.Data.Addressbook
@@ -17,6 +19,43 @@ let pdoc =
     Integrate.config ~oracle:(Oracle.make [ Oracle.deep_equal_rule ]) ~dtd:Addressbook.dtd ()
   in
   Result.get_ok (Integrate.integrate cfg Addressbook.source_a Addressbook.source_b)
+
+(* Every test gets its own directory so salvage-mode quarantines cannot
+   leak between tests or runs. *)
+let dir_counter = ref 0
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let fresh_dir () =
+  incr dir_counter;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "imprecise-store-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  rm_rf dir;
+  dir
+
+let write_raw dir name content =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out_bin (Filename.concat dir name) in
+  output_string oc content;
+  close_out oc
+
+let save_exn s dir =
+  match Store.save s ~dir with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "save failed: %s" msg
+
+let load_exn ?mode dir =
+  match Store.load ?mode dir with
+  | Ok (s, report) -> (s, report)
+  | Error msg -> Alcotest.failf "load failed: %s" msg
 
 let test_crud () =
   let s = Store.create () in
@@ -48,47 +87,182 @@ let test_name_validation () =
       | () -> Alcotest.failf "accepted bad name %S" name)
     [ ""; "a/b"; "a b"; "../evil"; "a\n" ]
 
+(* Regression: put used to append with [t.order @ [name]], making N puts
+   O(N^2). The rewrite must stay O(1) per put and keep insertion-order
+   semantics across removes and re-puts. *)
+let test_insertion_order_at_scale () =
+  let s = Store.create () in
+  let names = List.init 5000 (Printf.sprintf "doc-%04d") in
+  List.iter (fun n -> Store.put s n (Store.Certain tree)) names;
+  check Alcotest.int "all inserted" 5000 (Store.size s);
+  check Alcotest.(list string) "insertion order kept" names (Store.names s);
+  (* replacing does not move a document *)
+  Store.put s "doc-0000" (Store.Certain (Tree.element "r" []));
+  check Alcotest.string "replace keeps position" "doc-0000" (List.hd (Store.names s));
+  (* remove + re-put moves it to the end *)
+  Store.remove s "doc-2500";
+  Store.put s "doc-2500" (Store.Certain tree);
+  check Alcotest.string "re-put goes last" "doc-2500"
+    (List.nth (Store.names s) (Store.size s - 1))
+
 let test_save_load_roundtrip () =
   let s = Store.create () in
   Store.put s "catalog" (Store.Certain tree);
   Store.put s "john" (Store.Probabilistic pdoc);
-  let dir = Filename.concat (Filename.get_temp_dir_name ()) "imprecise-store-test" in
-  (match Store.save s ~dir with
-  | Ok () -> ()
-  | Error msg -> Alcotest.failf "save failed: %s" msg);
-  match Store.load ~dir with
-  | Error msg -> Alcotest.failf "load failed: %s" msg
-  | Ok s' -> (
-      check Alcotest.int "both docs back" 2 (Store.size s');
-      (match Store.get_certain s' "catalog" with
-      | Some t -> check Alcotest.bool "certain round-trips" true (Tree.deep_equal tree t)
-      | None -> Alcotest.fail "catalog missing or mistyped");
-      match Store.get_probabilistic s' "john" with
-      | Some d -> check Alcotest.bool "probabilistic round-trips" true (Pxml.equal pdoc d)
-      | None -> Alcotest.fail "john missing or mistyped")
+  let dir = fresh_dir () in
+  save_exn s dir;
+  check Alcotest.bool "manifest written" true
+    (Sys.file_exists (Filename.concat dir "MANIFEST"));
+  let s', report = load_exn dir in
+  check Alcotest.bool "clean recovery" true (Store.recovered_all report);
+  check Alcotest.bool "manifest verified" true (report.Store.manifest = `Ok);
+  check Alcotest.int "both docs back" 2 (Store.size s');
+  (match Store.get_certain s' "catalog" with
+  | Some t -> check Alcotest.bool "certain round-trips" true (Tree.deep_equal tree t)
+  | None -> Alcotest.fail "catalog missing or mistyped");
+  match Store.get_probabilistic s' "john" with
+  | Some d -> check Alcotest.bool "probabilistic round-trips" true (Pxml.equal pdoc d)
+  | None -> Alcotest.fail "john missing or mistyped"
+
+(* Regression: save never deleted files of removed documents, so
+   remove + save + load resurrected them from stale files. *)
+let test_removed_documents_stay_removed () =
+  let dir = fresh_dir () in
+  let s = Store.create () in
+  Store.put s "keep" (Store.Certain tree);
+  Store.put s "gone" (Store.Certain tree);
+  save_exn s dir;
+  Store.remove s "gone";
+  save_exn s dir;
+  check Alcotest.bool "stale file deleted" false
+    (Sys.file_exists (Filename.concat dir "gone.xml"));
+  let s', report = load_exn dir in
+  check Alcotest.bool "clean recovery" true (Store.recovered_all report);
+  check Alcotest.bool "survivor present" true (Store.mem s' "keep");
+  check Alcotest.bool "removed document stays removed" false (Store.mem s' "gone")
+
+(* Regression: an .xml file whose basename fails valid_name used to make
+   put raise Invalid_argument inside load, escaping the result contract. *)
+let test_invalid_name_file_handled_gracefully () =
+  let dir = fresh_dir () in
+  write_raw dir "bad name.xml" "<r/>";
+  write_raw dir "good.xml" "<r/>";
+  (match Store.load ~mode:Store.Strict dir with
+  | Error msg ->
+      check Alcotest.bool "error names the file" true
+        (Astring_contains.contains msg "bad name")
+  | Ok _ -> Alcotest.fail "strict load accepted an invalid document name");
+  let s, report = load_exn dir in
+  check Alcotest.bool "good document recovered" true (Store.mem s "good");
+  check Alcotest.int "only the good document" 1 (Store.size s);
+  (match List.assoc_opt "bad name" report.Store.docs with
+  | Some (Store.Quarantined _) -> ()
+  | _ -> Alcotest.fail "invalid-name file not quarantined");
+  check Alcotest.bool "bytes kept under .corrupt" true
+    (Sys.file_exists (Filename.concat dir "bad name.xml.corrupt"))
+
+(* World probabilities of a probabilistic document must survive persistence
+   bit for bit (the codec prints them with %.17g), unicode and XML special
+   characters included. *)
+let test_probabilistic_bit_for_bit_roundtrip () =
+  let doc =
+    Pxml.certain
+      [
+        Pxml.Elem
+          ( "catalog",
+            [ ("label", {|"π & <spice>" — Zoë's|}) ],
+            [
+              Pxml.dist
+                [
+                  Pxml.choice ~prob:(1. /. 3.) [ Pxml.Text "कथा & <Context>" ];
+                  Pxml.choice ~prob:(2. /. 3.)
+                    [ Pxml.Elem ("entry", [], [ Pxml.certain [ Pxml.Text "Bjørn Ångström" ] ]) ];
+                ];
+              Pxml.dist
+                [
+                  Pxml.choice ~prob:0.1 [ Pxml.Text "a]]>b" ];
+                  Pxml.choice ~prob:0.9 [ Pxml.Text "newline\nand\ttab" ];
+                ];
+            ] );
+      ]
+  in
+  let dir = fresh_dir () in
+  let s = Store.create () in
+  Store.put s "messy" (Store.Probabilistic doc);
+  save_exn s dir;
+  let s', report = load_exn dir in
+  check Alcotest.bool "clean recovery" true (Store.recovered_all report);
+  match Store.get_probabilistic s' "messy" with
+  | None -> Alcotest.fail "document lost or mistyped"
+  | Some doc' ->
+      check Alcotest.bool "structurally equal" true (Pxml.equal doc doc');
+      let ws = Worlds.merged doc and ws' = Worlds.merged doc' in
+      check Alcotest.int "same number of worlds" (List.length ws) (List.length ws');
+      List.iter2
+        (fun (p, forest) (p', forest') ->
+          check Alcotest.bool "world probability bit-for-bit" true (p = p');
+          check Alcotest.bool "world content intact" true
+            (List.for_all2 Tree.deep_equal forest forest'))
+        ws ws'
 
 let test_load_ignores_non_xml () =
-  let dir = Filename.concat (Filename.get_temp_dir_name ()) "imprecise-mixed-files" in
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let write name content =
-    let oc = open_out (Filename.concat dir name) in
-    output_string oc content;
-    close_out oc
-  in
-  write "notes.txt" "not xml at all <<<";
-  write "data.xml" "<catalog><item>x</item></catalog>";
-  (match Store.load ~dir with
-  | Ok s ->
-      check Alcotest.int "only the xml file" 1 (Store.size s);
-      check Alcotest.bool "named after the file" true (Store.mem s "data")
-  | Error msg -> Alcotest.failf "load failed: %s" msg);
-  Sys.remove (Filename.concat dir "notes.txt");
-  Sys.remove (Filename.concat dir "data.xml")
+  let dir = fresh_dir () in
+  write_raw dir "notes.txt" "not xml at all <<<";
+  write_raw dir "data.xml" "<catalog><item>x</item></catalog>";
+  let s, report = load_exn dir in
+  check Alcotest.int "only the xml file" 1 (Store.size s);
+  check Alcotest.bool "named after the file" true (Store.mem s "data");
+  check Alcotest.bool "legacy directory flagged" true (report.Store.manifest = `Absent)
 
 let test_load_missing_dir () =
-  match Store.load ~dir:"/nonexistent/imprecise" with
+  match Store.load "/nonexistent/imprecise" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected error"
+
+(* A corrupted document is quarantined with a reason in salvage mode and
+   aborts a strict load; the manifest pins down exactly what was lost. *)
+let test_corrupted_file_quarantined () =
+  let dir = fresh_dir () in
+  let s = Store.create () in
+  Store.put s "alpha" (Store.Certain tree);
+  Store.put s "beta" (Store.Certain (Tree.element "beta" []));
+  save_exn s dir;
+  (* flip bytes behind the store's back *)
+  write_raw dir "alpha.xml" "<catalog><item>tampered</item></catalog>";
+  (match Store.load ~mode:Store.Strict dir with
+  | Error msg ->
+      check Alcotest.bool "strict reports checksum" true
+        (Astring_contains.contains msg "checksum")
+  | Ok _ -> Alcotest.fail "strict load accepted tampered bytes");
+  let s', report = load_exn dir in
+  check Alcotest.bool "intact doc recovered" true (Store.mem s' "beta");
+  check Alcotest.bool "tampered doc never returned" false (Store.mem s' "alpha");
+  (match List.assoc_opt "alpha" report.Store.docs with
+  | Some (Store.Quarantined reason) ->
+      check Alcotest.bool "reason mentions checksum" true
+        (Astring_contains.contains reason "checksum")
+  | _ -> Alcotest.fail "tampered doc not quarantined");
+  check Alcotest.bool "bytes preserved" true
+    (Sys.file_exists (Filename.concat dir "alpha.xml.corrupt"))
+
+(* A manifest that fails its own checksum is quarantined and the directory
+   degrades to face-value loading rather than refusing wholesale. *)
+let test_corrupt_manifest_salvaged () =
+  let dir = fresh_dir () in
+  let s = Store.create () in
+  Store.put s "alpha" (Store.Certain tree);
+  save_exn s dir;
+  write_raw dir "MANIFEST" "imprecise-manifest 1\ngarbage\n";
+  (match Store.load ~mode:Store.Strict dir with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "strict load accepted a corrupt manifest");
+  let s', report = load_exn dir in
+  (match report.Store.manifest with
+  | `Corrupt _ -> ()
+  | _ -> Alcotest.fail "corrupt manifest not reported");
+  check Alcotest.bool "document still salvaged" true (Store.mem s' "alpha");
+  check Alcotest.bool "manifest quarantined" true
+    (Sys.file_exists (Filename.concat dir "MANIFEST.corrupt"))
 
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
@@ -97,8 +271,14 @@ let suite =
       [
         t "put/get/remove/list" test_crud;
         t "name validation" test_name_validation;
+        t "insertion order at scale (put is O(1))" test_insertion_order_at_scale;
         t "save/load roundtrip" test_save_load_roundtrip;
+        t "removed documents stay removed" test_removed_documents_stay_removed;
+        t "invalid-name files handled gracefully" test_invalid_name_file_handled_gracefully;
+        t "probabilistic round-trip is bit-for-bit" test_probabilistic_bit_for_bit_roundtrip;
         t "loading a missing directory fails" test_load_missing_dir;
         t "load ignores non-XML files" test_load_ignores_non_xml;
+        t "corrupted file quarantined, not returned" test_corrupted_file_quarantined;
+        t "corrupt manifest salvaged" test_corrupt_manifest_salvaged;
       ] );
   ]

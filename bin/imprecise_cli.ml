@@ -377,7 +377,7 @@ let validate_cmd =
 let doctor_cmd =
   let run dir strict repair =
     let mode = if strict then Store.Strict else Store.Salvage in
-    match Store.load ~mode dir with
+    match Store.load ~mode ~quarantine:repair dir with
     | Error msg ->
         Fmt.epr "imprecise: %s@." msg;
         exit 1
@@ -385,39 +385,45 @@ let doctor_cmd =
         Fmt.pr "%a" Store.pp_report report;
         Fmt.pr "recovered %d of %d document(s)@." (Store.size s)
           (List.length report.Store.docs);
-        let clean = Store.recovered_all report in
-        if repair && not clean then begin
+        (* clean means the commit record itself checked out, not just that
+           every file the load happened to find was readable *)
+        let clean = Store.recovered_all report && report.Store.manifest = `Ok in
+        if clean then exit 0
+        else if repair then begin
           match Store.save s ~dir with
-          | Ok () -> Fmt.pr "rewrote a clean manifest for the recovered documents@."
+          | Ok () ->
+              Fmt.pr "rewrote a clean manifest for the recovered documents@.";
+              exit 0
           | Error msg ->
               Fmt.epr "imprecise: repair failed: %s@." msg;
               exit 1
-        end;
-        exit (if clean then 0 else 1)
+        end
+        else exit 1
   in
   let dir = Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR") in
   let strict =
     Arg.(
       value & flag
       & info [ "strict" ]
-          ~doc:
-            "All-or-nothing: fail on the first problem and leave the directory untouched \
-             instead of quarantining damage.")
+          ~doc:"All-or-nothing: fail on the first problem instead of salvaging around it.")
   in
   let repair =
     Arg.(
       value & flag
       & info [ "repair" ]
           ~doc:
-            "After salvaging, re-save the recovered documents so the manifest matches \
-             what is on disk again (quarantined $(b,*.corrupt) files are kept).")
+            "Quarantine damaged and stray files (renamed to $(b,*.corrupt), bytes kept) \
+             and re-save the recovered documents, so the directory carries a clean, \
+             verified manifest again — also upgrading a legacy or corrupt-manifest \
+             directory. Without this flag doctor only reads.")
   in
   Cmd.v
     (Cmd.info "doctor"
        ~doc:
          "Check a store directory: verify every document against the checksummed \
-          manifest, quarantine damage, and print a per-document recovery report. Exits \
-          0 only if everything was recovered.")
+          manifest and print a per-document recovery report. Exits 0 only if the \
+          manifest is present and verified and every document was recovered (or \
+          $(b,--repair) restored that state).")
     Term.(const run $ dir $ strict $ repair)
 
 (* ---- demo -------------------------------------------------------------------------- *)

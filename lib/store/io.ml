@@ -3,16 +3,17 @@ type t = {
   read_file : string -> string;
   write_file : string -> string -> unit;
   fsync : string -> unit;
+  fsync_dir : string -> unit;
   rename : src:string -> dst:string -> unit;
   delete : string -> unit;
   mkdir : string -> unit;
   exists : string -> bool;
 }
 
-type op = List_dir | Read | Write | Fsync | Rename | Delete | Mkdir
+type op = List_dir | Read | Write | Fsync | Fsync_dir | Rename | Delete | Mkdir
 
 let is_mutating = function
-  | Write | Fsync | Rename | Delete | Mkdir -> true
+  | Write | Fsync | Fsync_dir | Rename | Delete | Mkdir -> true
   | List_dir | Read -> false
 
 exception Fault of string
@@ -54,6 +55,15 @@ let real =
             Fun.protect
               ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
               (fun () -> Unix.fsync fd)));
+    fsync_dir =
+      (fun dir ->
+        sys_errors dir (fun () ->
+            let fd = Unix.openfile dir Unix.[ O_RDONLY; O_CLOEXEC ] 0 in
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                (* some filesystems refuse to fsync a directory fd *)
+                try Unix.fsync fd with Unix.Unix_error (Unix.EINVAL, _, _) -> ())));
     rename = (fun ~src ~dst -> Sys.rename src dst);
     delete = Sys.remove;
     mkdir = (fun dir -> Sys.mkdir dir 0o755);
@@ -89,6 +99,8 @@ let faulty ?(mode = Crash) ~fail_at base =
         end
         else base.write_file path data);
     fsync = (fun path -> if armed () then boom ("fsync " ^ path) else base.fsync path);
+    fsync_dir =
+      (fun dir -> if armed () then boom ("fsync-dir " ^ dir) else base.fsync_dir dir);
     rename =
       (fun ~src ~dst ->
         if armed () then boom ("rename " ^ dst) else base.rename ~src ~dst);
@@ -116,6 +128,10 @@ let observe f base =
       (fun path ->
         base.fsync path;
         f Fsync path);
+    fsync_dir =
+      (fun dir ->
+        base.fsync_dir dir;
+        f Fsync_dir dir);
     rename =
       (fun ~src ~dst ->
         base.rename ~src ~dst;
@@ -138,6 +154,8 @@ let read_file t = t.read_file
 let write_file t = t.write_file
 
 let fsync t = t.fsync
+
+let fsync_dir t = t.fsync_dir
 
 let rename t = t.rename
 

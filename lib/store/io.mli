@@ -11,10 +11,11 @@
 type t
 
 (** The operation classes a shim can observe or fail. *)
-type op = List_dir | Read | Write | Fsync | Rename | Delete | Mkdir
+type op = List_dir | Read | Write | Fsync | Fsync_dir | Rename | Delete | Mkdir
 
 (** [is_mutating op] is [true] for the operations that change the disk
-    (write, fsync, rename, delete, mkdir) — the ones {!faulty} counts. *)
+    (write, fsync, fsync-dir, rename, delete, mkdir) — the ones {!faulty}
+    counts. *)
 val is_mutating : op -> bool
 
 (** Raised by {!faulty} in [Crash] and [Torn] modes: the process "died" at
@@ -22,8 +23,10 @@ val is_mutating : op -> bool
 exception Fault of string
 
 (** Direct syscalls. Writes go through a file descriptor and report short
-    writes; [fsync] forces data to disk. [Unix.Unix_error] is translated to
-    [Sys_error] so callers handle one exception family. *)
+    writes; [fsync] forces data to disk; [fsync_dir] fsyncs a directory fd
+    so completed renames and deletes survive power loss (filesystems that
+    refuse to fsync a directory are tolerated). [Unix.Unix_error] is
+    translated to [Sys_error] so callers handle one exception family. *)
 val real : t
 
 (** How the failing operation misbehaves:
@@ -56,6 +59,8 @@ val read_file : t -> string -> string
 val write_file : t -> string -> string -> unit
 
 val fsync : t -> string -> unit
+
+val fsync_dir : t -> string -> unit
 
 val rename : t -> src:string -> dst:string -> unit
 

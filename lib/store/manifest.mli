@@ -1,25 +1,30 @@
 (** The store's on-disk commit record.
 
     A saved directory carries a [MANIFEST] file naming every live document
-    with its kind, byte length and CRC-32 checksum. The manifest is written
-    last (tmp + fsync + rename), so its rename is the {e commit point} of a
-    save: a load that finds it trusts exactly the documents it lists, and a
-    crash before it leaves the previous manifest — and therefore the
-    previous store contents — in force.
+    with its kind, byte length, CRC-32 checksum, and the file that holds
+    its bytes. Each save writes its documents under fresh
+    generation-stamped filenames ([<name>.g<N>.xml]) and the manifest is
+    written last (tmp + fsync + rename), so its rename is the {e commit
+    point} of a save: a load that finds it trusts exactly the files it
+    lists, a crash before it leaves the previous manifest — and therefore
+    the previous store contents, whose files were never touched — in
+    force.
 
     The format is line-based and self-checking:
     {v
-    imprecise-manifest 1
-    <name> certain|probabilistic <length> <crc32-hex>
+    imprecise-manifest 2
+    <name> certain|probabilistic <length> <crc32-hex> <file>
     ...
     end <entry-count> <crc32-hex of the entry block>
     v}
-    A torn write cannot pass for a complete manifest: truncation loses the
-    [end] line or breaks its count/checksum, and {!of_string} rejects it. *)
+    Version-1 manifests (four fields, documents at [<name>.xml]) are still
+    readable. A torn write cannot pass for a complete manifest: truncation
+    loses the [end] line or breaks its count/checksum, and {!of_string}
+    rejects it. *)
 
 type kind = Certain | Probabilistic
 
-type entry = { name : string; kind : kind; length : int; crc : int32 }
+type entry = { name : string; kind : kind; length : int; crc : int32; file : string }
 
 type t = entry list
 
@@ -32,7 +37,8 @@ val crc32 : string -> int32
 val to_string : t -> string
 
 (** Parses and verifies header, entry syntax, entry count and block
-    checksum. Any deviation — including duplicate names — is an error. *)
+    checksum. Any deviation — including duplicate names or files — is an
+    error. *)
 val of_string : string -> (t, string) result
 
 val find : t -> string -> entry option

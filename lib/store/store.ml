@@ -78,7 +78,38 @@ let tmp_suffix = ".tmp"
 
 let corrupt_suffix = ".corrupt"
 
-let xml_filename name = name ^ xml_suffix
+(* Committed document files carry the generation of the save that wrote
+   them: [<name>.g<N>.xml]. A save stages under filenames no previous
+   commit references, so committed files are never renamed or overwritten;
+   the manifest rename flips the store from one generation's files to the
+   next, and only then are superseded files deleted. *)
+let gen_filename name ~gen = Fmt.str "%s.g%d.xml" name gen
+
+(* [split_gen "alpha.g12.xml"] is [Some ("alpha", 12)]. *)
+let split_gen file =
+  if not (Filename.check_suffix file xml_suffix) then None
+  else
+    let base = Filename.chop_suffix file xml_suffix in
+    match String.rindex_opt base '.' with
+    | None | Some 0 -> None
+    | Some i ->
+        let tag = String.sub base (i + 1) (String.length base - i - 1) in
+        if
+          String.length tag >= 2
+          && tag.[0] = 'g'
+          && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub tag 1 (String.length tag - 1))
+        then
+          match int_of_string_opt (String.sub tag 1 (String.length tag - 1)) with
+          | Some gen -> Some (String.sub base 0 i, gen)
+          | None -> None
+        else None
+
+(* The document a file was meant to hold — for reports, and for loading
+   directories whose manifest is absent or damaged. *)
+let doc_name_of_file file =
+  match split_gen file with
+  | Some (name, _) -> name
+  | None -> Filename.chop_suffix file xml_suffix
 
 let serialize doc = Xml.Printer.to_string ~decl:true ~indent:2 (doc_to_tree doc) ^ "\n"
 
@@ -87,13 +118,34 @@ let serialize doc = Xml.Printer.to_string ~decl:true ~indent:2 (doc_to_tree doc)
 let save ?(io = Io.real) t ~dir =
   try
     if not (Io.exists io dir) then Io.mkdir io dir;
-    (* stage and publish every document: tmp, fsync, rename *)
+    let mpath = Filename.concat dir Manifest.filename in
+    (* the previous commit, when readable: exactly the document files this
+       save supersedes and may delete once it has committed *)
+    let prev =
+      if not (Io.exists io mpath) then []
+      else
+        match Manifest.of_string (Io.read_file io mpath) with
+        | Ok entries -> entries
+        | Error _ -> []
+    in
+    let gen =
+      let max_gen acc file =
+        match split_gen file with Some (_, g) -> max acc g | None -> acc
+      in
+      1
+      + List.fold_left max_gen
+          (List.fold_left (fun acc (e : Manifest.entry) -> max_gen acc e.file) 0 prev)
+          (Io.list_dir io dir)
+    in
+    (* stage this generation: tmp, fsync, rename — onto fresh filenames, so
+       the previous commit's files stay intact until after the commit *)
     let entries =
       List.map
         (fun name ->
           let doc = Hashtbl.find t.tbl name in
           let data = serialize doc in
-          let final = Filename.concat dir (xml_filename name) in
+          let file = gen_filename name ~gen in
+          let final = Filename.concat dir file in
           let tmp = final ^ tmp_suffix in
           Io.write_file io tmp data;
           Io.fsync io tmp;
@@ -103,24 +155,33 @@ let save ?(io = Io.real) t ~dir =
             kind = kind_of_doc doc;
             length = String.length data;
             crc = Manifest.crc32 data;
+            file;
           })
         (names t)
     in
+    (* the renames must be durable before a manifest may name them *)
+    Io.fsync_dir io dir;
     (* commit: the manifest names exactly the live documents *)
-    let mpath = Filename.concat dir Manifest.filename in
     let mtmp = mpath ^ tmp_suffix in
     Io.write_file io mtmp (Manifest.to_string entries);
     Io.fsync io mtmp;
     Io.rename io ~src:mtmp ~dst:mpath;
-    (* after the commit, clean up files of removed documents and any
-       leftover staging files *)
+    (* ... and the commit must be durable before save reports success *)
+    Io.fsync_dir io dir;
+    (* after the commit, delete superseded store-owned files: the previous
+       manifest's files, older-generation documents, and leftover staging
+       files. Foreign files — anything the store did not write — are never
+       touched. *)
+    let committed file = List.exists (fun (e : Manifest.entry) -> e.file = file) entries in
     List.iter
       (fun file ->
-        let stale_doc =
-          Filename.check_suffix file xml_suffix
-          && not (mem t (Filename.chop_suffix file xml_suffix))
+        let store_owned =
+          List.exists (fun (e : Manifest.entry) -> e.file = file) prev
+          || split_gen file <> None
+          || Filename.check_suffix file (xml_suffix ^ tmp_suffix)
+          || file = Manifest.filename ^ tmp_suffix
         in
-        if stale_doc || Filename.check_suffix file tmp_suffix then
+        if store_owned && not (committed file) then
           Io.delete io (Filename.concat dir file))
       (Io.list_dir io dir);
     Ok ()
@@ -149,7 +210,7 @@ let pp_report ppf r =
   (match r.manifest with
   | `Ok -> Fmt.pf ppf "manifest: ok@."
   | `Absent -> Fmt.pf ppf "manifest: absent (legacy directory, files taken at face value)@."
-  | `Corrupt reason -> Fmt.pf ppf "manifest: corrupt (%s); quarantined@." reason);
+  | `Corrupt reason -> Fmt.pf ppf "manifest: corrupt (%s); files taken at face value@." reason);
   List.iter (fun (name, o) -> Fmt.pf ppf "  %-24s %a@." name pp_outcome o) r.docs
 
 (* Strict mode turns the first problem into an [Error]. *)
@@ -165,15 +226,17 @@ let parse_doc data =
         | Error msg -> Error msg
       else Ok (Certain tree)
 
-let load ?(io = Io.real) ?(mode = Salvage) dir =
+let load ?(io = Io.real) ?(mode = Salvage) ?(quarantine = false) dir =
   try
     let files = Io.list_dir io dir |> List.sort String.compare in
     let t = create () in
     let outcomes = ref [] (* newest first *) in
     let note name o = outcomes := (name, o) :: !outcomes in
     let noted name = List.exists (fun (n, _) -> n = name) !outcomes in
-    let quarantine path =
-      Io.rename io ~src:path ~dst:(path ^ corrupt_suffix)
+    (* renames to *.corrupt only happen when the caller opted in; the
+       default load has no write side effects at all *)
+    let move_aside path =
+      if quarantine then Io.rename io ~src:path ~dst:(path ^ corrupt_suffix)
     in
     (* the manifest, if any *)
     let mpath = Filename.concat dir Manifest.filename in
@@ -186,12 +249,11 @@ let load ?(io = Io.real) ?(mode = Salvage) dir =
             match mode with
             | Strict -> raise (Abort (Fmt.str "%s: %s" mpath reason))
             | Salvage ->
-                quarantine mpath;
+                move_aside mpath;
                 (`Corrupt reason, None))
     in
-    (* leftover staging files are interrupted writes; salvage quarantines
-       them (strict leaves the directory untouched and ignores them, as the
-       pre-manifest loader did) *)
+    (* leftover staging files are interrupted writes; salvage reports them
+       (strict ignores them, as the pre-manifest loader did) *)
     let tmp_notes =
       match mode with
       | Strict -> []
@@ -200,31 +262,32 @@ let load ?(io = Io.real) ?(mode = Salvage) dir =
             (fun file ->
               if not (Filename.check_suffix file tmp_suffix) then None
               else begin
-                quarantine (Filename.concat dir file);
+                move_aside (Filename.concat dir file);
                 if Filename.check_suffix file (xml_suffix ^ tmp_suffix) then
-                  Some (Filename.chop_suffix file (xml_suffix ^ tmp_suffix))
+                  Some (doc_name_of_file (Filename.chop_suffix file tmp_suffix))
                 else None
               end)
             files
     in
     let xml_files = List.filter (fun f -> Filename.check_suffix f xml_suffix) files in
-    let fail_or_quarantine path name reason =
+    let fail_or_flag path key reason =
       match mode with
       | Strict -> raise (Abort (Fmt.str "%s: %s" path reason))
       | Salvage ->
-          quarantine path;
-          note name (Quarantined reason)
+          move_aside path;
+          note key (Quarantined reason)
     in
     (match manifest with
     | Some entries ->
         (* the manifest is authoritative: verify each listed document *)
         List.iter
           (fun (e : Manifest.entry) ->
-            let path = Filename.concat dir (xml_filename e.name) in
-            if not (valid_name e.name) then
+            let path = Filename.concat dir e.file in
+            if not (valid_name e.name && valid_name e.file) then
               match mode with
-              | Strict -> raise (Abort (Fmt.str "%s: invalid document name in manifest" path))
-              | Salvage -> note e.name (Quarantined "invalid document name in manifest")
+              | Strict ->
+                  raise (Abort (Fmt.str "%s: invalid manifest entry for %S" mpath e.name))
+              | Salvage -> note e.name (Quarantined "invalid name or file in manifest entry")
             else if not (Io.exists io path) then
               match mode with
               | Strict -> raise (Abort (Fmt.str "%s: missing (listed in manifest)" path))
@@ -250,18 +313,17 @@ let load ?(io = Io.real) ?(mode = Salvage) dir =
               | Ok doc ->
                   put t e.name doc;
                   note e.name Recovered
-              | Error reason -> fail_or_quarantine path e.name reason))
+              | Error reason -> fail_or_flag path e.name reason))
           entries;
-        (* files the manifest does not know: leftovers of removed documents
-           (deleted in memory, save interrupted before cleanup) or foreign
-           files; never resurrect them *)
+        (* files the manifest does not know: leftovers of a removed
+           document or of an interrupted save, or foreign files; never
+           load them (loading would resurrect deleted data) *)
         List.iter
           (fun file ->
-            let name = Filename.chop_suffix file xml_suffix in
-            if Manifest.find entries name = None then
-              fail_or_quarantine (Filename.concat dir file) name
-                "not listed in manifest (leftover of a removed document, or a foreign \
-                 file)")
+            if not (List.exists (fun (e : Manifest.entry) -> e.file = file) entries) then
+              fail_or_flag (Filename.concat dir file) file
+                "not listed in manifest (leftover of a removed document or an \
+                 interrupted save, or a foreign file)")
           xml_files
     | None ->
         (* no manifest: a legacy or uncommitted directory; take every
@@ -269,15 +331,15 @@ let load ?(io = Io.real) ?(mode = Salvage) dir =
         List.iter
           (fun file ->
             let path = Filename.concat dir file in
-            let name = Filename.chop_suffix file xml_suffix in
+            let name = doc_name_of_file file in
             if not (valid_name name) then
-              fail_or_quarantine path name (Fmt.str "invalid document name %S" name)
+              fail_or_flag path name (Fmt.str "invalid document name %S" name)
             else
               match parse_doc (Io.read_file io path) with
-              | Error msg -> fail_or_quarantine path name msg
+              | Error msg -> fail_or_flag path name msg
               | Ok doc ->
                   put t name doc;
-                  note name Recovered)
+                  if not (noted name) then note name Recovered)
           xml_files);
     (* interrupted writes with no surviving document of the same name *)
     List.iter

@@ -10,10 +10,10 @@
     this store returns.
 
     Persistence is crash-safe: saves stage each document through a
-    tmp + fsync + rename protocol and commit by renaming a checksummed
-    [MANIFEST]; loads salvage — they verify every file, quarantine what is
-    damaged, and report rather than refuse. See [doc/store.md] for the
-    on-disk layout and the exact guarantees. *)
+    tmp + fsync + rename protocol onto fresh generation-stamped filenames
+    and commit by renaming a checksummed [MANIFEST]; loads salvage — they
+    verify every file and report, rather than refuse, whatever is damaged.
+    See [doc/store.md] for the on-disk layout and the exact guarantees. *)
 
 module Tree = Imprecise_xml.Tree
 module Pxml = Imprecise_pxml.Pxml
@@ -51,38 +51,45 @@ val size : t -> int
 
 (** {1 Persistence}
 
-    One file per document, [<name>.xml], plus a [MANIFEST], in a directory.
+    One file per document, [<name>.g<N>.xml] where [N] is the generation
+    of the save that wrote it, plus a [MANIFEST], in a directory.
 
     [save] is atomic per document {e and} per collection: each file is
-    written to [<name>.xml.tmp], fsynced, then renamed into place, and the
-    manifest — listing every live document with its byte length and CRC-32
-    — is written last by the same protocol. The manifest rename is the
-    commit point; after it, files of removed documents and leftover [.tmp]
-    staging files are deleted, so removed documents stay removed. A save
-    that fails mid-way (crash, full disk) leaves the previous commit
-    loadable. *)
+    written to a fresh generation-stamped name via tmp + fsync + rename,
+    and the manifest — listing every live document with its byte length,
+    CRC-32 and file — is committed last by the same protocol, with a
+    directory fsync on either side so the commit is durable. Committed
+    files are never renamed or overwritten: a save that fails at {e any}
+    point (crash, power loss, full disk) leaves every file of the previous
+    commit intact and the previous manifest in force. Only after the
+    commit are superseded files deleted — the previous manifest's files,
+    older-generation documents, and leftover staging files — so removed
+    documents stay removed. [<base>.g<N>.xml], [*.xml.tmp] and [MANIFEST]
+    names are owned by the store; foreign files are never deleted. *)
 
 val save : ?io:Io.t -> t -> dir:string -> (unit, string) result
 
 (** How {!load} treats damage:
-    - [Salvage] (default): recover every intact document; rename anything
-      unparseable, checksum-mismatched, stray, or left over as [.tmp] to
-      [<file>.corrupt] (bytes are kept, never silently deleted) and record
-      the reason in the report;
+    - [Salvage] (default): recover every intact document and record what
+      is wrong with the rest — unparseable, checksum-mismatched, stray,
+      or left over as [.tmp] — in the report;
     - [Strict]: all-or-nothing — the first problem aborts the load with
-      [Error] and the directory is not touched. *)
+      [Error]. *)
 type load_mode = Strict | Salvage
 
 (** Per-document result of a load. *)
 type outcome =
   | Recovered  (** verified (against the manifest when present) and loaded *)
-  | Quarantined of string  (** renamed to [*.corrupt]; the reason why *)
+  | Quarantined of string
+      (** damaged or stray; the reason why. Renamed to [*.corrupt] only
+          when the load was called with [~quarantine:true] — bytes are
+          kept, never silently deleted. *)
   | Missing  (** listed in the manifest but no file on disk *)
 
 type manifest_status =
   [ `Ok  (** present and verified *)
   | `Absent  (** legacy directory: files are taken at face value *)
-  | `Corrupt of string  (** unreadable; quarantined, files taken at face value *)
+  | `Corrupt of string  (** unreadable; files taken at face value *)
   ]
 
 type report = { manifest : manifest_status; docs : (string * outcome) list }
@@ -98,6 +105,14 @@ val pp_report : Format.formatter -> report -> unit
     listed documents are candidates and each is verified against its length
     and checksum — a document whose bytes do not match its manifest entry
     is never returned. Without one, every [<valid-name>.xml] that parses is
-    accepted (legacy layout). [Error] is reserved for the directory being
-    unreadable — or, under [Strict], for any damage at all. *)
-val load : ?io:Io.t -> ?mode:load_mode -> string -> (t * report, string) result
+    accepted (legacy layout; a [.g<N>] generation tag is stripped from the
+    name). [Error] is reserved for the directory being unreadable — or,
+    under [Strict], for any damage at all.
+
+    By default a load only reads: it works on a read-only directory and
+    cannot disturb a save racing it. With [~quarantine:true] (used by
+    [imprecise doctor --repair]) everything reported [Quarantined] — plus
+    a corrupt manifest and leftover [.tmp] staging files — is renamed to
+    [<file>.corrupt] so that a subsequent load finds a clean directory. *)
+val load :
+  ?io:Io.t -> ?mode:load_mode -> ?quarantine:bool -> string -> (t * report, string) result

@@ -81,6 +81,14 @@ let make_v1 () =
   List.iter (fun (n, d) -> Store.put s n d) v1_docs;
   s
 
+(* Committed files are generation-stamped: alpha.g3.xml holds document
+   "alpha". *)
+let doc_of_path path =
+  let base = Filename.chop_suffix (Filename.basename path) ".xml" in
+  match String.rindex_opt base '.' with
+  | Some i when i + 1 < String.length base && base.[i + 1] = 'g' -> String.sub base 0 i
+  | _ -> base
+
 (* Count the mutating operations of [save] so the matrix covers them all. *)
 let count_ops save =
   let n = ref 0 in
@@ -102,8 +110,8 @@ let assert_reasons report =
 
 let test_fresh_save_matrix () =
   let total = count_ops (fun io -> Store.save ~io (make_v1 ()) ~dir:(fresh_dir ())) in
-  (* mkdir + 3 ops per document + 3 for the manifest *)
-  check Alcotest.int "matrix size" (1 + (3 * List.length v1_docs) + 3) total;
+  (* mkdir + 3 ops per document + 3 for the manifest + 2 directory syncs *)
+  check Alcotest.int "matrix size" (1 + (3 * List.length v1_docs) + 3 + 2) total;
   List.iter
     (fun mode ->
       for fail_at = 1 to total do
@@ -115,7 +123,7 @@ let test_fresh_save_matrix () =
           Io.observe
             (fun op path ->
               if op = Io.Rename && Filename.check_suffix path ".xml" then
-                renamed := Filename.chop_suffix (Filename.basename path) ".xml" :: !renamed)
+                renamed := doc_of_path path :: !renamed)
             (Io.faulty ~mode ~fail_at Io.real)
         in
         (match Store.save ~io (make_v1 ()) ~dir with
@@ -142,7 +150,18 @@ let test_fresh_save_matrix () =
                 | None -> ())
               v1_docs;
             assert_reasons report;
-            (* recovery converges: a second load finds a clean directory *)
+            (* the default load only reads: nothing was renamed aside *)
+            check Alcotest.bool (label "default load is read-only") false
+              (Array.exists
+                 (fun f -> Filename.check_suffix f ".corrupt")
+                 (Sys.readdir dir));
+            (* recovery converges: quarantining the damage yields a clean
+               directory for every later load *)
+            (match Store.load ~quarantine:true dir with
+            | Error msg -> Alcotest.failf "%s: %s" (label "quarantining load refused") msg
+            | Ok (sq, _) ->
+                check Alcotest.int (label "quarantine recovers the same") (Store.size s)
+                  (Store.size sq));
             (match Store.load dir with
             | Error msg -> Alcotest.failf "%s: %s" (label "second load refused") msg
             | Ok (s2, r2) ->
@@ -172,8 +191,9 @@ let test_overwrite_save_matrix () =
             apply_v2 s;
             Store.save ~io s ~dir)
   in
-  (* 3 ops per live document + 3 for the manifest + 1 delete of gamma.xml *)
-  check Alcotest.int "matrix size" ((3 * 3) + 3 + 1) total;
+  (* 3 ops per live document + 3 for the manifest + 2 directory syncs
+     + 3 deletes of the superseded generation-1 files *)
+  check Alcotest.int "matrix size" ((3 * 3) + 3 + 2 + 3) total;
   List.iter
     (fun mode ->
       for fail_at = 1 to total do
@@ -225,16 +245,18 @@ let test_overwrite_save_matrix () =
               check Alcotest.bool (label "gamma never resurrects") false (Store.mem s' "gamma")
             end
             else begin
-              (* before the commit point: v1 is still in force *)
+              (* before the commit point: v1 is still in force, in full —
+                 the interrupted save must not have damaged any committed
+                 document (staging never touches committed files) *)
               check Alcotest.bool (label "gamma still v1") true
                 (match Store.get s' "gamma" with
                 | Some d -> doc_equal d gamma
                 | None -> false);
               check Alcotest.bool (label "beta still readable") true (Store.mem s' "beta");
-              check Alcotest.bool (label "alpha is v1 if present") true
+              check Alcotest.bool (label "alpha still v1") true
                 (match Store.get s' "alpha" with
                 | Some d -> doc_equal d alpha_v1
-                | None -> true);
+                | None -> false);
               check Alcotest.bool (label "delta not visible before commit") false
                 (Store.mem s' "delta")
             end
@@ -251,7 +273,7 @@ let test_truncated_committed_file_is_caught () =
   (match Store.save (make_v1 ()) ~dir with
   | Ok () -> ()
   | Error msg -> Alcotest.failf "save failed: %s" msg);
-  let path = Filename.concat dir "alpha.xml" in
+  let path = Filename.concat dir "alpha.g1.xml" in
   let full = In_channel.with_open_bin path In_channel.input_all in
   Out_channel.with_open_bin path (fun oc ->
       Out_channel.output_string oc (String.sub full 0 (String.length full / 2)));

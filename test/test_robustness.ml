@@ -110,12 +110,18 @@ let test_store_load_skips_nothing_but_fails_on_bad_xml () =
   (match Store.load ~mode:Store.Strict dir with
   | Error msg -> check Alcotest.bool "names the file" true (Astring_contains.contains msg "broken")
   | Ok _ -> Alcotest.fail "bad XML accepted");
-  (* salvage quarantines the damage instead of refusing the directory *)
+  (* salvage reports the damage instead of refusing the directory, and
+     moves the bytes aside only when asked to quarantine *)
   (match Store.load dir with
   | Error msg -> Alcotest.failf "salvage refused the directory: %s" msg
   | Ok (s, report) ->
       check Alcotest.int "nothing loadable" 0 (Store.size s);
-      check Alcotest.bool "damage reported" false (Store.recovered_all report));
+      check Alcotest.bool "damage reported" false (Store.recovered_all report);
+      check Alcotest.bool "read-only load moves nothing" true
+        (Sys.file_exists (Filename.concat dir "broken.xml")));
+  (match Store.load ~quarantine:true dir with
+  | Error msg -> Alcotest.failf "quarantining load refused: %s" msg
+  | Ok _ -> ());
   Sys.remove (Filename.concat dir "broken.xml.corrupt")
 
 let test_store_load_rejects_bad_encoding () =
@@ -130,6 +136,9 @@ let test_store_load_rejects_bad_encoding () =
   (match Store.load dir with
   | Error msg -> Alcotest.failf "salvage refused the directory: %s" msg
   | Ok (s, _) -> check Alcotest.bool "never returned decoded" false (Store.mem s "badprob"));
+  (match Store.load ~quarantine:true dir with
+  | Error msg -> Alcotest.failf "quarantining load refused: %s" msg
+  | Ok _ -> ());
   Sys.remove (Filename.concat dir "badprob.xml.corrupt")
 
 let suite =

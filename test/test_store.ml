@@ -52,10 +52,12 @@ let save_exn s dir =
   | Ok () -> ()
   | Error msg -> Alcotest.failf "save failed: %s" msg
 
-let load_exn ?mode dir =
-  match Store.load ?mode dir with
+let load_exn ?mode ?quarantine dir =
+  match Store.load ?mode ?quarantine dir with
   | Ok (s, report) -> (s, report)
   | Error msg -> Alcotest.failf "load failed: %s" msg
+
+let dir_has dir pred = Array.exists pred (Sys.readdir dir)
 
 let test_crud () =
   let s = Store.create () in
@@ -135,7 +137,7 @@ let test_removed_documents_stay_removed () =
   Store.remove s "gone";
   save_exn s dir;
   check Alcotest.bool "stale file deleted" false
-    (Sys.file_exists (Filename.concat dir "gone.xml"));
+    (dir_has dir (fun f -> Astring_contains.contains f "gone"));
   let s', report = load_exn dir in
   check Alcotest.bool "clean recovery" true (Store.recovered_all report);
   check Alcotest.bool "survivor present" true (Store.mem s' "keep");
@@ -152,7 +154,7 @@ let test_invalid_name_file_handled_gracefully () =
       check Alcotest.bool "error names the file" true
         (Astring_contains.contains msg "bad name")
   | Ok _ -> Alcotest.fail "strict load accepted an invalid document name");
-  let s, report = load_exn dir in
+  let s, report = load_exn ~quarantine:true dir in
   check Alcotest.bool "good document recovered" true (Store.mem s "good");
   check Alcotest.int "only the good document" 1 (Store.size s);
   (match List.assoc_opt "bad name" report.Store.docs with
@@ -227,8 +229,8 @@ let test_corrupted_file_quarantined () =
   Store.put s "alpha" (Store.Certain tree);
   Store.put s "beta" (Store.Certain (Tree.element "beta" []));
   save_exn s dir;
-  (* flip bytes behind the store's back *)
-  write_raw dir "alpha.xml" "<catalog><item>tampered</item></catalog>";
+  (* flip bytes behind the store's back (the first save writes gen 1) *)
+  write_raw dir "alpha.g1.xml" "<catalog><item>tampered</item></catalog>";
   (match Store.load ~mode:Store.Strict dir with
   | Error msg ->
       check Alcotest.bool "strict reports checksum" true
@@ -242,8 +244,14 @@ let test_corrupted_file_quarantined () =
       check Alcotest.bool "reason mentions checksum" true
         (Astring_contains.contains reason "checksum")
   | _ -> Alcotest.fail "tampered doc not quarantined");
-  check Alcotest.bool "bytes preserved" true
-    (Sys.file_exists (Filename.concat dir "alpha.xml.corrupt"))
+  (* the default load left the damaged bytes where they were *)
+  check Alcotest.bool "read-only load moves nothing" true
+    (Sys.file_exists (Filename.concat dir "alpha.g1.xml"));
+  let _ = load_exn ~quarantine:true dir in
+  check Alcotest.bool "bytes preserved under .corrupt" true
+    (Sys.file_exists (Filename.concat dir "alpha.g1.xml.corrupt"));
+  check Alcotest.bool "damaged file moved aside" false
+    (Sys.file_exists (Filename.concat dir "alpha.g1.xml"))
 
 (* A manifest that fails its own checksum is quarantined and the directory
    degrades to face-value loading rather than refusing wholesale. *)
@@ -256,13 +264,55 @@ let test_corrupt_manifest_salvaged () =
   (match Store.load ~mode:Store.Strict dir with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "strict load accepted a corrupt manifest");
-  let s', report = load_exn dir in
+  let s', report = load_exn ~quarantine:true dir in
   (match report.Store.manifest with
   | `Corrupt _ -> ()
   | _ -> Alcotest.fail "corrupt manifest not reported");
   check Alcotest.bool "document still salvaged" true (Store.mem s' "alpha");
   check Alcotest.bool "manifest quarantined" true
     (Sys.file_exists (Filename.concat dir "MANIFEST.corrupt"))
+
+(* Regression: save's post-commit cleanup used to delete every .xml file it
+   did not recognise, silently destroying foreign user files. Cleanup may
+   only touch store-owned names (previous manifest files, generation files,
+   staging leftovers); loads report foreign files but never move them. *)
+let test_foreign_files_never_deleted () =
+  let dir = fresh_dir () in
+  let s = Store.create () in
+  Store.put s "alpha" (Store.Certain tree);
+  save_exn s dir;
+  write_raw dir "notes.xml" "<notes>user data, not ours</notes>";
+  write_raw dir "todo.txt" "plain text";
+  Store.put s "beta" (Store.Certain (Tree.element "beta" []));
+  save_exn s dir;
+  check Alcotest.bool "foreign xml survives save" true
+    (Sys.file_exists (Filename.concat dir "notes.xml"));
+  check Alcotest.bool "foreign txt survives save" true
+    (Sys.file_exists (Filename.concat dir "todo.txt"));
+  let s', report = load_exn dir in
+  check Alcotest.bool "foreign xml never loaded" false (Store.mem s' "notes");
+  (match List.assoc_opt "notes.xml" report.Store.docs with
+  | Some (Store.Quarantined _) -> ()
+  | _ -> Alcotest.fail "foreign xml not reported");
+  check Alcotest.bool "read-only load leaves it in place" true
+    (Sys.file_exists (Filename.concat dir "notes.xml"))
+
+(* The default load has no write side effects: damage is reported but every
+   byte stays exactly where it was until someone opts into quarantining. *)
+let test_default_load_is_read_only () =
+  let dir = fresh_dir () in
+  let s = Store.create () in
+  Store.put s "alpha" (Store.Certain tree);
+  save_exn s dir;
+  write_raw dir "alpha.g1.xml" "torn garbage <<<";
+  write_raw dir "beta.g7.xml.tmp" "interrupted staging";
+  let before = List.sort String.compare (Array.to_list (Sys.readdir dir)) in
+  let s', report = load_exn dir in
+  check Alcotest.bool "damaged doc not returned" false (Store.mem s' "alpha");
+  check Alcotest.bool "damage reported" true
+    (List.exists (fun (_, o) -> o <> Store.Recovered) report.Store.docs);
+  let after = List.sort String.compare (Array.to_list (Sys.readdir dir)) in
+  check Alcotest.(list string) "directory untouched" before after
 
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
@@ -280,5 +330,7 @@ let suite =
         t "load ignores non-XML files" test_load_ignores_non_xml;
         t "corrupted file quarantined, not returned" test_corrupted_file_quarantined;
         t "corrupt manifest salvaged" test_corrupt_manifest_salvaged;
+        t "foreign files are never deleted" test_foreign_files_never_deleted;
+        t "default load is read-only" test_default_load_is_read_only;
       ] );
   ]

@@ -1,0 +1,98 @@
+(* Validates a bench snapshot written by `main.exe <exp> --json FILE`: the
+   file must parse as JSON, declare the expected schema, contain every
+   experiment named on the command line, and carry the core metric keys the
+   instrumented libraries promise (doc/observability.md has the catalogue).
+
+     check_snapshot.exe FILE EXPERIMENT [EXPERIMENT ...]
+
+   This is what `dune build @bench-smoke` runs. *)
+
+module Obs = Imprecise.Obs
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("check_snapshot: " ^ msg);
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let member ~ctx name j =
+  match Obs.Json.member name j with
+  | Some v -> v
+  | None -> fail "%s: missing %S" ctx name
+
+let keys ~ctx = function
+  | Obs.Json.Obj kvs -> List.map fst kvs
+  | _ -> fail "%s: expected an object" ctx
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Counters every integration experiment must report (non-zero where the
+   instrumentation cannot plausibly be asleep), plus registered-but-possibly
+   -zero catalogue entries like the store's. *)
+let required_counters =
+  [ "integrate.pairs_compared"; "oracle.decisions"; "store.bytes_written";
+    "pquery.worlds_enumerated" ]
+
+let required_histograms = [ "integrate.nodes_produced"; "integrate.worlds_produced" ]
+
+let check_experiment ~file experiments name =
+  let e =
+    match
+      List.find_opt
+        (fun e -> Obs.Json.member "name" e = Some (Obs.Json.String name))
+        experiments
+    with
+    | Some e -> e
+    | None -> fail "experiment %S missing from %s" name file
+  in
+  let ctx = Printf.sprintf "%s:%s" file name in
+  (match member ~ctx "wall_s" e with
+  | Obs.Json.Float w when w >= 0. -> ()
+  | Obs.Json.Int w when w >= 0 -> ()
+  | _ -> fail "%s: wall_s is not a non-negative number" ctx);
+  let metrics = member ~ctx "metrics" e in
+  let counters = member ~ctx "counters" metrics in
+  let ckeys = keys ~ctx:(ctx ^ ".counters") counters in
+  let hkeys = keys ~ctx:(ctx ^ ".histograms") (member ~ctx "histograms" metrics) in
+  List.iter
+    (fun k -> if not (List.mem k ckeys) then fail "%s: counter %S missing" ctx k)
+    required_counters;
+  List.iter
+    (fun k -> if not (List.mem k hkeys) then fail "%s: histogram %S missing" ctx k)
+    required_histograms;
+  if not (List.exists (starts_with ~prefix:"oracle.rule_fired.") ckeys) then
+    fail "%s: no oracle.rule_fired.* counters registered" ctx;
+  match Obs.Json.member "integrate.pairs_compared" counters with
+  | Some (Obs.Json.Int n) when n > 0 -> ()
+  | _ -> fail "%s: integrate.pairs_compared is zero — instrumentation asleep?" ctx
+
+let () =
+  let file, wanted =
+    match Array.to_list Sys.argv with
+    | _ :: file :: (_ :: _ as wanted) -> (file, wanted)
+    | _ -> fail "usage: check_snapshot FILE EXPERIMENT [EXPERIMENT ...]"
+  in
+  let json =
+    match Obs.Json.parse (read_file file) with
+    | Ok j -> j
+    | Error e -> fail "%s does not parse as JSON: %s" file e
+  in
+  (match member ~ctx:file "schema" json with
+  | Obs.Json.String "imprecise-bench/1" -> ()
+  | j -> fail "%s: unexpected schema %s" file (Obs.Json.to_string j));
+  let experiments =
+    match member ~ctx:file "experiments" json with
+    | Obs.Json.List l -> l
+    | _ -> fail "%s: \"experiments\" is not a list" file
+  in
+  List.iter (check_experiment ~file experiments) wanted;
+  Printf.printf "check_snapshot: %s OK (%s)\n" file (String.concat ", " wanted)

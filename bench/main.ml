@@ -22,15 +22,21 @@ let human n =
   else if n >= 1e3 then Printf.sprintf "%.1fk" (n /. 1e3)
   else Printf.sprintf "%.0f" n
 
-let stats_or_fail ~rules ~dtd a b =
-  match integration_stats ~rules ~dtd a b with
-  | Ok s -> s
-  | Error e -> Fmt.failwith "integration stats failed: %a" Integrate.pp_error e
+(* Every experiment runs under [run_experiment] below, which records its
+   name here — so a failure anywhere in the harness names the experiment it
+   happened in, not just the operation that failed. *)
+let in_experiment = ref "(harness)"
+
+let or_fail what pp = function
+  | Ok v -> v
+  | Error e -> Fmt.failwith "[%s] %s failed: %a" !in_experiment what pp e
+
+let stats_or_fail ~rules ?factorize ~dtd a b =
+  or_fail "integration stats" Integrate.pp_error
+    (integration_stats ~rules ?factorize ~dtd a b)
 
 let integrate_or_fail ~rules ~dtd a b =
-  match integrate ~rules ~dtd a b with
-  | Ok doc -> doc
-  | Error e -> Fmt.failwith "integration failed: %a" Integrate.pp_error e
+  or_fail "integration" Integrate.pp_error (integrate ~rules ~dtd a b)
 
 (* ---- Table I -------------------------------------------------------------- *)
 
@@ -127,11 +133,8 @@ let query_document () =
     Integrate.config ~oracle:rules.Rulesets.oracle ~reconcile:rules.Rulesets.reconcile
       ~dtd:wl.dtd ()
   in
-  match
-    Integrate.integrate cfg (Data.Workloads.mpeg7_doc wl) (Data.Workloads.imdb_doc wl)
-  with
-  | Ok doc -> doc
-  | Error e -> Fmt.failwith "query document failed: %a" Integrate.pp_error e
+  or_fail "query document" Integrate.pp_error
+    (Integrate.integrate cfg (Data.Workloads.mpeg7_doc wl) (Data.Workloads.imdb_doc wl))
 
 let print_answers answers =
   List.iter
@@ -256,11 +259,7 @@ let ablation () =
   List.iter
     (fun (rs : Rulesets.t) ->
       let flat = stats_or_fail ~rules:rs ~dtd:wl.dtd a b in
-      let fact =
-        match integration_stats ~rules:rs ~dtd:wl.dtd ~factorize:true a b with
-        | Ok s -> s
-        | Error e -> Fmt.failwith "factorized stats failed: %a" Integrate.pp_error e
-      in
+      let fact = stats_or_fail ~rules:rs ~factorize:true ~dtd:wl.dtd a b in
       Printf.printf "%-20s %14s %14s %9.1fx\n" rs.name (human flat.Integrate.nodes)
         (human fact.Integrate.nodes)
         (flat.Integrate.nodes /. fact.Integrate.nodes))
@@ -306,11 +305,8 @@ let reduction () =
       ~value_conflict:(fun _ _ -> 0.75) ()
   in
   let doc =
-    match
-      Integrate.integrate cfg Data.Addressbook.source_a Data.Addressbook.source_b
-    with
-    | Ok doc -> doc
-    | Error e -> Fmt.failwith "reduction setup failed: %a" Integrate.pp_error e
+    or_fail "reduction setup" Integrate.pp_error
+      (Integrate.integrate cfg Data.Addressbook.source_a Data.Addressbook.source_b)
   in
   let truth = [ "2222" ] in
   Printf.printf "query: //person/tel   ground truth: John's number is 2222\n";
@@ -389,23 +385,23 @@ let incremental () =
   in
   let cfg = Integrate.config ~oracle ~dtd:Data.Addressbook.dtd () in
   let doc =
-    match Integrate.integrate cfg Data.Addressbook.source_a Data.Addressbook.source_b with
-    | Ok doc -> doc
-    | Error e -> Fmt.failwith "incremental setup failed: %a" Integrate.pp_error e
+    or_fail "incremental setup" Integrate.pp_error
+      (Integrate.integrate cfg Data.Addressbook.source_a Data.Addressbook.source_b)
   in
   Printf.printf "after A+B : %d nodes, %g worlds\n" (node_count doc) (world_count doc);
   let third =
     Imprecise.parse_xml_exn
       "<addressbook><person><nm>John</nm><tel>1111</tel></person><person><nm>Mary</nm><tel>3333</tel></person></addressbook>"
   in
-  match Integrate.integrate_incremental cfg doc third with
-  | Error e -> Fmt.failwith "incremental failed: %a" Integrate.pp_error e
-  | Ok doc ->
-      Printf.printf "after +C  : %d nodes, %g worlds\n" (node_count doc) (world_count doc);
-      Printf.printf "\nphones for John after three sources:\n";
-      print_answers (rank doc "//person[nm='John']/tel");
-      Printf.printf "\nMary (only in C) is certain:\n";
-      print_answers (rank doc "//person[nm='Mary']/tel")
+  let doc =
+    or_fail "incremental step" Integrate.pp_error
+      (Integrate.integrate_incremental cfg doc third)
+  in
+  Printf.printf "after +C  : %d nodes, %g worlds\n" (node_count doc) (world_count doc);
+  Printf.printf "\nphones for John after three sources:\n";
+  print_answers (rank doc "//person[nm='John']/tel");
+  Printf.printf "\nMary (only in C) is certain:\n";
+  print_answers (rank doc "//person[nm='Mary']/tel")
 
 (* ---- extension: scale (blocking) ------------------------------------------------------ *)
 
@@ -434,9 +430,7 @@ let scale () =
               ~factorize:true ()
           else Integrate.config ~oracle ~dtd:Data.Addressbook.dtd ~factorize:true ()
         in
-        match Integrate.integrate cfg a b with
-        | Ok doc -> doc
-        | Error e -> Fmt.failwith "scale run failed: %a" Integrate.pp_error e
+        or_fail "scale run" Integrate.pp_error (Integrate.integrate cfg a b)
       in
       let plain_time =
         if n <= 1000 then (
@@ -477,9 +471,7 @@ let perf () =
     Store.put s "query-doc" (Store.Probabilistic qdoc);
     s
   in
-  (match Store.save doc_store ~dir:store_dir with
-  | Ok () -> ()
-  | Error msg -> Fmt.failwith "bench store save failed: %s" msg);
+  or_fail "bench store save" Fmt.string (Store.save doc_store ~dir:store_dir);
   let tests =
     [
       Test.make ~name:"xml.parse movie collection"
@@ -505,14 +497,11 @@ let perf () =
         (Staged.stage (fun () -> Codec.of_string (Codec.to_string fig2)));
       Test.make ~name:"store.save 4 docs (atomic, fsync+manifest)"
         (Staged.stage (fun () ->
-             match Store.save doc_store ~dir:store_dir with
-             | Ok () -> ()
-             | Error msg -> Fmt.failwith "store-save bench failed: %s" msg));
+             or_fail "store.save bench" Fmt.string (Store.save doc_store ~dir:store_dir)));
       Test.make ~name:"store.load 4 docs (manifest verify + salvage)"
         (Staged.stage (fun () ->
-             match Store.load store_dir with
-             | Ok (s, _) -> s
-             | Error msg -> Fmt.failwith "store-load bench failed: %s" msg));
+             or_fail "store.load bench" Fmt.string
+               (Result.map fst (Store.load store_dir))));
     ]
   in
   let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None () in
@@ -554,17 +543,67 @@ let experiments =
     ("perf", perf);
   ]
 
+(* With [--json FILE] each experiment runs against a freshly-reset global
+   metrics registry; its snapshot plus wall time lands in a BENCH_core-style
+   file (schema "imprecise-bench/1") that bench/check_snapshot.exe
+   validates. See doc/observability.md for the snapshot shape. *)
+let json_of_run (name, wall_s, snap) =
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.String name);
+      ("wall_s", Obs.Json.Float wall_s);
+      ("metrics", Obs.Metrics.to_json snap);
+    ]
+
+let run_experiment ~record name f =
+  in_experiment := name;
+  if Option.is_some record then Obs.Metrics.reset ();
+  let t0 = Unix.gettimeofday () in
+  Obs.Trace.with_span ("bench." ^ name) f;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Option.iter
+    (fun acc -> acc := (name, wall_s, Obs.Metrics.snapshot ()) :: !acc)
+    record;
+  in_experiment := "(harness)"
+
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: [] -> List.iter (fun (_, f) -> f ()) experiments
-  | _ :: names ->
-      List.iter
-        (fun name ->
-          match List.assoc_opt name experiments with
-          | Some f -> f ()
-          | None ->
-              Printf.eprintf "unknown experiment %S; available: %s\n" name
-                (String.concat ", " (List.map fst experiments));
-              exit 1)
-        names
-  | [] -> assert false
+  let rec split json acc = function
+    | [] -> (json, List.rev acc)
+    | "--json" :: file :: rest -> split (Some file) acc rest
+    | [ "--json" ] ->
+        prerr_endline "--json requires a file argument";
+        exit 1
+    | arg :: rest -> split json (arg :: acc) rest
+  in
+  let json_file, names = split None [] (List.tl (Array.to_list Sys.argv)) in
+  let selected =
+    match names with
+    | [] -> experiments
+    | names ->
+        List.map
+          (fun name ->
+            match List.assoc_opt name experiments with
+            | Some f -> (name, f)
+            | None ->
+                Printf.eprintf "unknown experiment %S; available: %s\n" name
+                  (String.concat ", " (List.map fst experiments));
+                exit 1)
+          names
+  in
+  let record = Option.map (fun _ -> ref []) json_file in
+  List.iter (fun (name, f) -> run_experiment ~record name f) selected;
+  match (json_file, record) with
+  | Some file, Some acc ->
+      let json =
+        Obs.Json.Obj
+          [
+            ("schema", Obs.Json.String "imprecise-bench/1");
+            ("experiments", Obs.Json.List (List.rev_map json_of_run !acc));
+          ]
+      in
+      let oc = open_out file in
+      output_string oc (Obs.Json.to_string ~indent:2 json);
+      output_string oc "\n";
+      close_out oc;
+      Printf.printf "\nwrote %s (%d experiments)\n" file (List.length !acc)
+  | _ -> ()

@@ -100,6 +100,39 @@ let or_die = function
       Fmt.epr "imprecise: %s@." msg;
       exit 1
 
+(* ---- telemetry -------------------------------------------------------------- *)
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Record timing spans and metrics while the command runs, and print the span \
+           tree and a metrics snapshot to stderr afterwards (see doc/observability.md).")
+
+(* The report runs once, as a [Fun.protect] finaliser for exceptions and
+   via [at_exit] for the subcommands (doctor, validate, …) that [exit]
+   mid-body — [Stdlib.exit] does not unwind [Fun.protect]. Spans still
+   open at a hard [exit] are simply not reported. *)
+let with_telemetry trace f =
+  if not trace then f ()
+  else begin
+    let sink, roots = Obs.Trace.collector () in
+    Obs.Trace.install ~now:Unix.gettimeofday sink;
+    let reported = ref false in
+    let report () =
+      if not !reported then begin
+        reported := true;
+        Obs.Trace.uninstall ();
+        Fmt.epr "--- trace spans ---@.";
+        List.iter (fun s -> Fmt.epr "%s" (Obs.Trace.to_text s)) (roots ());
+        Fmt.epr "--- metrics ---@.%s@?" (Obs.Metrics.to_text (Obs.Metrics.snapshot ()))
+      end
+    in
+    at_exit report;
+    Fun.protect ~finally:report f
+  end
+
 let infer_dtd_arg =
   Arg.(
     value & flag
@@ -125,7 +158,8 @@ let report_doc doc =
 (* ---- integrate -------------------------------------------------------------- *)
 
 let integrate_cmd =
-  let run left right rules dtd infer factorize output =
+  let run left right rules dtd infer factorize output trace =
+    with_telemetry trace @@ fun () ->
     let a = or_die (load_certain left) and b = or_die (load_certain right) in
     let dtd = resolve_dtd ~infer dtd [ a; b ] in
     match integrate ~rules ~dtd ~factorize a b with
@@ -143,12 +177,15 @@ let integrate_cmd =
   in
   Cmd.v
     (Cmd.info "integrate" ~doc:"Probabilistically integrate two XML documents.")
-    Term.(const run $ left $ right $ rules_arg $ dtd_arg $ infer_dtd_arg $ factorize $ output_arg)
+    Term.(
+      const run $ left $ right $ rules_arg $ dtd_arg $ infer_dtd_arg $ factorize
+      $ output_arg $ trace_arg)
 
 (* ---- stats -------------------------------------------------------------------- *)
 
 let stats_cmd =
-  let run left right rules dtd infer factorize =
+  let run left right rules dtd infer factorize trace =
+    with_telemetry trace @@ fun () ->
     let a = or_die (load_certain left) and b = or_die (load_certain right) in
     let dtd = resolve_dtd ~infer dtd [ a; b ] in
     match integration_stats ~rules ~dtd ~factorize a b with
@@ -159,8 +196,14 @@ let stats_cmd =
         Fmt.pr "rules: %s@." rules.Rulesets.name;
         Fmt.pr "nodes: %.0f@." s.Integrate.nodes;
         Fmt.pr "world combinations: %g@." s.Integrate.worlds;
+        Fmt.pr "pairs compared: %d (blocked: %d)@."
+          s.Integrate.trace.Integrate.pairs_compared
+          s.Integrate.trace.Integrate.pairs_blocked;
         Fmt.pr "undecided pairs: %d@." s.Integrate.trace.Integrate.unsure_pairs;
-        Fmt.pr "forced matches: %d@." s.Integrate.trace.Integrate.same_pairs
+        Fmt.pr "forced matches: %d@." s.Integrate.trace.Integrate.same_pairs;
+        Fmt.pr "clusters: %d (largest enumeration: %d)@."
+          s.Integrate.trace.Integrate.cluster_count
+          s.Integrate.trace.Integrate.largest_enumeration
   in
   let left = Arg.(required & pos 0 (some file) None & info [] ~docv:"LEFT.xml") in
   let right = Arg.(required & pos 1 (some file) None & info [] ~docv:"RIGHT.xml") in
@@ -170,7 +213,9 @@ let stats_cmd =
        ~doc:
          "Compute the size of an integration without materialising it (works far beyond \
           what $(b,integrate) can build).")
-    Term.(const run $ left $ right $ rules_arg $ dtd_arg $ infer_dtd_arg $ factorize)
+    Term.(
+      const run $ left $ right $ rules_arg $ dtd_arg $ infer_dtd_arg $ factorize
+      $ trace_arg)
 
 (* ---- rules ---------------------------------------------------------------------- *)
 
@@ -191,7 +236,8 @@ let rules_cmd =
 let strategy_names = [ "auto"; "direct"; "enumerate"; "sample" ]
 
 let query_cmd =
-  let run path query strategy samples seed =
+  let run path query strategy samples seed trace =
+    with_telemetry trace @@ fun () ->
     let doc = or_die (load_doc path) in
     let strategy =
       match strategy with
@@ -230,7 +276,7 @@ let query_cmd =
        ~doc:
          "Query a (probabilistic or plain) document; answers are ranked by the \
           probability that they belong to the result.")
-    Term.(const run $ path $ query $ strategy $ samples $ seed)
+    Term.(const run $ path $ query $ strategy $ samples $ seed $ trace_arg)
 
 (* ---- worlds -------------------------------------------------------------------- *)
 
@@ -375,7 +421,8 @@ let validate_cmd =
 (* ---- doctor ------------------------------------------------------------------------ *)
 
 let doctor_cmd =
-  let run dir strict repair =
+  let run dir strict repair trace =
+    with_telemetry trace @@ fun () ->
     let mode = if strict then Store.Strict else Store.Salvage in
     match Store.load ~mode ~quarantine:repair dir with
     | Error msg ->
@@ -424,12 +471,13 @@ let doctor_cmd =
           manifest and print a per-document recovery report. Exits 0 only if the \
           manifest is present and verified and every document was recovered (or \
           $(b,--repair) restored that state).")
-    Term.(const run $ dir $ strict $ repair)
+    Term.(const run $ dir $ strict $ repair $ trace_arg)
 
 (* ---- demo -------------------------------------------------------------------------- *)
 
 let demo_cmd =
-  let run () =
+  let run trace =
+    with_telemetry trace @@ fun () ->
     Fmt.pr "Integrating the two Figure-2 address books under 'person: nm?, tel?':@.";
     let doc =
       Result.get_ok
@@ -447,7 +495,9 @@ let demo_cmd =
     let doc = Result.get_ok (Feedback.prune doc ~query:"//person/tel" ~value:"2222" ~correct:false) in
     Fmt.pr "%a" Answer.pp (rank doc "//person/tel")
   in
-  Cmd.v (Cmd.info "demo" ~doc:"Run the paper's Figure-2 example end to end.") Term.(const run $ const ())
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run the paper's Figure-2 example end to end.")
+    Term.(const run $ trace_arg)
 
 let main =
   Cmd.group

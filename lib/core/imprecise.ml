@@ -27,6 +27,7 @@ module Data = struct
 end
 module Store = Imprecise_store.Store
 module Rulesets = Rulesets
+module Obs = Imprecise_obs.Obs
 
 let parse_xml s =
   Result.map_error Xml.Parser.error_to_string (Xml.Parser.parse_string s)

@@ -52,6 +52,10 @@ end
 module Store = Imprecise_store.Store
 module Rulesets = Rulesets
 
+(** Telemetry: metrics registry, tracing spans, JSON snapshots (see
+    doc/observability.md). *)
+module Obs = Imprecise_obs.Obs
+
 (** [parse_xml s] parses a document, with the error rendered as a string. *)
 val parse_xml : string -> (Tree.t, string) result
 

@@ -1,10 +1,31 @@
 module Xml = Imprecise_xml
 module Pxml = Imprecise_pxml
 module Oracle = Imprecise_oracle
+module Obs = Imprecise_obs.Obs
 
 module Tree = Xml.Tree
 module O = Oracle.Oracle
 module P = Pxml.Pxml
+
+(* Registered at load time so the catalogue is complete even in runs that
+   never integrate (metric names: doc/observability.md). *)
+let c_runs = Obs.Metrics.counter "integrate.runs"
+
+let c_pairs = Obs.Metrics.counter "integrate.pairs_compared"
+
+let c_blocked = Obs.Metrics.counter "integrate.pairs_blocked"
+
+let c_unsure = Obs.Metrics.counter "integrate.unsure_pairs"
+
+let c_same = Obs.Metrics.counter "integrate.same_pairs"
+
+let c_clusters = Obs.Metrics.counter "integrate.clusters"
+
+let h_matchings = Obs.Metrics.histogram "integrate.cluster_matchings"
+
+let h_nodes = Obs.Metrics.histogram "integrate.nodes_produced"
+
+let h_worlds = Obs.Metrics.histogram "integrate.worlds_produced"
 
 type config = {
   oracle : O.t;
@@ -51,10 +72,19 @@ type trace = {
   mutable same_pairs : int;
   mutable cluster_count : int;
   mutable largest_enumeration : int;
+  mutable pairs_compared : int;
+  mutable pairs_blocked : int;
 }
 
 let new_trace () =
-  { unsure_pairs = 0; same_pairs = 0; cluster_count = 0; largest_enumeration = 0 }
+  {
+    unsure_pairs = 0;
+    same_pairs = 0;
+    cluster_count = 0;
+    largest_enumeration = 0;
+    pairs_compared = 0;
+    pairs_blocked = 0;
+  }
 
 type summary = { nodes : float; worlds : float; trace : trace }
 
@@ -184,6 +214,7 @@ module Engine (R : REP) = struct
     in
     let special_tags = List.filter is_special tags_in_order in
     let special_dists =
+      Obs.Trace.with_span "reconcile" @@ fun () ->
       List.filter_map
         (fun t ->
           let ca = List.find_opt (fun c -> Tree.name c = Some t) ea in
@@ -211,24 +242,35 @@ module Engine (R : REP) = struct
     let blocks_a = Array.map cfg.block ga and blocks_b = Array.map cfg.block gb in
     let verdict i j =
       let x = ga.(i) and y = gb.(j) in
+      trace.pairs_compared <- trace.pairs_compared + 1;
+      Obs.Metrics.incr c_pairs;
       if Tree.name x <> Tree.name y then O.Different
       else if
         match blocks_a.(i), blocks_b.(j) with
         | Some ka, Some kb -> not (String.equal ka kb)
         | _ -> false
-      then O.Different
+      then begin
+        trace.pairs_blocked <- trace.pairs_blocked + 1;
+        Obs.Metrics.incr c_blocked;
+        O.Different
+      end
       else begin
         let v = try O.decide cfg.oracle x y with O.Conflict msg -> raise (Run_error (Oracle_conflict msg)) in
         (match v with
-        | O.Same -> trace.same_pairs <- trace.same_pairs + 1
-        | O.Unsure _ -> trace.unsure_pairs <- trace.unsure_pairs + 1
+        | O.Same ->
+            trace.same_pairs <- trace.same_pairs + 1;
+            Obs.Metrics.incr c_same
+        | O.Unsure _ ->
+            trace.unsure_pairs <- trace.unsure_pairs + 1;
+            Obs.Metrics.incr c_unsure
         | O.Different -> ());
         v
       end
     in
     let graph =
-      Matching.graph_of_verdicts ~n_left:(Array.length ga) ~n_right:(Array.length gb)
-        verdict
+      Obs.Trace.with_span "match" (fun () ->
+          Matching.graph_of_verdicts ~n_left:(Array.length ga) ~n_right:(Array.length gb)
+            verdict)
     in
     let iso_left, iso_right = Matching.isolated graph in
     let certain_dist =
@@ -240,6 +282,7 @@ module Engine (R : REP) = struct
     in
     let clusters = Matching.clusters graph in
     trace.cluster_count <- trace.cluster_count + List.length clusters;
+    Obs.Metrics.incr ~by:(List.length clusters) c_clusters;
     let merged_memo = Hashtbl.create 16 in
     let merged i j =
       match Hashtbl.find_opt merged_memo (i, j) with
@@ -252,11 +295,13 @@ module Engine (R : REP) = struct
     let embed_left = lazy (Array.map embed ga) and embed_right = lazy (Array.map embed gb) in
     let cluster_possibilities (c : Matching.cluster) : (float * R.node list) list =
       let ms =
-        try Matching.matchings ~limit:cfg.max_matchings c with
-        | Matching.Too_many n -> raise (Run_error (Too_large n))
-        | Matching.Infeasible msg -> raise (Run_error (Infeasible msg))
+        Obs.Trace.with_span "enumerate" (fun () ->
+            try Matching.matchings ~limit:cfg.max_matchings c with
+            | Matching.Too_many n -> raise (Run_error (Too_large n))
+            | Matching.Infeasible msg -> raise (Run_error (Infeasible msg)))
       in
       trace.largest_enumeration <- max trace.largest_enumeration (List.length ms);
+      Obs.Metrics.observe h_matchings (float_of_int (List.length ms));
       List.concat_map
         (fun (p, pairs) ->
           let entries =
@@ -280,9 +325,10 @@ module Engine (R : REP) = struct
       match clusters with
       | [] -> []
       | clusters ->
-          let possibilities = List.map cluster_possibilities clusters in
-          if cfg.factorize then List.map R.dist possibilities
-          else [ R.joint ~limit:cfg.max_possibilities possibilities ]
+          Obs.Trace.with_span "merge" (fun () ->
+              let possibilities = List.map cluster_possibilities clusters in
+              if cfg.factorize then List.map R.dist possibilities
+              else [ R.joint ~limit:cfg.max_possibilities possibilities ])
     in
     special_dists @ certain_dist @ cluster_dists
 
@@ -394,23 +440,33 @@ let run_catching f =
   | O.Conflict msg -> Error (Oracle_conflict msg)
 
 let integrate_traced cfg a b =
+  Obs.Metrics.incr c_runs;
   let trace = new_trace () in
-  run_catching (fun () -> (Materializer.run cfg trace a b, trace))
+  run_catching (fun () ->
+      let doc = Obs.Trace.with_span "integrate" (fun () -> Materializer.run cfg trace a b) in
+      Obs.Metrics.observe h_nodes (float_of_int (P.node_count doc));
+      Obs.Metrics.observe h_worlds (P.world_count doc);
+      (doc, trace))
 
 let integrate cfg a b = Result.map fst (integrate_traced cfg a b)
 
 let stats cfg a b =
+  Obs.Metrics.incr c_runs;
   let trace = new_trace () in
   run_catching (fun () ->
-      let m = Counter.run cfg trace a b in
+      let m = Obs.Trace.with_span "integrate.stats" (fun () -> Counter.run cfg trace a b) in
+      Obs.Metrics.observe h_nodes m.Count_rep.nodes;
+      Obs.Metrics.observe h_worlds m.Count_rep.worlds;
       { nodes = m.Count_rep.nodes; worlds = m.Count_rep.worlds; trace })
 
 let integrate_incremental cfg ?(world_limit = 1000.) doc source =
   let combos = P.world_count doc in
   if combos > world_limit then Error (Too_large (int_of_float world_limit))
   else begin
+    Obs.Metrics.incr c_runs;
     let trace = new_trace () in
     run_catching (fun () ->
+        Obs.Trace.with_span "integrate.incremental" @@ fun () ->
         let choices =
           List.concat_map
             (fun (p, forest) ->

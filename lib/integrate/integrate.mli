@@ -84,12 +84,20 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
-(** Integration metadata: how hard the Oracle had to think. *)
+(** Integration metadata: how hard the Oracle had to think. The same
+    counts also feed the global {!Imprecise_obs.Obs.Metrics} registry
+    (under [integrate.*]), where they accumulate across runs; the trace
+    record is per-run. *)
 type trace = {
   mutable unsure_pairs : int;  (** pairs with no absolute decision *)
   mutable same_pairs : int;  (** pairs forced [Same] *)
   mutable cluster_count : int;
   mutable largest_enumeration : int;  (** matchings in the biggest cluster *)
+  mutable pairs_compared : int;
+      (** candidate pairs considered, including tag mismatches and blocked
+          pairs that never reached the Oracle *)
+  mutable pairs_blocked : int;
+      (** pairs ruled out by the blocking key before the Oracle ran *)
 }
 
 (** Exact size measures computed without materialising: [nodes] mirrors

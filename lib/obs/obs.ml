@@ -1,0 +1,477 @@
+(* Telemetry for the whole stack: counters and histograms in a registry
+   (Metrics), nested timing spans with a pluggable sink (Trace), and the
+   minimal JSON both render to (Json). Stdlib only — see obs.mli. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  (* Floats must round-trip and must not print as "nan"/"inf" (not JSON).
+     %.17g round-trips any float; shorter forms win when exact. *)
+  let float_repr f =
+    if Float.is_nan f then "null"
+    else if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else if f = Float.infinity then "1e999"
+    else if f = Float.neg_infinity then "-1e999"
+    else
+      let s = Printf.sprintf "%.12g" f in
+      if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+  let to_string ?indent v =
+    let buf = Buffer.create 256 in
+    let nl level =
+      match indent with
+      | None -> ()
+      | Some n ->
+          Buffer.add_char buf '\n';
+          Buffer.add_string buf (String.make (n * level) ' ')
+    in
+    let rec go level v =
+      match v with
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Int i -> Buffer.add_string buf (string_of_int i)
+      | Float f -> Buffer.add_string buf (float_repr f)
+      | String s ->
+          Buffer.add_char buf '"';
+          escape buf s;
+          Buffer.add_char buf '"'
+      | List [] -> Buffer.add_string buf "[]"
+      | List items ->
+          Buffer.add_char buf '[';
+          List.iteri
+            (fun i item ->
+              if i > 0 then Buffer.add_char buf ',';
+              nl (level + 1);
+              go (level + 1) item)
+            items;
+          nl level;
+          Buffer.add_char buf ']'
+      | Obj [] -> Buffer.add_string buf "{}"
+      | Obj fields ->
+          Buffer.add_char buf '{';
+          List.iteri
+            (fun i (k, item) ->
+              if i > 0 then Buffer.add_char buf ',';
+              nl (level + 1);
+              Buffer.add_char buf '"';
+              escape buf k;
+              Buffer.add_string buf "\":";
+              if indent <> None then Buffer.add_char buf ' ';
+              go (level + 1) item)
+            fields;
+          nl level;
+          Buffer.add_char buf '}'
+    in
+    go 0 v;
+    Buffer.contents buf
+
+  exception Bad of string
+
+  (* Recursive-descent parser for the subset above (no \uXXXX surrogate
+     pairs; escapes are decoded to their bytes). Enough to validate and read
+     back what [to_string] writes — which is what the bench smoke-check and
+     snapshot tooling need. *)
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let skip_ws () =
+      while
+        !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word v =
+      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> incr pos
+          | '\\' ->
+              incr pos;
+              (if !pos >= n then fail "unterminated escape"
+               else
+                 match s.[!pos] with
+                 | '"' -> Buffer.add_char buf '"'
+                 | '\\' -> Buffer.add_char buf '\\'
+                 | '/' -> Buffer.add_char buf '/'
+                 | 'n' -> Buffer.add_char buf '\n'
+                 | 'r' -> Buffer.add_char buf '\r'
+                 | 't' -> Buffer.add_char buf '\t'
+                 | 'b' -> Buffer.add_char buf '\b'
+                 | 'f' -> Buffer.add_char buf '\012'
+                 | 'u' ->
+                     if !pos + 4 >= n then fail "truncated \\u escape";
+                     let hex = String.sub s (!pos + 1) 4 in
+                     let code =
+                       try int_of_string ("0x" ^ hex)
+                       with Failure _ -> fail "bad \\u escape"
+                     in
+                     (* decode only the ASCII range we ever emit *)
+                     if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                     else Buffer.add_string buf (Printf.sprintf "\\u%s" hex);
+                     pos := !pos + 4
+                 | c -> fail (Printf.sprintf "bad escape %C" c));
+              incr pos;
+              go ()
+          | c ->
+              Buffer.add_char buf c;
+              incr pos;
+              go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let number_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && number_char s.[!pos] do
+        incr pos
+      done;
+      let tok = String.sub s start (!pos - start) in
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> fail (Printf.sprintf "bad number %S" tok))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some '}' then begin
+            incr pos;
+            Obj []
+          end
+          else
+            let rec fields acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  fields ((k, v) :: acc)
+              | Some '}' ->
+                  incr pos;
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (fields [])
+      | Some '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some ']' then begin
+            incr pos;
+            List []
+          end
+          else
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  items (v :: acc)
+              | Some ']' ->
+                  incr pos;
+                  List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            List (items [])
+      | Some '"' -> String (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Bad msg -> Error msg
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end
+
+module Metrics = struct
+  type counter = { cname : string; mutable n : int }
+
+  type histogram = {
+    hname : string;
+    mutable obs : int;
+    mutable sum : float;
+    mutable mn : float;
+    mutable mx : float;
+  }
+
+  type registry = {
+    counters : (string, counter) Hashtbl.t;
+    histograms : (string, histogram) Hashtbl.t;
+    (* registration order, oldest first, for stable rendering *)
+    mutable rev_names : (string * [ `Counter | `Histogram ]) list;
+  }
+
+  let registry () =
+    { counters = Hashtbl.create 32; histograms = Hashtbl.create 16; rev_names = [] }
+
+  let global = registry ()
+
+  let counter ?(registry = global) name =
+    match Hashtbl.find_opt registry.counters name with
+    | Some c -> c
+    | None ->
+        let c = { cname = name; n = 0 } in
+        Hashtbl.add registry.counters name c;
+        registry.rev_names <- (name, `Counter) :: registry.rev_names;
+        c
+
+  let histogram ?(registry = global) name =
+    match Hashtbl.find_opt registry.histograms name with
+    | Some h -> h
+    | None ->
+        let h = { hname = name; obs = 0; sum = 0.; mn = Float.infinity; mx = Float.neg_infinity } in
+        Hashtbl.add registry.histograms name h;
+        registry.rev_names <- (name, `Histogram) :: registry.rev_names;
+        h
+
+  let incr ?(by = 1) c = c.n <- c.n + by
+
+  let count c = c.n
+
+  let observe h v =
+    h.obs <- h.obs + 1;
+    h.sum <- h.sum +. v;
+    if v < h.mn then h.mn <- v;
+    if v > h.mx then h.mx <- v
+
+  type hstats = { observations : int; sum : float; min : float; max : float }
+
+  let stats h = { observations = h.obs; sum = h.sum; min = h.mn; max = h.mx }
+
+  let mean s = if s.observations = 0 then 0. else s.sum /. float_of_int s.observations
+
+  type snapshot = {
+    counters : (string * int) list;
+    histograms : (string * hstats) list;
+  }
+
+  let snapshot ?(registry = global) () =
+    let names = List.rev registry.rev_names in
+    {
+      counters =
+        List.filter_map
+          (function
+            | name, `Counter -> Some (name, (Hashtbl.find registry.counters name).n)
+            | _, `Histogram -> None)
+          names;
+      histograms =
+        List.filter_map
+          (function
+            | name, `Histogram -> Some (name, stats (Hashtbl.find registry.histograms name))
+            | _, `Counter -> None)
+          names;
+    }
+
+  let reset ?(registry = global) () =
+    Hashtbl.iter (fun _ c -> c.n <- 0) registry.counters;
+    Hashtbl.iter
+      (fun _ h ->
+        h.obs <- 0;
+        h.sum <- 0.;
+        h.mn <- Float.infinity;
+        h.mx <- Float.neg_infinity)
+      registry.histograms
+
+  let to_text snap =
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun (name, n) -> Buffer.add_string buf (Printf.sprintf "%-40s %d\n" name n))
+      snap.counters;
+    List.iter
+      (fun (name, s) ->
+        if s.observations = 0 then
+          Buffer.add_string buf (Printf.sprintf "%-40s (no observations)\n" name)
+        else
+          Buffer.add_string buf
+            (Printf.sprintf "%-40s n=%d sum=%g min=%g mean=%g max=%g\n" name
+               s.observations s.sum s.min (mean s) s.max))
+      snap.histograms;
+    Buffer.contents buf
+
+  let json_of_hstats s =
+    if s.observations = 0 then Json.Obj [ ("n", Json.Int 0) ]
+    else
+      Json.Obj
+        [
+          ("n", Json.Int s.observations);
+          ("sum", Json.Float s.sum);
+          ("min", Json.Float s.min);
+          ("mean", Json.Float (mean s));
+          ("max", Json.Float s.max);
+        ]
+
+  let to_json snap =
+    Json.Obj
+      [
+        ("counters", Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) snap.counters));
+        ( "histograms",
+          Json.Obj (List.map (fun (k, s) -> (k, json_of_hstats s)) snap.histograms) );
+      ]
+end
+
+module Trace = struct
+  type span = { name : string; start : float; stop : float; children : span list }
+
+  let duration s = s.stop -. s.start
+
+  type sink = span -> unit
+
+  type frame = { fname : string; fstart : float; mutable rev_children : span list }
+
+  type state = {
+    mutable sink : sink option;
+    mutable now : unit -> float;
+    mutable stack : frame list;
+  }
+
+  (* [Sys.time] (CPU seconds) is the only clock the stdlib has; real callers
+     install a wall clock such as [Unix.gettimeofday]. *)
+  let st = { sink = None; now = Sys.time; stack = [] }
+
+  let enabled () = st.sink <> None
+
+  let install ?(now = Sys.time) sink =
+    st.sink <- Some sink;
+    st.now <- now;
+    st.stack <- []
+
+  let uninstall () =
+    st.sink <- None;
+    st.stack <- []
+
+  let with_span name f =
+    match st.sink with
+    | None -> f () (* the whole cost of disabled tracing: one load + branch *)
+    | Some _ ->
+        let frame = { fname = name; fstart = st.now (); rev_children = [] } in
+        st.stack <- frame :: st.stack;
+        let finish () =
+          let stop = st.now () in
+          (* tolerate install/uninstall mid-span: pop up to our frame if it
+             is still there, otherwise drop the record silently *)
+          let rec pop = function
+            | f :: rest when f == frame -> Some rest
+            | _ :: rest -> pop rest
+            | [] -> None
+          in
+          match pop st.stack with
+          | None -> ()
+          | Some rest ->
+              st.stack <- rest;
+              let span =
+                {
+                  name = frame.fname;
+                  start = frame.fstart;
+                  stop;
+                  children = List.rev frame.rev_children;
+                }
+              in
+              (match (st.stack, st.sink) with
+              | parent :: _, _ -> parent.rev_children <- span :: parent.rev_children
+              | [], Some sink -> sink span
+              | [], None -> ())
+        in
+        Fun.protect ~finally:finish f
+
+  let collector () =
+    let rev_roots = ref [] in
+    let sink span = rev_roots := span :: !rev_roots in
+    (sink, fun () -> List.rev !rev_roots)
+
+  let human_duration s =
+    if s >= 1. then Printf.sprintf "%.2f s" s
+    else if s >= 1e-3 then Printf.sprintf "%.2f ms" (s *. 1e3)
+    else if s >= 1e-6 then Printf.sprintf "%.2f us" (s *. 1e6)
+    else Printf.sprintf "%.0f ns" (s *. 1e9)
+
+  let to_text ?max_depth root =
+    let buf = Buffer.create 256 in
+    let rec go depth span =
+      match max_depth with
+      | Some d when depth > d -> ()
+      | _ ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%-*s %10s\n"
+               (String.make (2 * depth) ' ')
+               (max 1 (40 - (2 * depth)))
+               span.name
+               (human_duration (duration span)));
+          List.iter (go (depth + 1)) span.children
+    in
+    go 0 root;
+    Buffer.contents buf
+
+  let rec to_json span =
+    Json.Obj
+      [
+        ("name", Json.String span.name);
+        ("start_s", Json.Float span.start);
+        ("dur_s", Json.Float (duration span));
+        ("children", Json.List (List.map to_json span.children));
+      ]
+end

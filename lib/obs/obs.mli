@@ -1,0 +1,139 @@
+(** Telemetry for the whole stack.
+
+    Three small pieces, stdlib-only so any layer can link them:
+
+    - {!Metrics}: named counters and histograms in a registry, with
+      snapshot/reset and text/JSON rendering. Counters are always on —
+      an increment is one mutable-field write, so the hot paths simply
+      count unconditionally.
+    - {!Trace}: nested timing spans with an injectable clock and a
+      pluggable sink. The default is {e no sink}: [with_span name f] is
+      then a single load-and-branch around [f ()], so instrumented code
+      costs ~nothing when tracing is off.
+    - {!Json}: the minimal JSON both render to, including a parser so
+      snapshot files can be validated without external dependencies.
+
+    See doc/observability.md for the metric-name catalogue and the span
+    hierarchy the rest of the repo emits. *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  (** [to_string ?indent v] renders [v]; [indent] pretty-prints with that
+      many spaces per level. NaN renders as [null], infinities as
+      [±1e999] (out-of-range numerals, as other JSON emitters do). *)
+  val to_string : ?indent:int -> t -> string
+
+  (** [parse s] reads back what {!to_string} writes (standard JSON minus
+      non-ASCII [\u] escapes, which are kept verbatim). *)
+  val parse : string -> (t, string) result
+
+  (** [member key v] is the field [key] of an [Obj], if both exist. *)
+  val member : string -> t -> t option
+end
+
+module Metrics : sig
+  type registry
+
+  (** The process-wide registry every instrumented library uses by
+      default. *)
+  val global : registry
+
+  (** A fresh, independent registry (tests). *)
+  val registry : unit -> registry
+
+  (** {1 Counters} *)
+
+  type counter
+
+  (** [counter ?registry name] registers (or finds — registration is
+      idempotent, the same name yields the same counter) a counter. *)
+  val counter : ?registry:registry -> string -> counter
+
+  val incr : ?by:int -> counter -> unit
+
+  val count : counter -> int
+
+  (** {1 Histograms} *)
+
+  type histogram
+
+  (** Idempotent, like {!counter}. Histograms and counters live in
+      separate namespaces. *)
+  val histogram : ?registry:registry -> string -> histogram
+
+  val observe : histogram -> float -> unit
+
+  type hstats = { observations : int; sum : float; min : float; max : float }
+  (** [min]/[max] are [+∞]/[−∞] when [observations = 0]. *)
+
+  val stats : histogram -> hstats
+
+  val mean : hstats -> float
+
+  (** {1 Snapshots} *)
+
+  type snapshot = {
+    counters : (string * int) list;
+    histograms : (string * hstats) list;
+  }
+
+  (** Current values, in registration order. Zero-valued metrics are
+      included: a registered name is part of the catalogue. *)
+  val snapshot : ?registry:registry -> unit -> snapshot
+
+  (** Zero every value; registrations (and the handles already handed
+      out) stay valid. *)
+  val reset : ?registry:registry -> unit -> unit
+
+  val to_text : snapshot -> string
+
+  val to_json : snapshot -> Json.t
+end
+
+module Trace : sig
+  (** A completed span: wall-clock interval plus completed sub-spans in
+      start order. *)
+  type span = { name : string; start : float; stop : float; children : span list }
+
+  val duration : span -> float
+
+  (** A sink receives each completed {e root} span (children arrive
+      inside their parent, not separately). *)
+  type sink = span -> unit
+
+  (** No sink installed ⇒ {!with_span} runs its thunk directly. *)
+  val enabled : unit -> bool
+
+  (** [install ?now sink] turns tracing on. [now] is the clock, in
+      seconds; the default is [Sys.time] (CPU time — the only stdlib
+      clock), so real callers pass a monotonic or wall clock such as
+      [Unix.gettimeofday]. Resets the span stack. *)
+  val install : ?now:(unit -> float) -> sink -> unit
+
+  val uninstall : unit -> unit
+
+  (** [with_span name f] runs [f ()] inside a span when a sink is
+      installed (the span closes even if [f] raises), and is just
+      [f ()] otherwise. *)
+  val with_span : string -> (unit -> 'a) -> 'a
+
+  (** [collector ()] is a sink that accumulates root spans, and the
+      function that returns them in completion order. *)
+  val collector : unit -> sink * (unit -> span list)
+
+  (** Render a span tree, one line per span, indented two spaces per
+      level; [max_depth] prunes deep recursions (depth 0 = root only). *)
+  val to_text : ?max_depth:int -> span -> string
+
+  val to_json : span -> Json.t
+
+  val human_duration : float -> string
+end

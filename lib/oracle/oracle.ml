@@ -1,4 +1,11 @@
 module Xml = Imprecise_xml
+module Obs = Imprecise_obs.Obs
+
+(* Every decision is counted; which rule fired is attributed per rule name
+   under oracle.rule_fired.<name> (see doc/observability.md). *)
+let c_decisions = Obs.Metrics.counter "oracle.decisions"
+
+let c_defaulted = Obs.Metrics.counter "oracle.default_prob_used"
 
 type verdict = Same | Different | Unsure of float
 
@@ -9,22 +16,40 @@ let pp_verdict ppf = function
 
 type rule = { name : string; judge : Xml.Tree.t -> Xml.Tree.t -> verdict option }
 
-type t = { rules : rule list; default : Xml.Tree.t -> Xml.Tree.t -> float }
+type t = {
+  rules : rule list;
+  default : Xml.Tree.t -> Xml.Tree.t -> float;
+  (* rule-name → its fired counter, interned once at [make] so the hot
+     path never does a by-name registry lookup *)
+  fired : (string * Obs.Metrics.counter) list;
+}
 
 exception Conflict of string
 
 let constant_prob p _ _ = p
 
-let make ?(default = constant_prob 0.5) rules = { rules; default }
+let make ?(default = constant_prob 0.5) rules =
+  let fired =
+    List.map (fun r -> (r.name, Obs.Metrics.counter ("oracle.rule_fired." ^ r.name))) rules
+  in
+  { rules; default; fired }
 
 let rules t = t.rules
 
 let rule_names t = List.map (fun r -> r.name) t.rules
 
 let decide t a b =
+  Obs.Metrics.incr c_decisions;
   let verdicts =
     List.filter_map (fun r -> Option.map (fun v -> (r.name, v)) (r.judge a b)) t.rules
   in
+  List.iter
+    (fun (name, _) ->
+      match List.assoc_opt name t.fired with
+      | Some c -> Obs.Metrics.incr c
+      | None -> ())
+    verdicts;
+  if verdicts = [] then Obs.Metrics.incr c_defaulted;
   let sames = List.filter (fun (_, v) -> v = Same) verdicts in
   let diffs = List.filter (fun (_, v) -> v = Different) verdicts in
   match sames, diffs with

@@ -4,7 +4,11 @@ module Worlds = Imprecise_pxml.Worlds
 module Ast = Imprecise_xpath.Ast
 module Eval = Imprecise_xpath.Eval
 
+module Obs = Imprecise_obs.Obs
+
 exception Too_many_worlds of float
+
+let c_worlds = Obs.Metrics.counter "pquery.worlds_enumerated"
 
 module SS = Set.Make (String)
 
@@ -25,6 +29,7 @@ let rank_expr ?(limit = 200_000.) doc expr =
   let tbl = Hashtbl.create 64 in
   Seq.iter
     (fun (p, forest) ->
+      Obs.Metrics.incr c_worlds;
       if p > 0. then
         List.iter
           (fun v ->

@@ -1,38 +1,74 @@
 module Pxml = Imprecise_pxml.Pxml
+module Obs = Imprecise_obs.Obs
 
 type strategy = Auto | Direct_only | Enumerate_only | Sample of { n : int; seed : int }
 
 exception Cannot_answer of string
 
+(* Which evaluator actually answered, and how much it amalgamated; the
+   [Auto] fallback shows up as a direct.unsupported + enumerate pair. *)
+let c_ranks = Obs.Metrics.counter "pquery.ranks"
+
+let c_direct = Obs.Metrics.counter "pquery.path.direct"
+
+let c_enumerate = Obs.Metrics.counter "pquery.path.enumerate"
+
+let c_sample = Obs.Metrics.counter "pquery.path.sample"
+
+let c_unsupported = Obs.Metrics.counter "pquery.direct_unsupported"
+
+let c_answers = Obs.Metrics.counter "pquery.answers_amalgamated"
+
 let rank ?(strategy = Auto) ?world_limit doc query =
+  Obs.Metrics.incr c_ranks;
+  Obs.Trace.with_span "pquery.rank" @@ fun () ->
   let expr = Imprecise_xpath.Parser.parse_exn query in
   let enumerate () =
+    Obs.Metrics.incr c_enumerate;
+    Obs.Trace.with_span "enumerate" @@ fun () ->
     try Naive.rank_expr ?limit:world_limit doc expr
     with Naive.Too_many_worlds n ->
       raise (Cannot_answer (Fmt.str "document has %g possible worlds; too many to enumerate" n))
   in
-  match strategy with
-  | Enumerate_only -> enumerate ()
-  | Direct_only -> (
-      try Direct.rank_expr doc expr
-      with Direct.Unsupported msg -> raise (Cannot_answer msg))
-  | Auto -> ( try Direct.rank_expr doc expr with Direct.Unsupported _ -> enumerate ())
-  | Sample { n; seed } ->
-      if n <= 0 then raise (Cannot_answer "sample size must be positive");
-      let worlds, _ =
-        Imprecise_pxml.Worlds.sample_many ~n (Imprecise_prng.Prng.make seed) doc
-      in
-      let tbl = Hashtbl.create 64 in
-      List.iter
-        (fun (_, forest) ->
-          List.iter
-            (fun v ->
-              let prev = Option.value ~default:0. (Hashtbl.find_opt tbl v) in
-              Hashtbl.replace tbl v (prev +. (1. /. float_of_int n)))
-            (Naive.answer_in_world forest expr))
-        worlds;
-      Answer.rank
-        (Hashtbl.fold (fun value prob acc -> { Answer.value; prob } :: acc) tbl [])
+  let direct () =
+    let answers = Obs.Trace.with_span "direct" (fun () -> Direct.rank_expr doc expr) in
+    Obs.Metrics.incr c_direct;
+    answers
+  in
+  let answers =
+    match strategy with
+    | Enumerate_only -> enumerate ()
+    | Direct_only -> (
+        try direct ()
+        with Direct.Unsupported msg ->
+          Obs.Metrics.incr c_unsupported;
+          raise (Cannot_answer msg))
+    | Auto -> (
+        try direct ()
+        with Direct.Unsupported _ ->
+          Obs.Metrics.incr c_unsupported;
+          enumerate ())
+    | Sample { n; seed } ->
+        if n <= 0 then raise (Cannot_answer "sample size must be positive");
+        Obs.Metrics.incr c_sample;
+        Obs.Trace.with_span "sample" @@ fun () ->
+        let worlds, _ =
+          Imprecise_pxml.Worlds.sample_many ~n (Imprecise_prng.Prng.make seed) doc
+        in
+        let tbl = Hashtbl.create 64 in
+        List.iter
+          (fun (_, forest) ->
+            List.iter
+              (fun v ->
+                let prev = Option.value ~default:0. (Hashtbl.find_opt tbl v) in
+                Hashtbl.replace tbl v (prev +. (1. /. float_of_int n)))
+              (Naive.answer_in_world forest expr))
+          worlds;
+        Answer.rank
+          (Hashtbl.fold (fun value prob acc -> { Answer.value; prob } :: acc) tbl [])
+  in
+  Obs.Metrics.incr ~by:(List.length answers) c_answers;
+  answers
 
 let used_strategy doc query =
   let expr = Imprecise_xpath.Parser.parse_exn query in

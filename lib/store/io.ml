@@ -108,44 +108,102 @@ let faulty ?(mode = Crash) ~fail_at base =
     mkdir = (fun dir -> if armed () then boom ("mkdir " ^ dir) else base.mkdir dir);
   }
 
-let observe f base =
+(* ---- operation labels --------------------------------------------------
+
+   The store runs different kinds of operations through one [t]: staging a
+   document, committing the manifest, cleaning up superseded generations,
+   quarantining damage. A spy that only sees [op] and [path] cannot tell a
+   manifest-commit write from a document write, so the store brackets each
+   kind in [with_tag] and tagged observers read the ambient label. *)
+
+let default_tag = "io"
+
+let tag_stack = ref []
+
+let current_tag () = match !tag_stack with t :: _ -> t | [] -> default_tag
+
+let with_tag tag f =
+  tag_stack := tag :: !tag_stack;
+  Fun.protect ~finally:(fun () -> tag_stack := List.tl !tag_stack) f
+
+let observe_tagged f base =
+  let report op ~bytes path = f op ~tag:(current_tag ()) ~bytes path in
   {
     list_dir =
       (fun dir ->
         let r = base.list_dir dir in
-        f List_dir dir;
+        report List_dir ~bytes:0 dir;
         r);
     read_file =
       (fun path ->
         let r = base.read_file path in
-        f Read path;
+        report Read ~bytes:(String.length r) path;
         r);
     write_file =
       (fun path data ->
         base.write_file path data;
-        f Write path);
+        report Write ~bytes:(String.length data) path);
     fsync =
       (fun path ->
         base.fsync path;
-        f Fsync path);
+        report Fsync ~bytes:0 path);
     fsync_dir =
       (fun dir ->
         base.fsync_dir dir;
-        f Fsync_dir dir);
+        report Fsync_dir ~bytes:0 dir);
     rename =
       (fun ~src ~dst ->
         base.rename ~src ~dst;
-        f Rename dst);
+        report Rename ~bytes:0 dst);
     delete =
       (fun path ->
         base.delete path;
-        f Delete path);
+        report Delete ~bytes:0 path);
     mkdir =
       (fun dir ->
         base.mkdir dir;
-        f Mkdir dir);
+        report Mkdir ~bytes:0 dir);
     exists = base.exists;
   }
+
+let observe f base = observe_tagged (fun op ~tag:_ ~bytes:_ path -> f op path) base
+
+(* ---- metrics ----------------------------------------------------------- *)
+
+module Obs = Imprecise_obs.Obs
+
+(* Registered at load time: the store's metric names are part of the
+   catalogue even for processes that never touch a store. *)
+let () =
+  List.iter
+    (fun name -> ignore (Obs.Metrics.counter name))
+    [ "store.bytes_written"; "store.bytes_read"; "store.fsyncs"; "store.renames"; "store.deletes" ]
+
+let metered ?registry base =
+  let counter name =
+    match registry with
+    | None -> Obs.Metrics.counter name
+    | Some registry -> Obs.Metrics.counter ~registry name
+  in
+  let bytes_written = counter "store.bytes_written" in
+  let bytes_read = counter "store.bytes_read" in
+  let fsyncs = counter "store.fsyncs" in
+  let renames = counter "store.renames" in
+  let deletes = counter "store.deletes" in
+  observe_tagged
+    (fun op ~tag ~bytes _path ->
+      match op with
+      | Write ->
+          Obs.Metrics.incr ~by:bytes bytes_written;
+          (* per-label attribution: store.writes.doc vs store.writes.manifest *)
+          Obs.Metrics.incr (counter ("store.writes." ^ tag));
+          Obs.Metrics.incr ~by:bytes (counter ("store.write_bytes." ^ tag))
+      | Read -> Obs.Metrics.incr ~by:bytes bytes_read
+      | Fsync | Fsync_dir -> Obs.Metrics.incr fsyncs
+      | Rename -> Obs.Metrics.incr renames
+      | Delete -> Obs.Metrics.incr deletes
+      | List_dir | Mkdir -> ())
+    base
 
 let list_dir t = t.list_dir
 

@@ -48,6 +48,36 @@ val faulty : ?mode:fault_mode -> fail_at:int -> t -> t
     exactly what reached the disk before the crash. *)
 val observe : (op -> string -> unit) -> t -> t
 
+(** {1 Labelled observation}
+
+    The store runs different kinds of operations through one {!t} —
+    staging document files, committing the manifest, cleaning up
+    superseded generations, quarantining damage. [op] and [path] alone
+    cannot attribute a write to its purpose, so the store brackets each
+    kind in {!with_tag} and tagged observers receive the ambient label. *)
+
+(** [with_tag tag f] runs [f ()] with [tag] as the current operation
+    label (dynamically scoped; restored on exit, even on exceptions). *)
+val with_tag : string -> (unit -> 'a) -> 'a
+
+(** The innermost {!with_tag} label, or ["io"] outside any. *)
+val current_tag : unit -> string
+
+(** [observe_tagged f base] is {!observe} with attribution: [f] also
+    receives the ambient tag and the payload size in bytes (the data
+    length for writes, the result length for reads, [0] otherwise). *)
+val observe_tagged : (op -> tag:string -> bytes:int -> string -> unit) -> t -> t
+
+(** [metered ?registry base] feeds every completed operation into
+    {!Imprecise_obs.Obs.Metrics} (default: the global registry):
+    [store.bytes_written], [store.bytes_read], [store.fsyncs],
+    [store.renames], [store.deletes], plus per-label attribution
+    [store.writes.<tag>] and [store.write_bytes.<tag>] — e.g.
+    [store.writes.manifest] vs [store.writes.doc]. {!Store.save} and
+    {!Store.load} meter their io themselves; wrap explicitly only for
+    custom registries or direct [Io] use. *)
+val metered : ?registry:Imprecise_obs.Obs.Metrics.registry -> t -> t
+
 (** {1 Operations}
 
     All raise [Sys_error] on real filesystem errors. *)

@@ -4,6 +4,13 @@ module Pxml = Imprecise_pxml.Pxml
 module Codec = Imprecise_pxml.Codec
 module Io = Io
 module Manifest = Manifest
+module Obs = Imprecise_obs.Obs
+
+let c_saves = Obs.Metrics.counter "store.saves"
+
+let c_loads = Obs.Metrics.counter "store.loads"
+
+let c_salvage = Obs.Metrics.counter "store.salvage_events"
 
 type doc = Certain of Tree.t | Probabilistic of Pxml.doc
 
@@ -116,6 +123,9 @@ let serialize doc = Xml.Printer.to_string ~decl:true ~indent:2 (doc_to_tree doc)
 (* ---- save ------------------------------------------------------------- *)
 
 let save ?(io = Io.real) t ~dir =
+  let io = Io.metered io in
+  Obs.Metrics.incr c_saves;
+  Obs.Trace.with_span "store.save" @@ fun () ->
   try
     if not (Io.exists io dir) then Io.mkdir io dir;
     let mpath = Filename.concat dir Manifest.filename in
@@ -140,6 +150,7 @@ let save ?(io = Io.real) t ~dir =
     (* stage this generation: tmp, fsync, rename — onto fresh filenames, so
        the previous commit's files stay intact until after the commit *)
     let entries =
+      Io.with_tag "doc" @@ fun () ->
       List.map
         (fun name ->
           let doc = Hashtbl.find t.tbl name in
@@ -159,31 +170,33 @@ let save ?(io = Io.real) t ~dir =
           })
         (names t)
     in
-    (* the renames must be durable before a manifest may name them *)
-    Io.fsync_dir io dir;
-    (* commit: the manifest names exactly the live documents *)
-    let mtmp = mpath ^ tmp_suffix in
-    Io.write_file io mtmp (Manifest.to_string entries);
-    Io.fsync io mtmp;
-    Io.rename io ~src:mtmp ~dst:mpath;
-    (* ... and the commit must be durable before save reports success *)
-    Io.fsync_dir io dir;
+    Io.with_tag "manifest" (fun () ->
+        (* the renames must be durable before a manifest may name them *)
+        Io.fsync_dir io dir;
+        (* commit: the manifest names exactly the live documents *)
+        let mtmp = mpath ^ tmp_suffix in
+        Io.write_file io mtmp (Manifest.to_string entries);
+        Io.fsync io mtmp;
+        Io.rename io ~src:mtmp ~dst:mpath;
+        (* ... and the commit must be durable before save reports success *)
+        Io.fsync_dir io dir);
     (* after the commit, delete superseded store-owned files: the previous
        manifest's files, older-generation documents, and leftover staging
        files. Foreign files — anything the store did not write — are never
        touched. *)
     let committed file = List.exists (fun (e : Manifest.entry) -> e.file = file) entries in
-    List.iter
-      (fun file ->
-        let store_owned =
-          List.exists (fun (e : Manifest.entry) -> e.file = file) prev
-          || split_gen file <> None
-          || Filename.check_suffix file (xml_suffix ^ tmp_suffix)
-          || file = Manifest.filename ^ tmp_suffix
-        in
-        if store_owned && not (committed file) then
-          Io.delete io (Filename.concat dir file))
-      (Io.list_dir io dir);
+    Io.with_tag "cleanup" (fun () ->
+        List.iter
+          (fun file ->
+            let store_owned =
+              List.exists (fun (e : Manifest.entry) -> e.file = file) prev
+              || split_gen file <> None
+              || Filename.check_suffix file (xml_suffix ^ tmp_suffix)
+              || file = Manifest.filename ^ tmp_suffix
+            in
+            if store_owned && not (committed file) then
+              Io.delete io (Filename.concat dir file))
+          (Io.list_dir io dir));
     Ok ()
   with
   | Sys_error msg -> Error msg
@@ -227,16 +240,24 @@ let parse_doc data =
       else Ok (Certain tree)
 
 let load ?(io = Io.real) ?(mode = Salvage) ?(quarantine = false) dir =
+  let io = Io.metered io in
+  Obs.Metrics.incr c_loads;
+  Obs.Trace.with_span "store.load" @@ fun () ->
   try
     let files = Io.list_dir io dir |> List.sort String.compare in
     let t = create () in
     let outcomes = ref [] (* newest first *) in
-    let note name o = outcomes := (name, o) :: !outcomes in
+    let note name o =
+      if o <> Recovered then Obs.Metrics.incr c_salvage;
+      outcomes := (name, o) :: !outcomes
+    in
     let noted name = List.exists (fun (n, _) -> n = name) !outcomes in
     (* renames to *.corrupt only happen when the caller opted in; the
        default load has no write side effects at all *)
     let move_aside path =
-      if quarantine then Io.rename io ~src:path ~dst:(path ^ corrupt_suffix)
+      if quarantine then
+        Io.with_tag "quarantine" (fun () ->
+            Io.rename io ~src:path ~dst:(path ^ corrupt_suffix))
     in
     (* the manifest, if any *)
     let mpath = Filename.concat dir Manifest.filename in

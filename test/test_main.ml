@@ -3,4 +3,6 @@ let () =
   Alcotest.run "imprecise"
     (Test_xml.suite @ Test_pxml.suite @ Test_xpath.suite @ Test_oracle.suite
    @ Test_integrate.suite @ Test_pquery.suite @ Test_quality.suite
-   @ Test_feedback.suite @ Test_data.suite @ Test_store.suite @ Test_core.suite @ Test_extensions.suite @ Test_publications.suite @ Test_conformance.suite @ Test_robustness.suite)
+   @ Test_feedback.suite @ Test_data.suite @ Test_store.suite @ Test_obs.suite
+   @ Test_core.suite @ Test_extensions.suite @ Test_publications.suite
+   @ Test_conformance.suite @ Test_robustness.suite)

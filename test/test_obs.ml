@@ -1,0 +1,305 @@
+(* Tests for the telemetry library (lib/obs) and its wiring: registry
+   idempotence, snapshot/reset semantics, span nesting under a fake clock
+   (no wall clock anywhere in the assertions), the no-sink fast path, JSON
+   round-trips, and tagged store-io attribution. *)
+
+module Obs = Imprecise.Obs
+module Metrics = Obs.Metrics
+module Trace = Obs.Trace
+module Json = Obs.Json
+module Store = Imprecise.Store
+module Io = Imprecise.Store.Io
+module Oracle = Imprecise.Oracle
+module Integrate = Imprecise.Integrate
+module Addressbook = Imprecise.Data.Addressbook
+
+let check = Alcotest.check
+
+let feq = Alcotest.float 1e-9
+
+(* ---- metrics ------------------------------------------------------------- *)
+
+let test_counter_idempotent () =
+  let r = Metrics.registry () in
+  let c1 = Metrics.counter ~registry:r "a" in
+  Metrics.incr ~by:2 c1;
+  let c2 = Metrics.counter ~registry:r "a" in
+  Metrics.incr c2;
+  check Alcotest.int "both handles see every increment" 3 (Metrics.count c1);
+  check Alcotest.int "same value through either handle" 3 (Metrics.count c2);
+  let snap = Metrics.snapshot ~registry:r () in
+  check
+    Alcotest.(list (pair string int))
+    "one entry, not two" [ ("a", 3) ] snap.Metrics.counters
+
+let test_histogram_idempotent () =
+  let r = Metrics.registry () in
+  let h1 = Metrics.histogram ~registry:r "h" in
+  let h2 = Metrics.histogram ~registry:r "h" in
+  Metrics.observe h1 2.;
+  Metrics.observe h2 6.;
+  let s = Metrics.stats h1 in
+  check Alcotest.int "observations" 2 s.Metrics.observations;
+  check feq "sum" 8. s.Metrics.sum;
+  check feq "min" 2. s.Metrics.min;
+  check feq "max" 6. s.Metrics.max;
+  check feq "mean" 4. (Metrics.mean s)
+
+let test_snapshot_order_and_zeros () =
+  let r = Metrics.registry () in
+  ignore (Metrics.counter ~registry:r "z.second-alphabetically");
+  ignore (Metrics.counter ~registry:r "a.first-alphabetically");
+  ignore (Metrics.histogram ~registry:r "h.never-observed");
+  let snap = Metrics.snapshot ~registry:r () in
+  check
+    Alcotest.(list string)
+    "registration order, zeros included"
+    [ "z.second-alphabetically"; "a.first-alphabetically" ]
+    (List.map fst snap.Metrics.counters);
+  match snap.Metrics.histograms with
+  | [ ("h.never-observed", s) ] ->
+      check Alcotest.int "empty histogram listed" 0 s.Metrics.observations
+  | _ -> Alcotest.fail "expected exactly the one registered histogram"
+
+let test_snapshot_then_reset () =
+  let r = Metrics.registry () in
+  let c = Metrics.counter ~registry:r "c" in
+  let h = Metrics.histogram ~registry:r "h" in
+  Metrics.incr ~by:5 c;
+  Metrics.observe h 1.5;
+  let before = Metrics.snapshot ~registry:r () in
+  Metrics.reset ~registry:r ();
+  let after = Metrics.snapshot ~registry:r () in
+  check Alcotest.(list (pair string int)) "snapshot kept its values" [ ("c", 5) ]
+    before.Metrics.counters;
+  check Alcotest.(list (pair string int)) "reset zeroes, keeps the name" [ ("c", 0) ]
+    after.Metrics.counters;
+  check Alcotest.int "histogram registration survives reset" 1
+    (List.length after.Metrics.histograms);
+  check Alcotest.int "histogram observations zeroed" 0
+    (Metrics.stats h).Metrics.observations;
+  (* the handles handed out before the reset still work *)
+  Metrics.incr c;
+  Metrics.observe h 2.;
+  check Alcotest.int "old counter handle still live" 1 (Metrics.count c);
+  check Alcotest.int "old histogram handle still live" 1
+    (Metrics.stats h).Metrics.observations
+
+(* ---- tracing ------------------------------------------------------------- *)
+
+(* A deterministic clock: every assertion below is pure arithmetic on the
+   ticks, never a wall-clock reading. *)
+let fake_clock () =
+  let t = ref 0. in
+  ((fun () -> !t), fun dt -> t := !t +. dt)
+
+let with_collector now f =
+  let sink, roots = Trace.collector () in
+  Trace.install ~now sink;
+  Fun.protect ~finally:Trace.uninstall (fun () -> f ());
+  roots ()
+
+let test_nested_spans_fake_clock () =
+  let now, tick = fake_clock () in
+  let roots =
+    with_collector now (fun () ->
+        Trace.with_span "root" (fun () ->
+            tick 1.;
+            Trace.with_span "child1" (fun () -> tick 2.);
+            Trace.with_span "child2" (fun () -> tick 3.);
+            tick 1.))
+  in
+  match roots with
+  | [ r ] ->
+      check Alcotest.string "root name" "root" r.Trace.name;
+      check feq "root start" 0. r.Trace.start;
+      check feq "root duration covers children" 7. (Trace.duration r);
+      check
+        Alcotest.(list string)
+        "children attached in start order" [ "child1"; "child2" ]
+        (List.map (fun (s : Trace.span) -> s.Trace.name) r.Trace.children);
+      let c1 = List.nth r.Trace.children 0 and c2 = List.nth r.Trace.children 1 in
+      check feq "child1 interval" 1. c1.Trace.start;
+      check feq "child1 duration" 2. (Trace.duration c1);
+      check feq "child2 starts where child1 stopped" 3. c2.Trace.start;
+      check feq "child2 duration" 3. (Trace.duration c2);
+      check Alcotest.int "grandchildren empty" 0 (List.length c1.Trace.children)
+  | roots -> Alcotest.failf "expected 1 root span, got %d" (List.length roots)
+
+let test_span_closes_on_exception () =
+  let now, tick = fake_clock () in
+  let roots =
+    with_collector now (fun () ->
+        Trace.with_span "outer" (fun () ->
+            (try Trace.with_span "boom" (fun () -> tick 1.; failwith "boom")
+             with Failure _ -> tick 1.));
+        try Trace.with_span "solo" (fun () -> raise Exit) with Exit -> ())
+  in
+  match roots with
+  | [ outer; solo ] ->
+      check Alcotest.string "outer first (completion order)" "outer" outer.Trace.name;
+      check Alcotest.string "raising root still reported" "solo" solo.Trace.name;
+      (match outer.Trace.children with
+      | [ boom ] ->
+          check Alcotest.string "raising child still attached" "boom" boom.Trace.name;
+          check feq "child closed at the raise" 1. (Trace.duration boom)
+      | _ -> Alcotest.fail "expected the raising child under its parent")
+  | roots -> Alcotest.failf "expected 2 root spans, got %d" (List.length roots)
+
+let test_no_sink_fast_path () =
+  Trace.uninstall ();
+  check Alcotest.bool "disabled without a sink" false (Trace.enabled ());
+  (* spans run while disabled are pure pass-through... *)
+  check Alcotest.int "with_span is the identity on its thunk" 42
+    (Trace.with_span "ghost" (fun () -> 42));
+  (* ...and leave no residue behind for a sink installed later *)
+  let now, tick = fake_clock () in
+  let roots =
+    with_collector now (fun () -> Trace.with_span "real" (fun () -> tick 1.))
+  in
+  check
+    Alcotest.(list string)
+    "only spans from the enabled window" [ "real" ]
+    (List.map (fun (s : Trace.span) -> s.Trace.name) roots);
+  check Alcotest.bool "uninstall disables again" false (Trace.enabled ())
+
+(* ---- json ---------------------------------------------------------------- *)
+
+let json_testable =
+  Alcotest.testable (fun ppf j -> Fmt.string ppf (Json.to_string j)) ( = )
+
+let sample =
+  Json.Obj
+    [
+      ("s", Json.String "line\n\"quoted\"\ttab \\ slash");
+      ("i", Json.Int (-42));
+      ("f", Json.Float 1.5);
+      ("b", Json.Bool true);
+      ("n", Json.Null);
+      ("l", Json.List [ Json.Int 1; Json.Float (-0.25); Json.Obj [] ]);
+      ("o", Json.Obj [ ("nested", Json.List []) ]);
+    ]
+
+let test_json_roundtrip () =
+  let rt s = match Json.parse s with Ok j -> j | Error e -> Alcotest.fail e in
+  check json_testable "compact round-trip" sample (rt (Json.to_string sample));
+  check json_testable "indented round-trip" sample
+    (rt (Json.to_string ~indent:2 sample));
+  check
+    Alcotest.(option string)
+    "member finds a field" (Some "1.5")
+    (Option.map Json.to_string (Json.member "f" sample));
+  check
+    Alcotest.(option string)
+    "member on a non-object" None
+    (Option.map Json.to_string (Json.member "f" (Json.Int 3)))
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "1 2"; "\"unterminated" ]
+
+(* ---- tagged store io ------------------------------------------------------ *)
+
+let test_with_tag_scoping () =
+  check Alcotest.string "default tag" "io" (Io.current_tag ());
+  Io.with_tag "doc" (fun () ->
+      check Alcotest.string "inner tag" "doc" (Io.current_tag ());
+      Io.with_tag "manifest" (fun () ->
+          check Alcotest.string "nested tag" "manifest" (Io.current_tag ()));
+      check Alcotest.string "restored after nesting" "doc" (Io.current_tag ()));
+  (try Io.with_tag "cleanup" (fun () -> raise Exit) with Exit -> ());
+  check Alcotest.string "restored after a raise" "io" (Io.current_tag ())
+
+let obs_dir =
+  lazy
+    (let dir =
+       Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "imprecise-obs-%d" (Unix.getpid ()))
+     in
+     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+     dir)
+
+let test_metered_io_attribution () =
+  let r = Metrics.registry () in
+  let io = Io.metered ~registry:r Io.real in
+  let dir = Lazy.force obs_dir in
+  let doc = Filename.concat dir "doc.xml" and man = Filename.concat dir "MANIFEST" in
+  Io.with_tag "doc" (fun () -> Io.write_file io doc "hello");
+  Io.with_tag "manifest" (fun () ->
+      Io.write_file io (man ^ ".tmp") "abc";
+      Io.rename io ~src:(man ^ ".tmp") ~dst:man);
+  ignore (Io.read_file io doc);
+  let count name = Metrics.count (Metrics.counter ~registry:r name) in
+  check Alcotest.int "total bytes written" 8 (count "store.bytes_written");
+  check Alcotest.int "bytes read back" 5 (count "store.bytes_read");
+  check Alcotest.int "doc writes attributed" 1 (count "store.writes.doc");
+  check Alcotest.int "doc bytes attributed" 5 (count "store.write_bytes.doc");
+  check Alcotest.int "manifest writes attributed" 1 (count "store.writes.manifest");
+  check Alcotest.int "manifest bytes attributed" 3 (count "store.write_bytes.manifest");
+  check Alcotest.int "renames counted" 1 (count "store.renames");
+  check Alcotest.int "nothing deleted" 0 (count "store.deletes")
+
+(* ---- end-to-end: the instrumented libraries feed the global registry ------ *)
+
+let test_global_wiring () =
+  let c name = Metrics.counter name in
+  let pairs = c "integrate.pairs_compared" in
+  let decisions = c "oracle.decisions" in
+  let saves = c "store.saves" in
+  let manifest_writes = c "store.writes.manifest" in
+  let p0 = Metrics.count pairs and d0 = Metrics.count decisions in
+  let cfg =
+    Integrate.config
+      ~oracle:(Oracle.make [ Oracle.deep_equal_rule ])
+      ~dtd:Addressbook.dtd ()
+  in
+  let doc =
+    match Integrate.integrate cfg Addressbook.source_a Addressbook.source_b with
+    | Ok doc -> doc
+    | Error e -> Alcotest.failf "integration failed: %a" Integrate.pp_error e
+  in
+  check Alcotest.bool "integration counted pairs" true (Metrics.count pairs > p0);
+  check Alcotest.bool "oracle counted decisions" true (Metrics.count decisions > d0);
+  let s0 = Metrics.count saves and m0 = Metrics.count manifest_writes in
+  let store = Store.create () in
+  Store.put store "doc" (Store.Probabilistic doc);
+  let dir = Filename.concat (Lazy.force obs_dir) "store" in
+  (match Store.save store ~dir with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "save failed: %s" msg);
+  check Alcotest.int "save counted itself" (s0 + 1) (Metrics.count saves);
+  check Alcotest.bool "manifest commit attributed" true
+    (Metrics.count manifest_writes > m0)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "obs.metrics",
+      [
+        t "counter registration is idempotent" test_counter_idempotent;
+        t "histogram registration is idempotent" test_histogram_idempotent;
+        t "snapshot: registration order, zeros included" test_snapshot_order_and_zeros;
+        t "snapshot then reset" test_snapshot_then_reset;
+      ] );
+    ( "obs.trace",
+      [
+        t "nested spans under a fake clock" test_nested_spans_fake_clock;
+        t "spans close on exceptions" test_span_closes_on_exception;
+        t "no sink: with_span is pass-through" test_no_sink_fast_path;
+      ] );
+    ( "obs.json",
+      [
+        t "round-trip through to_string/parse" test_json_roundtrip;
+        t "malformed inputs are rejected" test_json_parse_errors;
+      ] );
+    ( "obs.io",
+      [
+        t "with_tag is dynamically scoped" test_with_tag_scoping;
+        t "metered io attributes ops to tags" test_metered_io_attribution;
+        t "integrate/oracle/store feed the global registry" test_global_wiring;
+      ] );
+  ]

@@ -71,9 +71,16 @@ let check_experiment ~file experiments name =
     required_histograms;
   if not (List.exists (starts_with ~prefix:"oracle.rule_fired.") ckeys) then
     fail "%s: no oracle.rule_fired.* counters registered" ctx;
-  match Obs.Json.member "integrate.pairs_compared" counters with
-  | Some (Obs.Json.Int n) when n > 0 -> ()
-  | _ -> fail "%s: integrate.pairs_compared is zero — instrumentation asleep?" ctx
+  let positive counter =
+    match Obs.Json.member counter counters with
+    | Some (Obs.Json.Int n) when n > 0 -> ()
+    | _ -> fail "%s: %s is zero — instrumentation asleep?" ctx counter
+  in
+  positive "integrate.pairs_compared";
+  (* the querying experiments must actually have enumerated worlds, and the
+     cache experiment must actually have hit its cache *)
+  if starts_with ~prefix:"pquery_" name then positive "pquery.worlds_enumerated";
+  if name = "pquery_cached" then positive "pquery.cache.hit"
 
 let () =
   let file, wanted =

@@ -236,7 +236,7 @@ let rules_cmd =
 let strategy_names = [ "auto"; "direct"; "enumerate"; "sample" ]
 
 let query_cmd =
-  let run path query strategy samples seed trace =
+  let run path query strategy samples seed jobs top_k trace =
     with_telemetry trace @@ fun () ->
     let doc = or_die (load_doc path) in
     let strategy =
@@ -250,7 +250,16 @@ let query_cmd =
             (String.concat ", " strategy_names);
           exit 1
     in
-    match Pquery.rank ~strategy doc query with
+    if jobs < 1 then begin
+      Fmt.epr "imprecise: --jobs must be at least 1@.";
+      exit 1
+    end;
+    (match top_k with
+    | Some k when k < 1 ->
+        Fmt.epr "imprecise: --top-k must be at least 1@.";
+        exit 1
+    | _ -> ());
+    match Pquery.rank ~strategy ~jobs ?top_k doc query with
     | answers -> Fmt.pr "%a@?" Answer.pp answers
     | exception Pquery.Cannot_answer msg ->
         Fmt.epr "imprecise: cannot answer: %s@." msg;
@@ -271,12 +280,28 @@ let query_cmd =
     Arg.(value & opt int 10_000 & info [ "samples" ] ~docv:"N" ~doc:"Sample count for --strategy sample.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for --strategy sample.") in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Enumerate possible worlds on $(docv) parallel domains. The answer \
+             distribution is identical; 1 (the default) is the sequential path.")
+  in
+  let top_k =
+    Arg.(
+      value & opt (some int) None
+      & info [ "top-k" ] ~docv:"K"
+          ~doc:
+            "Report only the $(docv) most likely answers, stopping the enumeration \
+             early once their order is provably final.")
+  in
   Cmd.v
     (Cmd.info "query"
        ~doc:
          "Query a (probabilistic or plain) document; answers are ranked by the \
           probability that they belong to the result.")
-    Term.(const run $ path $ query $ strategy $ samples $ seed $ trace_arg)
+    Term.(const run $ path $ query $ strategy $ samples $ seed $ jobs $ top_k $ trace_arg)
 
 (* ---- worlds -------------------------------------------------------------------- *)
 

@@ -62,6 +62,27 @@ let integrate_all ?(rules = Rulesets.full) ?(dtd = Dtd.empty) ?factorize ?world_
 
 let rank = Pquery.rank
 
+(* The store knows each document's generation; the cache key needs it.
+   This is the one place that dependency is tied together — Pquery cannot
+   depend on Store. *)
+let query_store ?strategy ?world_limit ?jobs ?top_k ?top_k_tolerance store name query =
+  match Store.get store name with
+  | None -> Error (Fmt.str "no document %S in store" name)
+  | Some stored -> (
+      let doc =
+        match stored with
+        | Store.Probabilistic doc -> doc
+        | Store.Certain tree -> Pxml.doc_of_tree tree
+      in
+      let generation = Option.value ~default:0 (Store.generation store name) in
+      match
+        Pquery.rank_cached ?strategy ?world_limit ?jobs ?top_k ?top_k_tolerance
+          ~collection:name ~generation doc query
+      with
+      | answers -> Ok answers
+      | exception Pquery.Cannot_answer msg -> Error msg
+      | exception Failure msg -> Error msg)
+
 let explain = Pquery.explain
 
 let query_certain = Xpath.Eval.select_strings

@@ -96,9 +96,37 @@ val integrate_all :
   Tree.t list ->
   (Pxml.doc, Integrate.error) result
 
-(** [rank doc query] is the amalgamated ranked answer (see {!Pquery}). *)
+(** [rank doc query] is the amalgamated ranked answer (see {!Pquery}).
+    [jobs] parallelises the enumeration fallback over OCaml domains;
+    [top_k] keeps only the leading answers, stopping enumeration early
+    when they are provably final. *)
 val rank :
-  ?strategy:Pquery.strategy -> ?world_limit:float -> Pxml.doc -> string -> Answer.t list
+  ?strategy:Pquery.strategy ->
+  ?world_limit:float ->
+  ?jobs:int ->
+  ?top_k:int ->
+  ?top_k_tolerance:float ->
+  Pxml.doc ->
+  string ->
+  Answer.t list
+
+(** [query_store store name query] ranks a query over the named stored
+    document through the process-wide answer cache: the store supplies the
+    document and its {!Store.generation}, so answers computed before a
+    [Store.put] of the same name are never served after it. Certain
+    documents are queried as single-world probabilistic ones. [Error] on a
+    missing name, an unparseable query, or a strategy that cannot answer
+    ({!Pquery.Cannot_answer}). *)
+val query_store :
+  ?strategy:Pquery.strategy ->
+  ?world_limit:float ->
+  ?jobs:int ->
+  ?top_k:int ->
+  ?top_k_tolerance:float ->
+  Store.t ->
+  string ->
+  string ->
+  (Answer.t list, string) result
 
 (** [explain ?k doc query value] classifies the most likely worlds by
     whether [value] is part of the answer there (see {!Pquery.explain}). *)

@@ -1,0 +1,48 @@
+(** LRU cache for ranked query answers.
+
+    Keys are composite strings built by {!key} from [(collection, document
+    generation, evaluation variant, query text)]. Invalidation is by
+    {e generation}, not by deletion: each [Store.put] stamps the document
+    with a fresh, process-unique generation, so entries computed against a
+    superseded document state simply never match again and age out of the
+    LRU. Hits, misses and evictions are counted in the global metrics
+    registry as [pquery.cache.hit] / [.miss] / [.evict].
+
+    Not domain-safe: confine a cache (including {!global}) to one domain.
+    The parallel evaluator spawns domains {e below} the cache, so the
+    normal [rank_cached] path never shares it. *)
+
+type t
+
+(** [create ?capacity ()] — [capacity] (default 256) must be positive;
+    raises [Invalid_argument] otherwise. *)
+val create : ?capacity:int -> unit -> t
+
+val capacity : t -> int
+
+(** Entries currently held. *)
+val length : t -> int
+
+(** [set_capacity t n] shrinks or grows the bound, evicting the least
+    recently used entries as needed. *)
+val set_capacity : t -> int -> unit
+
+val clear : t -> unit
+
+(** [find t key] is the cached answer, marking it most recently used.
+    Counts a hit or a miss. *)
+val find : t -> string -> Answer.t list option
+
+(** [add t key answers] inserts or replaces, evicting the least recently
+    used entry when full. *)
+val add : t -> string -> Answer.t list -> unit
+
+val remove : t -> string -> unit
+
+(** [key ~collection ~generation ~variant ~query] builds the composite
+    cache key. [variant] encodes everything besides the document and query
+    that determines the answer (strategy, top-k). *)
+val key : collection:string -> generation:int -> variant:string -> query:string -> string
+
+(** The process-wide query-answer cache used by [Pquery.rank_cached]. *)
+val global : t

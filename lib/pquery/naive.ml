@@ -10,6 +10,10 @@ exception Too_many_worlds of float
 
 let c_worlds = Obs.Metrics.counter "pquery.worlds_enumerated"
 
+let c_parallel = Obs.Metrics.counter "pquery.parallel_ranks"
+
+let c_early = Obs.Metrics.counter "pquery.topk_early_stops"
+
 module SS = Set.Make (String)
 
 let answer_in_world forest expr =
@@ -23,24 +27,120 @@ let answer_in_world forest expr =
   in
   SS.elements (SS.of_list values)
 
-let rank_expr ?(limit = 200_000.) doc expr =
-  let combos = Pxml.world_count doc in
-  if combos > limit then raise (Too_many_worlds combos);
-  let tbl = Hashtbl.create 64 in
-  Seq.iter
-    (fun (p, forest) ->
-      Obs.Metrics.incr c_worlds;
-      if p > 0. then
-        List.iter
-          (fun v ->
-            let prev = Option.value ~default:0. (Hashtbl.find_opt tbl v) in
-            Hashtbl.replace tbl v (prev +. p))
-          (answer_in_world forest expr))
-    (Worlds.enumerate doc);
+let add_world tbl p forest expr =
+  if p > 0. then
+    List.iter
+      (fun v ->
+        let prev = Option.value ~default:0. (Hashtbl.find_opt tbl v) in
+        Hashtbl.replace tbl v (prev +. p))
+      (answer_in_world forest expr)
+
+let answers_of_tbl tbl =
   Answer.rank
     (Hashtbl.fold
        (fun value prob acc ->
          if prob <= 1e-12 then acc else { Answer.value; prob } :: acc)
        tbl [])
 
-let rank ?limit doc query = rank_expr ?limit doc (Imprecise_xpath.Parser.parse_exn query)
+(* ---- top-k early termination --------------------------------------------
+
+   Processed worlds carry mass [seen]; the rest of the enumeration carries
+   at most [remaining = 1 - seen], so any value's final probability lies in
+   [cur, cur + remaining] (unseen values in [0, remaining]). The top-k
+   order is provably final once consecutive entries of the current ranking
+   are separated by strictly more than [remaining] down to and including
+   the k/k+1 boundary — nothing below (or unseen) can then climb past the
+   k-th place, and no pair inside the top k can swap. The reported
+   probabilities are underestimates by at most [remaining]; requiring
+   [remaining <= tolerance] bounds that error, so the early-stopped answer
+   equals the full enumeration within [tolerance]. *)
+let topk_settled ranked k remaining =
+  let arr = Array.of_list ranked in
+  let p i = if i < Array.length arr then arr.(i).Answer.prob else 0. in
+  Array.length arr >= k
+  &&
+  let rec gaps i = i >= k || (p i > p (i + 1) +. remaining && gaps (i + 1)) in
+  gaps 0
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+(* Sequential shard walk: one answer table, one world count. *)
+let shard_table ~shards ~shard doc expr =
+  let tbl = Hashtbl.create 64 in
+  let n = ref 0 in
+  Seq.iter
+    (fun (p, forest) ->
+      incr n;
+      add_world tbl p forest expr)
+    (Worlds.enumerate_shard ~shards ~shard doc);
+  (tbl, !n)
+
+(* jobs = 1, with optional top-k early termination. The settled check is
+   O(answers log answers); run it every 32 worlds so it stays invisible. *)
+let rank_seq ?top_k ~tolerance doc expr =
+  let tbl = Hashtbl.create 64 in
+  let seen = ref 0. in
+  let n = ref 0 in
+  let rec walk seq =
+    match Seq.uncons seq with
+    | None -> None
+    | Some ((p, forest), rest) ->
+        incr n;
+        seen := !seen +. p;
+        add_world tbl p forest expr;
+        let early =
+          match top_k with
+          | Some k when !n land 31 = 0 ->
+              let remaining = Float.max 0. (1. -. !seen) in
+              if remaining <= tolerance then
+                let ranked = answers_of_tbl tbl in
+                if topk_settled ranked k remaining then Some ranked else None
+              else None
+          | _ -> None
+        in
+        (match early with Some _ -> Obs.Metrics.incr c_early | None -> ());
+        (match early with Some _ as r -> r | None -> walk rest)
+  in
+  let early = walk (Worlds.enumerate doc) in
+  Obs.Metrics.incr ~by:!n c_worlds;
+  let ranked = match early with Some r -> r | None -> answers_of_tbl tbl in
+  match top_k with Some k -> take k ranked | None -> ranked
+
+(* jobs > 1: each domain owns one shard of the choice space and accumulates
+   its own table; the tables are summed afterwards. Shards partition the
+   enumeration exactly, so the merged distribution is the sequential one
+   (up to float summation order). Counters are bumped once, after the
+   join — Obs counters are plain mutable ints, not atomics. *)
+let rank_par ~jobs ?top_k doc expr =
+  Obs.Metrics.incr c_parallel;
+  let workers =
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () -> shard_table ~shards:jobs ~shard:(i + 1) doc expr))
+  in
+  let first = shard_table ~shards:jobs ~shard:0 doc expr in
+  let parts = first :: List.map Domain.join workers in
+  Obs.Metrics.incr ~by:(List.fold_left (fun acc (_, n) -> acc + n) 0 parts) c_worlds;
+  let merged = Hashtbl.create 64 in
+  List.iter
+    (fun (tbl, _) ->
+      Hashtbl.iter
+        (fun v p ->
+          let prev = Option.value ~default:0. (Hashtbl.find_opt merged v) in
+          Hashtbl.replace merged v (prev +. p))
+        tbl)
+    parts;
+  let ranked = answers_of_tbl merged in
+  match top_k with Some k -> take k ranked | None -> ranked
+
+let rank_expr ?(limit = 200_000.) ?(jobs = 1) ?top_k ?(tolerance = 1e-9) doc expr =
+  (match top_k with
+  | Some k when k <= 0 -> invalid_arg "Naive.rank_expr: top_k must be positive"
+  | _ -> ());
+  let combos = Pxml.world_count doc in
+  if combos > limit then raise (Too_many_worlds combos);
+  let jobs = max 1 (min jobs 64) in
+  if jobs = 1 then rank_seq ?top_k ~tolerance doc expr
+  else rank_par ~jobs ?top_k doc expr
+
+let rank ?limit ?jobs ?top_k ?tolerance doc query =
+  rank_expr ?limit ?jobs ?top_k ?tolerance doc (Imprecise_xpath.Parser.parse_exn query)

@@ -1,4 +1,5 @@
 module Pxml = Imprecise_pxml.Pxml
+module Eval = Imprecise_xpath.Eval
 module Obs = Imprecise_obs.Obs
 
 type strategy = Auto | Direct_only | Enumerate_only | Sample of { n : int; seed : int }
@@ -19,21 +20,30 @@ let c_unsupported = Obs.Metrics.counter "pquery.direct_unsupported"
 
 let c_answers = Obs.Metrics.counter "pquery.answers_amalgamated"
 
-let rank ?(strategy = Auto) ?world_limit doc query =
+let compile = Eval.compile_exn
+
+let truncate top_k answers =
+  match top_k with Some k -> List.filteri (fun i _ -> i < k) answers | None -> answers
+
+let rank_compiled ?(strategy = Auto) ?world_limit ?(jobs = 1) ?top_k ?top_k_tolerance doc
+    query =
   Obs.Metrics.incr c_ranks;
   Obs.Trace.with_span "pquery.rank" @@ fun () ->
-  let expr = Imprecise_xpath.Parser.parse_exn query in
+  (match top_k with
+  | Some k when k <= 0 -> raise (Cannot_answer "top_k must be positive")
+  | _ -> ());
+  let expr = Eval.compiled_ast query in
   let enumerate () =
     Obs.Metrics.incr c_enumerate;
     Obs.Trace.with_span "enumerate" @@ fun () ->
-    try Naive.rank_expr ?limit:world_limit doc expr
+    try Naive.rank_expr ?limit:world_limit ~jobs ?top_k ?tolerance:top_k_tolerance doc expr
     with Naive.Too_many_worlds n ->
       raise (Cannot_answer (Fmt.str "document has %g possible worlds; too many to enumerate" n))
   in
   let direct () =
     let answers = Obs.Trace.with_span "direct" (fun () -> Direct.rank_expr doc expr) in
     Obs.Metrics.incr c_direct;
-    answers
+    truncate top_k answers
   in
   let answers =
     match strategy with
@@ -64,11 +74,51 @@ let rank ?(strategy = Auto) ?world_limit doc query =
                 Hashtbl.replace tbl v (prev +. (1. /. float_of_int n)))
               (Naive.answer_in_world forest expr))
           worlds;
-        Answer.rank
-          (Hashtbl.fold (fun value prob acc -> { Answer.value; prob } :: acc) tbl [])
+        truncate top_k
+          (Answer.rank
+             (Hashtbl.fold (fun value prob acc -> { Answer.value; prob } :: acc) tbl []))
   in
   Obs.Metrics.incr ~by:(List.length answers) c_answers;
   answers
+
+let rank ?strategy ?world_limit ?jobs ?top_k ?top_k_tolerance doc query =
+  rank_compiled ?strategy ?world_limit ?jobs ?top_k ?top_k_tolerance doc (compile query)
+
+(* ---- the LRU answer cache ----------------------------------------------- *)
+
+(* Everything besides the document state and the query text that can change
+   the answer must land in the cache key. [jobs] is deliberately left out
+   (it only permutes float summation order, never the distribution), as is
+   [world_limit] (it bounds effort, not the value — a hit just means the
+   effort was already spent). *)
+let variant_of ~strategy ~top_k ~top_k_tolerance =
+  let s =
+    match strategy with
+    | Auto -> "auto"
+    | Direct_only -> "direct"
+    | Enumerate_only -> "enumerate"
+    | Sample { n; seed } -> Printf.sprintf "sample:%d:%d" n seed
+  in
+  match top_k with
+  | None -> s
+  | Some k ->
+      Printf.sprintf "%s:top%d:%g" s k (Option.value ~default:1e-9 top_k_tolerance)
+
+let rank_cached ?(strategy = Auto) ?world_limit ?jobs ?top_k ?top_k_tolerance ~collection
+    ~generation doc query =
+  let key =
+    Cache.key ~collection ~generation
+      ~variant:(variant_of ~strategy ~top_k ~top_k_tolerance)
+      ~query
+  in
+  match Cache.find Cache.global key with
+  | Some answers -> answers
+  | None ->
+      let answers =
+        rank ~strategy ?world_limit ?jobs ?top_k ?top_k_tolerance doc query
+      in
+      Cache.add Cache.global key answers;
+      answers
 
 let used_strategy doc query =
   let expr = Imprecise_xpath.Parser.parse_exn query in
@@ -84,11 +134,13 @@ type explanation = {
 }
 
 let explain ?(k = 10) doc query value =
-  let expr = Imprecise_xpath.Parser.parse_exn query in
+  (* Parse once and rank once; the ranked answers and the per-world check
+     reuse the same compiled handle. *)
+  let compiled = compile query in
+  let expr = Eval.compiled_ast compiled in
+  let answers = rank_compiled doc compiled in
   let prob =
-    match
-      List.find_opt (fun (a : Answer.t) -> a.Answer.value = value) (rank doc query)
-    with
+    match List.find_opt (fun (a : Answer.t) -> a.Answer.value = value) answers with
     | Some a -> a.Answer.prob
     | None -> 0.
   in

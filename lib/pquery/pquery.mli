@@ -4,9 +4,17 @@
     amalgamated ranked answer (paper §VI): distinct values, each with the
     probability that it belongs to the query answer. It uses the exact
     {!Direct} evaluator whenever the query is in its class and falls back
-    to possible-world enumeration ({!Naive}) otherwise. *)
+    to possible-world enumeration ({!Naive}) otherwise.
+
+    The enumeration path scales two ways: [jobs] spreads the possible
+    worlds over that many OCaml domains, and [top_k] stops enumerating
+    early once the leading answers are provably final (see {!Naive.rank}
+    for the exact contracts). [rank_cached] adds a process-wide LRU
+    answer cache keyed by the owning collection's document generation, so
+    repeated queries against an unchanged store are O(1). *)
 
 module Pxml = Imprecise_pxml.Pxml
+module Eval = Imprecise_xpath.Eval
 
 type strategy =
   | Auto  (** direct when possible, else enumeration *)
@@ -22,9 +30,60 @@ exception Cannot_answer of string
     enumeration over too many worlds, or [Direct_only] on an unsupported
     query). *)
 
-(** [rank ?strategy ?world_limit doc query] — [world_limit] guards the
-    enumeration fallback (default 200_000 choice combinations). *)
-val rank : ?strategy:strategy -> ?world_limit:float -> Pxml.doc -> string -> Answer.t list
+(** [compile query] parses [query] once into a reusable handle; raises
+    like {!Imprecise_xpath.Parser.parse_exn} on syntax errors. Use with
+    {!rank_compiled} to amortise parsing across documents. *)
+val compile : string -> Eval.compiled
+
+(** [rank ?strategy ?world_limit ?jobs ?top_k ?top_k_tolerance doc query]
+    — [world_limit] guards the enumeration fallback (default 200_000
+    choice combinations). [jobs] (default 1) parallelises enumeration;
+    [jobs = 1] is bit-identical to the original sequential evaluation.
+    [top_k] keeps only the [k] most likely answers, terminating the
+    enumeration early when their order can no longer change and the
+    unprocessed mass is at most [top_k_tolerance] (default [1e-9]); under
+    [Direct_only]/[Auto]-direct/[Sample] it merely truncates the ranked
+    list, which is exact there. Raises {!Cannot_answer} on [top_k <= 0]. *)
+val rank :
+  ?strategy:strategy ->
+  ?world_limit:float ->
+  ?jobs:int ->
+  ?top_k:int ->
+  ?top_k_tolerance:float ->
+  Pxml.doc ->
+  string ->
+  Answer.t list
+
+(** [rank_compiled] is {!rank} on a pre-compiled query handle. *)
+val rank_compiled :
+  ?strategy:strategy ->
+  ?world_limit:float ->
+  ?jobs:int ->
+  ?top_k:int ->
+  ?top_k_tolerance:float ->
+  Pxml.doc ->
+  Eval.compiled ->
+  Answer.t list
+
+(** [rank_cached ~collection ~generation doc query] is {!rank} memoized in
+    the process-wide {!Cache.global}. [collection] names the document
+    (typically its store name) and [generation] is its store generation
+    ({!Imprecise_store.Store.generation}): entries for superseded document
+    states never match again and age out of the LRU. The caller must pass
+    the [doc] that [(collection, generation)] actually refers to —
+    {!Imprecise.query_store} does this bookkeeping for you. Exceptions are
+    not cached. *)
+val rank_cached :
+  ?strategy:strategy ->
+  ?world_limit:float ->
+  ?jobs:int ->
+  ?top_k:int ->
+  ?top_k_tolerance:float ->
+  collection:string ->
+  generation:int ->
+  Pxml.doc ->
+  string ->
+  Answer.t list
 
 (** [used_strategy doc query] reports which evaluator {!rank} with [Auto]
     would use ([`Direct] or [`Enumerate]). *)
@@ -48,5 +107,5 @@ type explanation = {
 }
 
 (** [explain ?k doc query value] — [k] (default 10) bounds how many worlds
-    are examined. *)
+    are examined. The query is parsed and ranked exactly once. *)
 val explain : ?k:int -> Pxml.doc -> string -> string -> explanation

@@ -3,15 +3,24 @@ module Xml = Imprecise_xml
 type world = float * Xml.Tree.t list
 
 (* Cartesian product of world sequences, concatenating payloads and
-   multiplying probabilities. Lazy: nothing is forced until consumed. *)
+   multiplying probabilities. Lazy, and the suffix product is memoized:
+   the worlds of [rest] are computed once and replayed for every head
+   element, instead of being re-forced per head (which made enumeration
+   quadratic in the per-level fan-out). *)
 let rec product (seqs : (float * 'a list) Seq.t list) : (float * 'a list) Seq.t =
   match seqs with
   | [] -> Seq.return (1., [])
   | s :: rest ->
+      let suffix = Seq.memoize (product rest) in
       Seq.concat_map
-        (fun (p, xs) ->
-          Seq.map (fun (q, ys) -> (p *. q, xs @ ys)) (product rest))
+        (fun (p, xs) -> Seq.map (fun (q, ys) -> (p *. q, xs @ ys)) suffix)
         s
+
+(* Zero-probability possibilities contribute no mass to any answer;
+   expanding them only to filter the resulting worlds later is wasted
+   (potentially exponential) work, so they are skipped up front. *)
+let live_choices (d : Pxml.dist) =
+  List.filter (fun (c : Pxml.choice) -> c.Pxml.prob > 0.) d.Pxml.choices
 
 let rec enumerate_node (n : Pxml.node) : (float * Xml.Tree.t) Seq.t =
   match n with
@@ -27,7 +36,100 @@ and enumerate (d : Pxml.dist) : world Seq.t =
       Seq.map
         (fun (p, nodes) -> (c.Pxml.prob *. p, nodes))
         (product (List.map (fun n -> Seq.map (fun (p, t) -> (p, [ t ])) (enumerate_node n)) c.Pxml.nodes)))
-    (List.to_seq d.Pxml.choices)
+    (List.to_seq (live_choices d))
+
+(* ---- sharding, for parallel enumeration ----------------------------------
+
+   A shard is a rewritten document whose enumeration is a disjoint subset
+   of the original's, with the [shards] subsets united being exactly
+   [enumerate d]. The rewrite deals one {e unconditional dimension} of the
+   choice space out round-robin: the top-level dist itself when it has at
+   least [shards] live choices, else — descending through forced
+   (single-live-choice) dists, whose content dists are independent product
+   dimensions — the first nested dist that does. A multi-choice dist that
+   is itself too small to deal out can still carry the shard if {e every}
+   one of its live choices can be sharded inside, since the union of
+   per-choice partitions partitions the whole. The search path depends
+   only on the structure, never on [shard], so all shards restrict the
+   same dimension.
+
+   When no dimension is wide enough (a near-certain document), the shard
+   falls back to taking every [shards]-th world of the full enumeration:
+   the structural walk is then repeated per shard, but the expensive
+   per-world work downstream (query evaluation) still splits evenly. *)
+
+let deal ~shards ~shard choices =
+  List.filteri (fun i _ -> i mod shards = shard) choices
+
+let rec shard_dist ~shards ~shard (d : Pxml.dist) : Pxml.dist option =
+  let live = live_choices d in
+  if List.length live >= shards then
+    Some { Pxml.choices = deal ~shards ~shard live }
+  else
+    let inside (c : Pxml.choice) =
+      Option.map
+        (fun nodes -> { c with Pxml.nodes })
+        (shard_nodes ~shards ~shard c.Pxml.nodes)
+    in
+    match live with
+    | [ c ] -> Option.map (fun c -> { Pxml.choices = [ c ] }) (inside c)
+    | live ->
+        (* whether a choice is shardable inside is structural — identical
+           for every shard — so this classification is consistent: each
+           shard keeps all shardable choices (with its own interior slice)
+           while the unshardable ones are dealt out whole, one shard each *)
+        let sharded = List.map (fun c -> (c, inside c)) live in
+        if List.exists (fun (_, o) -> Option.is_some o) sharded then begin
+          let dealt = ref 0 in
+          let choices =
+            List.filter_map
+              (fun (c, o) ->
+                match o with
+                | Some c -> Some c
+                | None ->
+                    let mine = !dealt mod shards = shard in
+                    incr dealt;
+                    if mine then Some c else None)
+              sharded
+          in
+          Some { Pxml.choices = choices }
+        end
+        else None
+
+and shard_nodes ~shards ~shard nodes =
+  let rec go acc = function
+    | [] -> None
+    | (Pxml.Text _ as n) :: rest -> go (n :: acc) rest
+    | (Pxml.Elem (tag, attrs, content) as n) :: rest -> (
+        match shard_content ~shards ~shard content with
+        | Some content ->
+            Some (List.rev_append acc (Pxml.Elem (tag, attrs, content) :: rest))
+        | None -> go (n :: acc) rest)
+  in
+  go [] nodes
+
+and shard_content ~shards ~shard dists =
+  let rec go acc = function
+    | [] -> None
+    | d :: rest -> (
+        match shard_dist ~shards ~shard d with
+        | Some d -> Some (List.rev_append acc (d :: rest))
+        | None -> go (d :: acc) rest)
+  in
+  go [] dists
+
+let enumerate_shard ~shards ~shard (d : Pxml.dist) : world Seq.t =
+  if shards <= 1 then enumerate d
+  else begin
+    if shard < 0 || shard >= shards then
+      invalid_arg (Printf.sprintf "Worlds.enumerate_shard: shard %d of %d" shard shards);
+    match shard_dist ~shards ~shard d with
+    | Some d -> enumerate d
+    | None ->
+        Seq.filter_map
+          (fun (i, w) -> if i mod shards = shard then Some w else None)
+          (Seq.mapi (fun i w -> (i, w)) (enumerate d))
+  end
 
 
 

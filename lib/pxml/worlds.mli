@@ -14,11 +14,31 @@ type world = float * Imprecise_xml.Tree.t list
 
 (** [enumerate d] lazily produces every choice combination with its
     probability. Worlds that happen to contain the same information are
-    {e not} merged. *)
+    {e not} merged. Zero-probability possibilities are skipped up front —
+    they carry no mass, so expanding them is pure waste ({!Pxml.world_count}
+    still counts them, being a count of combinations, not of reachable
+    worlds). Suffix products are memoized, so sibling probability nodes are
+    each expanded once rather than once per prefix world. *)
 val enumerate : Pxml.doc -> world Seq.t
 
 (** [enumerate_node n] enumerates worlds of a single probabilistic node. *)
 val enumerate_node : Pxml.node -> (float * Imprecise_xml.Tree.t) Seq.t
+
+(** [enumerate_shard ~shards ~shard d] is the sub-sequence of
+    {!enumerate}[ d] owned by [shard] (0-based) out of [shards] equal-ish
+    parts: the shards are pairwise disjoint and their union is exactly the
+    full enumeration, so per-shard answer tables can simply be summed.
+    With [shards <= 1] this is {!enumerate}.
+
+    The split deals one unconditional dimension of the choice space out
+    round-robin — the top-level probability node, or, descending through
+    forced choices, a nested one wide enough — so shards do not duplicate
+    each other's structural work. Only when no such dimension exists
+    (near-certain documents) does a shard fall back to index-striding the
+    full enumeration, which repeats the walk per shard but still splits
+    the per-world evaluation cost evenly. Used by the parallel query
+    evaluator — each OCaml domain walks one shard. *)
+val enumerate_shard : shards:int -> shard:int -> Pxml.doc -> world Seq.t
 
 (** [merged d] enumerates all worlds, merges those whose canonical XML is
     equal (summing probabilities), and returns them sorted by decreasing

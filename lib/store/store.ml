@@ -19,9 +19,23 @@ type t = {
   (* newest first, so put is O(1); [names] reverses once and caches *)
   mutable rev_order : string list;
   mutable order_cache : string list option;
+  gens : (string, int) Hashtbl.t;
 }
 
-let create () = { tbl = Hashtbl.create 16; rev_order = []; order_cache = None }
+(* Document generations come from one process-global counter, so a
+   (name, generation) pair is never reused — not within a store, and not
+   across two stores that happen to share a name. Query caches keyed by
+   generation therefore never serve a stale answer. Atomic, because
+   parallel query evaluation may share the process with a writer. *)
+let gen_counter = Atomic.make 0
+
+let create () =
+  {
+    tbl = Hashtbl.create 16;
+    rev_order = [];
+    order_cache = None;
+    gens = Hashtbl.create 16;
+  }
 
 let valid_name name =
   name <> ""
@@ -40,7 +54,8 @@ let put t name doc =
     t.rev_order <- name :: t.rev_order;
     t.order_cache <- None
   end;
-  Hashtbl.replace t.tbl name doc
+  Hashtbl.replace t.tbl name doc;
+  Hashtbl.replace t.gens name (Atomic.fetch_and_add gen_counter 1)
 
 let get t name = Hashtbl.find_opt t.tbl name
 
@@ -53,9 +68,12 @@ let get_probabilistic t name =
 let remove t name =
   if Hashtbl.mem t.tbl name then begin
     Hashtbl.remove t.tbl name;
+    Hashtbl.remove t.gens name;
     t.rev_order <- List.filter (fun n -> n <> name) t.rev_order;
     t.order_cache <- None
   end
+
+let generation t name = Hashtbl.find_opt t.gens name
 
 let mem t name = Hashtbl.mem t.tbl name
 

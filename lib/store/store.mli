@@ -31,7 +31,10 @@ type t
 val create : unit -> t
 
 (** [put t name doc] adds or replaces. Names must be non-empty and use only
-    [A-Za-z0-9._-]; raises [Invalid_argument] otherwise. O(1) per call. *)
+    [A-Za-z0-9._-]; raises [Invalid_argument] otherwise. O(1) per call.
+    Each put stamps the document with a fresh generation (see
+    {!generation}), which is how query caches learn the old answers are
+    stale. *)
 val put : t -> string -> doc -> unit
 
 val get : t -> string -> doc option
@@ -41,6 +44,14 @@ val get_certain : t -> string -> Tree.t option
 val get_probabilistic : t -> string -> Pxml.doc option
 
 val remove : t -> string -> unit
+
+(** [generation t name] is the document's current generation: an integer
+    drawn from a process-global counter by every {!put}, so a
+    [(name, generation)] pair uniquely identifies one document state — even
+    across distinct stores sharing a name. [None] when the document is
+    absent. Cache keys built on it (see {!Imprecise_pquery.Cache}) are
+    invalidated simply by the generation moving on. *)
+val generation : t -> string -> int option
 
 val mem : t -> string -> bool
 

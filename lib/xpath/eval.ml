@@ -516,3 +516,20 @@ let eval_string tree query = string_value (eval tree (Parser.parse_exn query))
 let eval_bool tree query = boolean_value (eval tree (Parser.parse_exn query))
 
 let eval_number tree query = number_value (eval tree (Parser.parse_exn query))
+
+(* ---- compiled query handles --------------------------------------------- *)
+
+type compiled = { source : string; ast : Ast.expr }
+
+let compile query =
+  Result.map (fun ast -> { source = query; ast }) (Parser.parse query)
+
+let compile_exn query = { source = query; ast = Parser.parse_exn query }
+
+let compiled_of_expr ?(source = "<expr>") ast = { source; ast }
+
+let compiled_source c = c.source
+
+let compiled_ast c = c.ast
+
+let eval_compiled ?vars tree c = eval ?vars tree c.ast

@@ -55,6 +55,33 @@ val children_nodes : node -> node list
 
 val descendants_or_self : node -> node list
 
+(** {1 Compiled queries}
+
+    A query handle that pairs the parsed AST with its source text, so hot
+    paths (repeated ranking, caches keyed by query string) parse once and
+    reuse the handle. Compilation is pure: a [compiled] value is immutable
+    and safe to share across domains. *)
+
+type compiled
+
+(** [compile q] parses [q] once; reuse the handle for every evaluation. *)
+val compile : string -> (compiled, string) result
+
+(** [compile_exn q] raises [Failure] with the parse error. *)
+val compile_exn : string -> compiled
+
+(** [compiled_of_expr ?source e] wraps an already-built AST ([source], the
+    text reported by {!compiled_source}, defaults to ["<expr>"]). *)
+val compiled_of_expr : ?source:string -> Ast.expr -> compiled
+
+(** The query text the handle was compiled from. *)
+val compiled_source : compiled -> string
+
+val compiled_ast : compiled -> Ast.expr
+
+(** [eval_compiled ?vars tree c] is [eval ?vars tree (compiled_ast c)]. *)
+val eval_compiled : ?vars:(string * value) list -> Xml.Tree.t -> compiled -> value
+
 (** {1 Convenience} *)
 
 (** [select root query] parses [query] and returns matching element/text

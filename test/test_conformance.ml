@@ -181,6 +181,65 @@ let prop_eval_total_on_parse_success =
           | _ -> true
           | exception Eval.Eval_error _ -> true))
 
+(* ---- probabilistic query goldens ------------------------------------------- *)
+
+(* The exact ranked (value, probability) lists for the deterministic demo
+   scenarios, pinned value-for-value and in order. Tighter than the pins in
+   test_pquery (which tolerate drift): any change to integration weights,
+   amalgamation, or ranking shows up here first. Tolerance 1e-6 absorbs
+   only float noise. *)
+let golden_pquery =
+  let movie_doc =
+    lazy
+      (let wl = Imprecise.Data.Workloads.confusing () in
+       let rules = Imprecise.Rulesets.movie ~genre:true ~title:true ~director:true () in
+       let cfg =
+         Imprecise.Integrate.config ~oracle:rules.oracle ~reconcile:rules.reconcile
+           ~dtd:wl.dtd ()
+       in
+       Result.get_ok
+         (Imprecise.Integrate.integrate cfg
+            (Imprecise.Data.Workloads.mpeg7_doc wl)
+            (Imprecise.Data.Workloads.imdb_doc wl)))
+  in
+  let fig2_doc =
+    lazy
+      (let cfg =
+         Imprecise.Integrate.config
+           ~oracle:(Imprecise.Oracle.make [ Imprecise.Oracle.deep_equal_rule ])
+           ~dtd:Imprecise.Data.Addressbook.dtd ()
+       in
+       Result.get_ok
+         (Imprecise.Integrate.integrate cfg Imprecise.Data.Addressbook.source_a
+            Imprecise.Data.Addressbook.source_b))
+  in
+  let golden doc query expected () =
+    let got = Imprecise.Pquery.rank (Lazy.force doc) query in
+    check Alcotest.int (query ^ ": answer count") (List.length expected) (List.length got);
+    List.iteri
+      (fun i ((value, prob), (a : Imprecise.Answer.t)) ->
+        check Alcotest.string (Fmt.str "%s: value #%d" query i) value a.Imprecise.Answer.value;
+        check (Alcotest.float 1e-6) (Fmt.str "%s: P(%s)" query value) prob
+          a.Imprecise.Answer.prob)
+      (List.combine expected got)
+  in
+  [
+    ( "Q1 horror titles (MPEG-7 x IMDB)",
+      golden movie_doc {|//movie[.//genre="Horror"]/title|}
+        [ ("Jaws", 1.); ("Jaws 2", 0.97619047619) ] );
+    ( "Q2 John-directed titles (MPEG-7 x IMDB)",
+      golden movie_doc {|//movie[some $d in .//director satisfies contains($d,"John")]/title|}
+        [
+          ("Die Hard: With a Vengeance", 1.);
+          ("Mission: Impossible II", 0.977852760736);
+          ("Mission: Impossible", 0.0804294478528);
+          ("Die Hard 2", 0.00819672131148);
+        ] );
+    ( "fig2 phone numbers",
+      golden fig2_doc "//person/tel" [ ("1111", 0.75); ("2222", 0.75) ] );
+    ("fig2 names", golden fig2_doc "//person/nm" [ ("John", 1.) ]);
+  ]
+
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
   let qc p = QCheck_alcotest.to_alcotest p in
@@ -191,4 +250,5 @@ let suite =
       @ [ t "malformed FLWOR rejected" test_flwor_errors ] );
     ( "xpath.fuzz",
       [ qc prop_parser_total_under_mutation; qc prop_eval_total_on_parse_success ] );
+    ("pquery.golden", List.map (fun (name, f) -> t name f) golden_pquery);
   ]

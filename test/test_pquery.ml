@@ -184,6 +184,103 @@ let prop_direct_equals_naive_on_integrations =
           | exception Direct.Unsupported _ -> QCheck.assume_fail ()
           | direct -> answers_agree ~tolerance:1e-6 direct (Naive.rank_expr doc expr)))
 
+(* ---- answer invariants on random documents ------------------------------------ *)
+
+let random_doc_gen =
+  QCheck.map
+    (fun (seed, qi) ->
+      let doc = fst (Random_docs.pxml (Prng.make seed) ~depth:2) in
+      (doc, List.nth queries_for_property (qi mod List.length queries_for_property)))
+    QCheck.(pair int small_nat)
+
+let prop_probabilities_in_unit_interval =
+  QCheck.Test.make ~name:"answer probabilities lie in (0, 1]" ~count:150 random_doc_gen
+    (fun (doc, q) ->
+      List.for_all
+        (fun (a : Answer.t) -> a.Answer.prob > 0. && a.Answer.prob <= 1. +. 1e-9)
+        (Naive.rank doc q))
+
+let prop_world_count_matches_enumeration =
+  QCheck.Test.make ~name:"world_count = number of enumerated worlds" ~count:150
+    QCheck.int (fun seed ->
+      let doc = fst (Random_docs.pxml (Prng.make seed) ~depth:2) in
+      let n =
+        Seq.fold_left (fun n _ -> n + 1) 0 (Imprecise.Worlds.enumerate doc)
+      in
+      float_of_int n = Pxml.world_count doc)
+
+let prop_single_valued_mass_bounded =
+  (* count() yields exactly one value per root; on single-rooted worlds the
+     answer is a distribution over counts and its mass cannot exceed 1. *)
+  QCheck.Test.make ~name:"single-valued query mass <= 1" ~count:150 QCheck.int
+    (fun seed ->
+      let doc = fst (Random_docs.pxml (Prng.make seed) ~depth:2) in
+      let single_rooted =
+        Seq.for_all
+          (fun (_, forest) -> List.length forest = 1)
+          (Imprecise.Worlds.enumerate doc)
+      in
+      if not single_rooted then QCheck.assume_fail ()
+      else
+        let mass =
+          List.fold_left
+            (fun acc (a : Answer.t) -> acc +. a.Answer.prob)
+            0.
+            (Naive.rank doc "count(//a)")
+        in
+        mass <= 1. +. 1e-9)
+
+(* ---- the parallel and top-k enumeration paths --------------------------------- *)
+
+let prop_parallel_equals_sequential =
+  QCheck.Test.make ~name:"jobs=2 enumeration = sequential" ~count:60 random_doc_gen
+    (fun (doc, q) ->
+      answers_agree (Naive.rank ~jobs:2 doc q) (Naive.rank doc q))
+
+let prop_topk_is_reference_head =
+  QCheck.Test.make ~name:"top_k = head of full ranking" ~count:60 random_doc_gen
+    (fun (doc, q) ->
+      let full = Naive.rank doc q in
+      List.for_all
+        (fun k ->
+          answers_agree
+            (Naive.rank ~top_k:k doc q)
+            (List.filteri (fun i _ -> i < k) full))
+        [ 1; 2; 5 ])
+
+let test_cache_hit_and_invalidation () =
+  let store = Imprecise.Store.create () in
+  Imprecise.Store.put store "fig2" (Imprecise.Store.Probabilistic fig2);
+  let q = "//person/tel" in
+  let r1 = Result.get_ok (Imprecise.query_store store "fig2" q) in
+  let hits = Imprecise.Obs.Metrics.counter "pquery.cache.hit" in
+  let before = Imprecise.Obs.Metrics.count hits in
+  let r2 = Result.get_ok (Imprecise.query_store store "fig2" q) in
+  check Alcotest.int "second query is a hit" (before + 1) (Imprecise.Obs.Metrics.count hits);
+  check Alcotest.bool "hit returns the same answer" true (answers_agree r1 r2);
+  (* a put of the same name moves the generation: the next query recomputes *)
+  Imprecise.Store.put store "fig2" (Imprecise.Store.Probabilistic fig2);
+  let before = Imprecise.Obs.Metrics.count hits in
+  let r3 = Result.get_ok (Imprecise.query_store store "fig2" q) in
+  check Alcotest.int "after put: not a hit" before (Imprecise.Obs.Metrics.count hits);
+  check Alcotest.bool "recomputed answer agrees" true (answers_agree r1 r3);
+  match Imprecise.query_store store "missing" q with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected Error for a missing document"
+
+let test_lru_eviction () =
+  let cache = Imprecise_pquery.Cache.create ~capacity:2 () in
+  let key n = Imprecise_pquery.Cache.key ~collection:"c" ~generation:n ~variant:"v" ~query:"q" in
+  Imprecise_pquery.Cache.add cache (key 1) [];
+  Imprecise_pquery.Cache.add cache (key 2) [];
+  ignore (Imprecise_pquery.Cache.find cache (key 1));
+  Imprecise_pquery.Cache.add cache (key 3) [];
+  (* key 2 was least recently used and must be the one evicted *)
+  check Alcotest.bool "key 1 kept" true (Imprecise_pquery.Cache.find cache (key 1) <> None);
+  check Alcotest.bool "key 2 evicted" true (Imprecise_pquery.Cache.find cache (key 2) = None);
+  check Alcotest.bool "key 3 kept" true (Imprecise_pquery.Cache.find cache (key 3) <> None);
+  check Alcotest.int "capacity respected" 2 (Imprecise_pquery.Cache.length cache)
+
 (* ---- the paper's demo queries (§VI) ---------------------------------------------- *)
 
 let query_doc =
@@ -381,6 +478,19 @@ let suite =
         t "world limit enforced" test_world_limit;
         q prop_direct_equals_naive;
         q prop_direct_equals_naive_on_integrations;
+      ] );
+    ( "pquery.invariants",
+      [
+        q prop_probabilities_in_unit_interval;
+        q prop_world_count_matches_enumeration;
+        q prop_single_valued_mass_bounded;
+      ] );
+    ( "pquery.scale",
+      [
+        q prop_parallel_equals_sequential;
+        q prop_topk_is_reference_head;
+        t "cache hits and generation invalidation" test_cache_hit_and_invalidation;
+        t "LRU eviction order" test_lru_eviction;
       ] );
     ( "pquery.paper",
       [

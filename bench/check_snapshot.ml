@@ -40,7 +40,7 @@ let starts_with ~prefix s =
    -zero catalogue entries like the store's. *)
 let required_counters =
   [ "integrate.pairs_compared"; "oracle.decisions"; "store.bytes_written";
-    "pquery.worlds_enumerated" ]
+    "pquery.worlds_enumerated"; "pquery.static_pruned" ]
 
 let required_histograms = [ "integrate.nodes_produced"; "integrate.worlds_produced" ]
 
@@ -80,7 +80,9 @@ let check_experiment ~file experiments name =
   (* the querying experiments must actually have enumerated worlds, and the
      cache experiment must actually have hit its cache *)
   if starts_with ~prefix:"pquery_" name then positive "pquery.worlds_enumerated";
-  if name = "pquery_cached" then positive "pquery.cache.hit"
+  if name = "pquery_cached" then positive "pquery.cache.hit";
+  (* the prune experiment must actually have pruned something *)
+  if name = "analyze_prune" then positive "pquery.static_pruned"
 
 let () =
   let file, wanted =

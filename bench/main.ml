@@ -423,6 +423,39 @@ let pquery_cached () =
     t_inval
     (Answer.equal ~tolerance:1e-9 cold fresh)
 
+(* ---- extension: static analysis prune ------------------------------------------------- *)
+
+let analyze_prune () =
+  section "Static analysis - pruning statically-empty queries (doc/analysis.md)";
+  let doc = query_document () in
+  let dead = "//movie/nonexistent" in
+  let pruned_counter = Obs.Metrics.counter "pquery.static_pruned" in
+  let before = Obs.Metrics.count pruned_counter in
+  let pruned, t_pruned =
+    time (fun () -> rank ~strategy:Pquery.Enumerate_only ~world_limit:1e7 doc dead)
+  in
+  let full, t_full =
+    time (fun () ->
+        rank ~strategy:Pquery.Enumerate_only ~static_check:false ~world_limit:1e7 doc
+          dead)
+  in
+  Printf.printf "document: %d nodes, %s possible worlds\n" (node_count doc)
+    (human (world_count doc));
+  Printf.printf "dead query: %s (no such path exists in any world)\n" dead;
+  Printf.printf "pruned (static check on): %.6fs  %d answers\n" t_pruned
+    (List.length pruned);
+  Printf.printf "full world enumeration  : %.3fs  %d answers\n" t_full (List.length full);
+  Printf.printf "agree: %b   speedup: %.0fx   pquery.static_pruned: +%d\n"
+    (pruned = full)
+    (t_full /. Float.max t_pruned 1e-9)
+    (Obs.Metrics.count pruned_counter - before);
+  (* and a live query must sail through the check unpruned *)
+  let live, t_live =
+    time (fun () -> rank ~strategy:Pquery.Enumerate_only ~world_limit:1e7 doc q1)
+  in
+  Printf.printf "live query %s: %.3fs, %d answers (not pruned)\n" q1 t_live
+    (List.length live)
+
 (* ---- extension: title-threshold sensitivity ------------------------------------------- *)
 
 let threshold () =
@@ -604,6 +637,7 @@ let experiments =
     ("pquery_enumerate", pquery_enumerate);
     ("pquery_parallel", pquery_parallel);
     ("pquery_cached", pquery_cached);
+    ("analyze_prune", analyze_prune);
     ("quality", quality);
     ("feedback", feedback);
     ("reduction", reduction);

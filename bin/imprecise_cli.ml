@@ -404,44 +404,120 @@ let explain_cmd =
        ~doc:"Show the most likely worlds in which VALUE is (and is not) an answer of QUERY.")
     Term.(const run $ path $ query $ value $ k)
 
-(* ---- validate --------------------------------------------------------------------- *)
+(* ---- validate / check ------------------------------------------------------------- *)
+
+module Diag = Analyze.Diag
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FORMAT" ~doc:"Report findings as $(b,text) or $(b,json).")
+
+(* DTD conformance, checked per possible world (bounded: beyond 10k worlds
+   the check is skipped, as validate always has). Violations become D009. *)
+let dtd_world_diags dtd_decl doc =
+  if Dtd.declarations dtd_decl = [] || Pxml.world_count doc > 10_000. then []
+  else
+    List.concat_map
+      (fun (_, forest) ->
+        List.concat_map
+          (fun w ->
+            match Dtd.validate dtd_decl w with
+            | Ok () -> []
+            | Error vs ->
+                List.map
+                  (fun v ->
+                    Diag.makef ~code:"D009" ~severity:Diag.Error
+                      "a possible world violates the DTD: %a" Dtd.pp_violation v)
+                  vs)
+          forest)
+      (Worlds.merged doc)
+
+(* Findings go to stdout: they are the product of these subcommands, not
+   commentary on it. *)
+let render_diags format diags =
+  match format with
+  | `Json -> print_endline (Obs.Json.to_string ~indent:2 (Diag.list_to_json diags))
+  | `Text ->
+      List.iter (fun d -> Fmt.pr "%s@." (Diag.to_text d)) diags;
+      (match Diag.worst diags with
+      | None -> ()
+      | Some w ->
+          Fmt.pr "%d finding(s), worst: %s@." (List.length diags)
+            (Diag.severity_to_string w))
 
 let validate_cmd =
-  let run path dtd =
+  let run path dtd format =
     let dtd_decl = or_die (load_dtd dtd) in
-    match load_doc path with
-    | Error msg ->
-        Fmt.epr "imprecise: %s@." msg;
-        exit 1
-    | Ok doc -> (
-        match Pxml.validate doc with
-        | Error msg ->
-            Fmt.epr "imprecise: invalid probabilistic structure: %s@." msg;
-            exit 1
-        | Ok () ->
-            let violations = ref 0 in
-            if Pxml.world_count doc <= 10_000. then
-              List.iter
-                (fun (_, forest) ->
-                  List.iter
-                    (fun w ->
-                      match Dtd.validate dtd_decl w with
-                      | Ok () -> ()
-                      | Error vs ->
-                          incr violations;
-                          List.iter (fun v -> Fmt.epr "  %a@." Dtd.pp_violation v) vs)
-                    forest)
-                (Worlds.merged doc);
-            if !violations > 0 then begin
-              Fmt.epr "imprecise: %d world(s) violate the DTD@." !violations;
-              exit 1
-            end;
-            Fmt.pr "valid: %d nodes, %g world combinations@." (node_count doc) (world_count doc))
+    let diags, doc =
+      match load_doc path with
+      | Error msg -> ([ Diag.make ~code:"D000" ~severity:Diag.Error msg ], None)
+      | Ok doc -> (Analyze.Doc_lint.lint doc @ dtd_world_diags dtd_decl doc, Some doc)
+    in
+    render_diags format diags;
+    (match (doc, format) with
+    | Some doc, `Text when Diag.worst diags <> Some Diag.Error ->
+        Fmt.pr "valid: %d nodes, %g world combinations@." (node_count doc)
+          (world_count doc)
+    | _ -> ());
+    exit (Diag.exit_code diags)
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC.xml") in
   Cmd.v
-    (Cmd.info "validate" ~doc:"Check probabilistic structure (and optionally a DTD in every world).")
-    Term.(const run $ path $ dtd_arg)
+    (Cmd.info "validate"
+       ~doc:
+         "Check probabilistic structure (and optionally a DTD in every world). All \
+          findings are reported, not just the first; the exit code is the worst \
+          severity (0 ok/info, 1 warning, 2 error).")
+    Term.(const run $ path $ dtd_arg $ format_arg)
+
+let check_cmd =
+  let run path queries dtd format trace =
+    with_telemetry trace @@ fun () ->
+    if path = None && queries = [] then begin
+      Fmt.epr "imprecise: nothing to check: give a DOC.xml and/or --query@.";
+      exit 1
+    end;
+    let dtd_decl = or_die (load_dtd dtd) in
+    let doc_diags, summary =
+      match path with
+      | None -> ([], None)
+      | Some path -> (
+          match load_doc path with
+          | Error msg -> ([ Diag.make ~code:"D000" ~severity:Diag.Error msg ], None)
+          | Ok doc ->
+              ( Analyze.Doc_lint.lint doc @ dtd_world_diags dtd_decl doc,
+                Some (Analyze.Summary.of_doc doc) ))
+    in
+    let query_diags =
+      List.concat_map (fun q -> Analyze.Query_check.check_string ?summary q) queries
+    in
+    let diags = doc_diags @ query_diags in
+    render_diags format diags;
+    (if format = `Text && diags = [] then
+       Fmt.pr "clean: no findings in %d document(s), %d query(ies)@."
+         (if path = None then 0 else 1)
+         (List.length queries));
+    exit (Diag.exit_code diags)
+  in
+  let path = Arg.(value & pos 0 (some file) None & info [] ~docv:"DOC.xml") in
+  let queries =
+    Arg.(
+      value & opt_all string []
+      & info [ "query"; "q" ] ~docv:"QUERY"
+          ~doc:
+            "Statically analyse $(docv) (repeatable). With a document, the query is \
+             additionally checked against its path summary: a provably empty result is \
+             an error.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Static analysis: lint a probabilistic document and/or analyse queries \
+          against its path summary, without enumerating any worlds. Reports stable \
+          diagnostic codes (doc/analysis.md); the exit code is the worst severity.")
+    Term.(const run $ path $ queries $ dtd_arg $ format_arg $ trace_arg)
 
 (* ---- doctor ------------------------------------------------------------------------ *)
 
@@ -530,7 +606,7 @@ let main =
        ~doc:"Good-is-good-enough probabilistic XML data integration (IMPrECISE, ICDE 2008).")
     [
       integrate_cmd; stats_cmd; query_cmd; worlds_cmd; explain_cmd; feedback_cmd;
-      validate_cmd; rules_cmd; doctor_cmd; demo_cmd;
+      validate_cmd; check_cmd; rules_cmd; doctor_cmd; demo_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,89 @@
+module Json = Imprecise_obs.Obs.Json
+
+type severity = Info | Warning | Error
+
+type location =
+  | Nowhere
+  | Doc_path of string list
+  | Query_at of { source : string; offset : int option }
+
+type t = { code : string; severity : severity; message : string; location : location }
+
+let make ?(location = Nowhere) ~code ~severity message =
+  { code; severity; message; location }
+
+let makef ?location ~code ~severity fmt =
+  Format.kasprintf (fun message -> make ?location ~code ~severity message) fmt
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+let compare_severity a b = Int.compare (severity_rank a) (severity_rank b)
+
+let worst = function
+  | [] -> None
+  | d :: rest ->
+      Some
+        (List.fold_left
+           (fun acc d -> if compare_severity d.severity acc > 0 then d.severity else acc)
+           d.severity rest)
+
+let exit_code diags =
+  match worst diags with
+  | None | Some Info -> 0
+  | Some Warning -> 1
+  | Some Error -> 2
+
+let path_to_string components = "/" ^ String.concat "/" components
+
+let to_text d =
+  let head =
+    Printf.sprintf "%s %s: %s" (severity_to_string d.severity) d.code d.message
+  in
+  match d.location with
+  | Nowhere -> head
+  | Doc_path components -> Printf.sprintf "%s\n  at %s" head (path_to_string components)
+  | Query_at { source; offset } -> (
+      match offset with
+      | None -> Printf.sprintf "%s\n  in: %s" head source
+      | Some off ->
+          (* The caret lines up under the offending character; the "  in: "
+             prefix is 6 columns wide. Offsets past the end (e.g. an
+             unexpected <eof>) point just after the last character. *)
+          let off = max 0 (min off (String.length source)) in
+          Printf.sprintf "%s\n  in: %s\n      %s^" head source (String.make off ' '))
+
+let pp ppf d = Format.pp_print_string ppf (to_text d)
+
+let location_to_json = function
+  | Nowhere -> Json.Null
+  | Doc_path components ->
+      Json.Obj
+        [ ("kind", Json.String "doc"); ("path", Json.String (path_to_string components)) ]
+  | Query_at { source; offset } ->
+      Json.Obj
+        ([ ("kind", Json.String "query"); ("source", Json.String source) ]
+        @ match offset with None -> [] | Some o -> [ ("offset", Json.Int o) ])
+
+let to_json d =
+  Json.Obj
+    [
+      ("code", Json.String d.code);
+      ("severity", Json.String (severity_to_string d.severity));
+      ("message", Json.String d.message);
+      ("location", location_to_json d.location);
+    ]
+
+let list_to_json diags =
+  Json.Obj
+    [
+      ("diagnostics", Json.List (List.map to_json diags));
+      ( "worst",
+        match worst diags with
+        | None -> Json.Null
+        | Some s -> Json.String (severity_to_string s) );
+    ]

@@ -1,0 +1,61 @@
+(** Diagnostics: stable codes, severities, locations, renderers.
+
+    Every analyzer in this library (and the CLI's [check]/[validate]
+    subcommands) reports findings as {!t} values instead of printing or
+    raising on the first problem, so a single run surfaces {e all}
+    findings and tooling can consume them as JSON. The code catalogue
+    lives in [doc/analysis.md]; codes are stable across releases —
+    renumbering is a breaking change.
+
+    Prefixes: [Q***] query analysis, [D***] document analysis, [R***]
+    ruleset analysis. *)
+
+type severity = Info | Warning | Error
+
+(** Where a finding points:
+    - [Doc_path]: a path into a probabilistic document, components are
+      element labels plus [prob[i]]/[poss[j]] markers for probability
+      nodes and possibilities (1-based);
+    - [Query_at]: a position in a query's source text ([offset] is a
+      0-based character offset when known);
+    - [Nowhere]: a finding about the input as a whole. *)
+type location =
+  | Nowhere
+  | Doc_path of string list
+  | Query_at of { source : string; offset : int option }
+
+type t = { code : string; severity : severity; message : string; location : location }
+
+val make : ?location:location -> code:string -> severity:severity -> string -> t
+
+(** [makef] is {!make} with a format string. *)
+val makef :
+  ?location:location ->
+  code:string ->
+  severity:severity ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+val severity_to_string : severity -> string
+
+(** [Error > Warning > Info]. *)
+val compare_severity : severity -> severity -> int
+
+(** The highest severity present; [None] on an empty list. *)
+val worst : t list -> severity option
+
+(** Exit status for a CLI run: 0 when nothing worse than [Info] was
+    reported, 1 when [Warning] is the worst finding, 2 on any [Error]. *)
+val exit_code : t list -> int
+
+(** One finding, rendered over one or more lines: severity, code and
+    message, then the location — a [at /path] line, or the query source
+    with a caret pointing at the offset. *)
+val to_text : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Imprecise_obs.Obs.Json.t
+
+(** The full report: a [{"diagnostics": [...], "worst": ...}] object. *)
+val list_to_json : t list -> Imprecise_obs.Obs.Json.t

@@ -1,0 +1,28 @@
+(** Linter for probabilistic documents: what {!Imprecise_pxml.Codec.decode}
+    tolerates but shouldn't ship.
+
+    Locations are {!Diag.Doc_path}s whose components are element labels
+    interleaved with [prob[i]]/[poss[j]] markers (1-based) naming the
+    probability node and possibility on the way down.
+
+    Codes reported (catalogue in [doc/analysis.md]):
+    - [D001] (error): a probability outside [0, 1];
+    - [D002] (error): a probability node with no possibilities;
+    - [D003] (error): sibling probabilities summing to something other
+      than 1, beyond the coarse decoder tolerance (1e-6);
+    - [D004] (warning): probability sum drifting from 1 by more than
+      {!Imprecise_pxml.Pxml.epsilon} while still inside the decoder
+      tolerance — usually an un-normalised merge;
+    - [D005] (warning): a zero-probability possibility — dead weight the
+      world enumerator skips but every walk still pays for;
+    - [D006] (warning): deep-equal sibling possibilities — compaction was
+      never run, the choice is not really a choice;
+    - [D007] (error): reserved codec tags ([p:prob]/[p:poss]) used as
+      element names inside the payload;
+    - [D008] (info): degenerate nesting — a single certain possibility
+      wrapping only probability nodes, collapsible without changing the
+      distribution. *)
+
+(** [lint d] runs every document check and returns all findings, in
+    document order. *)
+val lint : Imprecise_pxml.Pxml.doc -> Diag.t list

@@ -1,0 +1,319 @@
+module Ast = Imprecise_xpath.Ast
+module Parser = Imprecise_xpath.Parser
+
+(* Abstract item shapes. [El []] is the synthetic document node the
+   evaluator places above each world root; [Tx p] is a text child of an
+   element at path [p]; [At (p, n)] an attribute [n] of an element at
+   [p]. Only shapes recorded in the summary are ever constructed, so a
+   state set of [] proves concrete emptiness in every world. *)
+type state = El of string list | Tx of string list | At of string list * string
+
+let dedup = List.sort_uniq Stdlib.compare
+
+let proper_prefixes p =
+  (* [a;b;c] -> [[]; [a]; [a;b]] *)
+  let rec go acc rev_prefix = function
+    | [] -> List.rev acc
+    | x :: rest -> go (List.rev rev_prefix :: acc) (x :: rev_prefix) rest
+  in
+  go [] [] p
+
+let parent_of p = List.filteri (fun i _ -> i < List.length p - 1) p
+
+let children_states s p =
+  List.map (fun l -> El (p @ [ l ])) (Summary.labels_under s p)
+  @ (if Summary.has_text s p then [ Tx p ] else [])
+
+let descendant_states s p =
+  List.map (fun q -> El q) (Summary.descendant_paths s p)
+  @ List.filter_map
+      (fun q -> if Summary.has_text s q then Some (Tx q) else None)
+      (p :: Summary.descendant_paths s p)
+
+let axis_states s (st : state) (axis : Ast.axis) : state list =
+  match (st, axis) with
+  (* From an attribute only self and parent are non-empty. *)
+  | At _, Ast.Self -> [ st ]
+  | At (p, _), Ast.Parent -> [ El p ]
+  | At _, _ -> []
+  | Tx _, (Ast.Self | Ast.Descendant_or_self) -> [ st ]
+  | Tx p, Ast.Parent -> [ El p ]
+  | Tx p, Ast.Ancestor -> List.map (fun q -> El q) (p :: proper_prefixes p)
+  | Tx p, Ast.Ancestor_or_self -> st :: List.map (fun q -> El q) (p :: proper_prefixes p)
+  | Tx p, (Ast.Following_sibling | Ast.Preceding_sibling) -> children_states s p
+  | Tx _, (Ast.Child | Ast.Descendant | Ast.Attribute) -> []
+  | El p, Ast.Child -> children_states s p
+  | El p, Ast.Descendant -> descendant_states s p
+  | El p, Ast.Descendant_or_self -> st :: descendant_states s p
+  | El _, Ast.Self -> [ st ]
+  | El [], Ast.Parent -> []
+  | El p, Ast.Parent -> [ El (parent_of p) ]
+  | El p, Ast.Ancestor -> List.map (fun q -> El q) (proper_prefixes p)
+  | El p, Ast.Ancestor_or_self -> st :: List.map (fun q -> El q) (proper_prefixes p)
+  | El [], (Ast.Following_sibling | Ast.Preceding_sibling) -> []
+  | El p, (Ast.Following_sibling | Ast.Preceding_sibling) -> children_states s (parent_of p)
+  | El p, Ast.Attribute -> List.map (fun n -> At (p, n)) (Summary.attrs s p)
+
+let last_label p = List.nth p (List.length p - 1)
+
+let test_keeps (test : Ast.node_test) (st : state) =
+  match (test, st) with
+  | Ast.Any_node, _ -> true
+  | Ast.Text_node, Tx _ -> true
+  | Ast.Text_node, (El _ | At _) -> false
+  (* The synthetic document node is never selected by [*]. *)
+  | Ast.Wildcard, El [] -> false
+  | Ast.Wildcard, (El _ | At _) -> true
+  | Ast.Wildcard, Tx _ -> false
+  | Ast.Name n, El [] -> String.equal n "#document"
+  | Ast.Name n, El p -> String.equal n (last_label p)
+  | Ast.Name _, Tx _ -> false
+  | Ast.Name n, At (_, a) -> String.equal n a
+
+(* [nodeset_states s ctx e] is [Some states] when [e] is a node-set
+   expression whose items provably take one of [states]' shapes, [None]
+   when [e] is not a node-set or we cannot track it. [ctx] is the abstract
+   context item set ([None] = unknown). *)
+let rec nodeset_states s (ctx : state list option) (e : Ast.expr) : state list option =
+  match e with
+  | Ast.Path p -> (
+      let start = if p.Ast.absolute then Some [ El [] ] else ctx in
+      match start with
+      | None -> None
+      | Some states -> Some (steps_states s states p.Ast.steps))
+  | Ast.Union (a, b) -> (
+      match (nodeset_states s ctx a, nodeset_states s ctx b) with
+      | Some xs, Some ys -> Some (dedup (xs @ ys))
+      | _ -> None)
+  | Ast.Filter (primary, preds, steps) -> (
+      match nodeset_states s ctx primary with
+      | None -> None
+      | Some states ->
+          let states =
+            List.filter
+              (fun st -> not (List.exists (pred_always_false s st) preds))
+              states
+          in
+          Some (steps_states s states steps))
+  | Ast.If (_, then_, else_) -> (
+      (* Either branch may be taken; the union of their shapes covers both. *)
+      match (nodeset_states s ctx then_, nodeset_states s ctx else_) with
+      | Some xs, Some ys -> Some (dedup (xs @ ys))
+      | _ -> None)
+  | Ast.For (_, domain, _, _) -> (
+      (* An empty domain yields an empty sequence; otherwise the body may
+         produce synthesised text items we cannot shape-track. *)
+      match nodeset_states s ctx domain with Some [] -> Some [] | _ -> None)
+  | Ast.Let (_, _, body) -> nodeset_states s ctx body
+  | _ -> None
+
+and steps_states s states steps =
+  List.fold_left
+    (fun states (descendant_sep, (step : Ast.step)) ->
+      let states =
+        if descendant_sep then
+          dedup (List.concat_map (fun st -> axis_states s st Ast.Descendant_or_self) states)
+        else states
+      in
+      let after_axis = List.concat_map (fun st -> axis_states s st step.Ast.axis) states in
+      let after_test = List.filter (test_keeps step.Ast.test) after_axis in
+      let after_preds =
+        List.filter
+          (fun st -> not (List.exists (pred_always_false s st) step.Ast.predicates))
+          after_test
+      in
+      dedup after_preds)
+    states steps
+
+(* A predicate may drop a state only when it is provably false for every
+   concrete node of that shape, at every position. *)
+and pred_always_false s st (pred : Ast.expr) : bool =
+  match pred with
+  (* A bare number predicate is positional: position() = f. *)
+  | Ast.Number f -> f < 1.0 || not (Float.is_integer f)
+  | e -> expr_always_false s st e
+
+(* [boolean_value] of [e] is false for every concrete node of shape [st]. *)
+and expr_always_false s st (e : Ast.expr) : bool =
+  match e with
+  | Ast.Literal str -> String.length str = 0
+  | Ast.Number f -> f = 0. || Float.is_nan f
+  | Ast.Binop (Ast.And, a, b) -> expr_always_false s st a || expr_always_false s st b
+  | Ast.Binop (Ast.Or, a, b) -> expr_always_false s st a && expr_always_false s st b
+  | Ast.Call ("false", []) -> true
+  | e -> (
+      match nodeset_states s (Some [ st ]) e with Some [] -> true | _ -> false)
+
+let statically_empty ~summary e =
+  match nodeset_states summary (Some [ El [] ]) e with Some [] -> true | _ -> false
+
+(* Keep in sync with [Eval.eval_call]'s dispatch. *)
+let known_functions =
+  [
+    "last"; "position"; "count"; "name"; "local-name"; "string"; "concat";
+    "starts-with"; "ends-with"; "contains"; "substring-before"; "substring-after";
+    "substring"; "string-length"; "normalize-space"; "translate"; "boolean"; "not";
+    "true"; "false"; "number"; "sum"; "floor"; "ceiling"; "round"; "min"; "max";
+    "avg"; "string-join"; "distinct-values"; "exists"; "empty"; "deep-equal";
+  ]
+
+let is_constant = function Ast.Literal _ | Ast.Number _ -> true | _ -> false
+
+let binop_symbol = function
+  | Ast.Eq -> "="
+  | Ast.Neq -> "!="
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | _ -> "?"
+
+let check ?summary ?source expr =
+  let location =
+    match source with
+    | Some src -> Diag.Query_at { source = src; offset = None }
+    | None -> Diag.Nowhere
+  in
+  let diags = ref [] in
+  let add ~code ~severity fmt = Diag.makef ~location ~code ~severity fmt in
+  let emit d = diags := d :: !diags in
+  (* Without a summary there is no shape information: context stays
+     unknown, so only the shape-free checks (Q002/Q003/Q004-constants)
+     can fire. *)
+  let nstates ctx e =
+    match summary with None -> None | Some s -> nodeset_states s ctx e
+  in
+  let keeps_preds preds sts =
+    match summary with
+    | None -> sts
+    | Some s ->
+        List.filter (fun st -> not (List.exists (pred_always_false s st) preds)) sts
+  in
+  let step_cands descendant_sep (step : Ast.step) ctx =
+    match summary with
+    | None -> None
+    | Some s ->
+        Option.map
+          (fun states ->
+            let states =
+              if descendant_sep then
+                dedup
+                  (List.concat_map (fun st -> axis_states s st Ast.Descendant_or_self) states)
+              else states
+            in
+            List.filter (test_keeps step.Ast.test)
+              (List.concat_map (fun st -> axis_states s st step.Ast.axis) states))
+          ctx
+  in
+  (* [ctx] is the abstract context-item set where we can track it, [None]
+     where we cannot. Var bindings never change the context item, so only
+     path predicates refine it. *)
+  let rec walk env ctx (e : Ast.expr) =
+    match e with
+    | Ast.Literal _ | Ast.Number _ -> ()
+    | Ast.Var v ->
+        if not (List.mem v env) then
+          emit (add ~code:"Q003" ~severity:Diag.Error "unbound variable $%s" v)
+    | Ast.Neg e -> walk env ctx e
+    | Ast.Binop (op, a, b) -> (
+        walk env ctx a;
+        walk env ctx b;
+        match op with
+        | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+            if is_constant a && is_constant b then
+              emit
+                (add ~code:"Q004" ~severity:Diag.Warning
+                   "comparison of two constants (%s %s %s) has a fixed outcome"
+                   (Ast.to_string a) (binop_symbol op) (Ast.to_string b))
+            else
+              List.iter
+                (fun side ->
+                  match nstates ctx side with
+                  | Some [] ->
+                      emit
+                        (add ~code:"Q004" ~severity:Diag.Warning
+                           "comparison against statically empty node-set %s is always \
+                            false"
+                           (Ast.to_string side))
+                  | _ -> ())
+                [ a; b ]
+        | _ -> ())
+    | Ast.Union (a, b) ->
+        walk env ctx a;
+        walk env ctx b;
+        List.iter
+          (fun side ->
+            match side with
+            | Ast.Path _ | Ast.Union _ | Ast.Filter _ -> (
+                match nstates ctx side with
+                | Some [] ->
+                    emit
+                      (add ~code:"Q005" ~severity:Diag.Warning
+                         "union branch %s can never contribute: no document path \
+                          matches"
+                         (Ast.to_string side))
+                | _ -> ())
+            | _ -> ())
+          [ a; b ]
+    | Ast.Call (f, args) ->
+        if not (List.mem f known_functions) then
+          emit (add ~code:"Q002" ~severity:Diag.Error "unknown function %s()" f);
+        List.iter (walk env ctx) args
+    | Ast.Quantified (_, v, domain, cond) ->
+        walk env ctx domain;
+        walk (v :: env) ctx cond
+    | Ast.For (v, domain, where, body) ->
+        walk env ctx domain;
+        Option.iter (walk (v :: env) ctx) where;
+        walk (v :: env) ctx body
+    | Ast.Let (v, value, body) ->
+        walk env ctx value;
+        walk (v :: env) ctx body
+    | Ast.If (cond, then_, else_) ->
+        walk env ctx cond;
+        walk env ctx then_;
+        walk env ctx else_
+    | Ast.Element_ctor (_, content) -> List.iter (walk env ctx) content
+    | Ast.Text_ctor e -> walk env ctx e
+    | Ast.Path p -> walk_steps env (if p.Ast.absolute then Some [ El [] ] else ctx) p.Ast.steps
+    | Ast.Filter (primary, preds, steps) ->
+        walk env ctx primary;
+        let states = nstates ctx primary in
+        List.iter (walk env states) preds;
+        walk_steps env (Option.map (keeps_preds preds) states) steps
+  and walk_steps env ctx steps =
+    (* Predicates see the candidate set after axis and test. *)
+    ignore
+      (List.fold_left
+         (fun ctx (descendant_sep, (step : Ast.step)) ->
+           let cands = step_cands descendant_sep step ctx in
+           List.iter (walk env cands) step.Ast.predicates;
+           Option.map (fun sts -> dedup (keeps_preds step.Ast.predicates sts)) cands)
+         ctx steps)
+  in
+  walk []
+    (match summary with Some _ -> Some [ El [] ] | None -> None)
+    expr;
+  let found = List.rev !diags in
+  let found =
+    if (match summary with Some s -> statically_empty ~summary:s expr | None -> false)
+    then
+      add ~code:"Q001" ~severity:Diag.Error
+        "query can never produce answers: no document path matches %s"
+        (Ast.to_string expr)
+      :: found
+    else found
+  in
+  (* The same defect can surface once per occurrence; report each once. *)
+  List.fold_left (fun acc d -> if List.mem d acc then acc else d :: acc) [] found
+  |> List.rev
+
+let check_string ?summary src =
+  match Parser.parse_located src with
+  | Error { Parser.message; offset } ->
+      [
+        Diag.make
+          ~location:(Diag.Query_at { source = src; offset })
+          ~code:"Q000" ~severity:Diag.Error message;
+      ]
+  | Ok expr -> check ?summary ~source:src expr

@@ -1,0 +1,48 @@
+(** Static analysis of queries against a path summary.
+
+    The analyzer abstractly interprets an {!Imprecise_xpath.Ast.expr} over
+    the label paths recorded in a {!Summary.t}: the abstract state of a
+    node-set is the set of (element path | text-under-path |
+    attribute-at-path) shapes its items can take in {e any} possible world.
+    Axis steps, node tests, [//] separators and predicates mirror the
+    evaluator's semantics; whenever the analyzer is unsure it
+    over-approximates, so an abstract state of [∅] proves the concrete
+    result empty in every world.
+
+    Codes reported (catalogue in [doc/analysis.md]):
+    - [Q001] (error): the query is a node-set expression that can never
+      select anything — {!statically_empty} holds;
+    - [Q002] (error): call to a function the evaluator does not implement
+      (would raise at evaluation time);
+    - [Q003] (error): reference to an unbound [$variable] (likewise);
+    - [Q004] (warning): suspicious comparison — both operands constant, or
+      one side a statically-empty node-set;
+    - [Q005] (warning): dead [|] union branch that can never contribute;
+    - [Q000] (error): syntax error ({!check_string} only).
+
+    Soundness contract: when {!statically_empty} returns [true], ranking
+    the query over any document covered by the summary yields zero
+    answers. [Pquery.rank] relies on this to skip world enumeration
+    (see [doc/analysis.md]). *)
+
+(** [statically_empty ~summary e] is [true] only when [e] is a node-set
+    expression whose result is provably empty in every possible world of
+    every document covered by [summary]. Conservative: [false] means
+    "unknown", never "proved non-empty". *)
+val statically_empty : summary:Summary.t -> Imprecise_xpath.Ast.expr -> bool
+
+(** Function names the evaluator implements; anything else raises
+    [unknown function] at evaluation time. *)
+val known_functions : string list
+
+(** [check ~summary e] runs all query diagnostics. [source] attaches the
+    query text to locations so renderers can point into it. Without a
+    [summary] only the shape-free checks can fire (syntax, unknown
+    functions, unbound variables, constant comparisons) — there is no
+    document to judge emptiness against. *)
+val check :
+  ?summary:Summary.t -> ?source:string -> Imprecise_xpath.Ast.expr -> Diag.t list
+
+(** [check_string ~summary src] parses and checks; syntax errors come back
+    as a single [Q000] diagnostic carrying the character offset. *)
+val check_string : ?summary:Summary.t -> string -> Diag.t list

@@ -1,0 +1,278 @@
+module Pxml = Imprecise_pxml.Pxml
+module Json = Imprecise_obs.Obs.Json
+
+type path = string list
+
+type card = { cmin : int; cmax : int }
+
+type entry = {
+  card : card;
+  certain : bool;
+  has_text : bool;
+  attrs : string list;
+  instances : int;
+}
+
+module PathMap = Map.Make (struct
+  type t = string list
+
+  let compare = Stdlib.compare
+end)
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type t = entry PathMap.t
+
+let empty = PathMap.empty
+
+(* Accumulators, mutated during the single walk of the representation. *)
+
+type elem_acc = {
+  mutable instances : int;
+  mutable has_text : bool;
+  mutable attrs : SSet.t;
+}
+
+type card_acc = {
+  mutable cmin : int;
+  mutable cmax : int;
+  mutable recorded_in : int;  (* parent instances that contained the label *)
+}
+
+(* Per-label (min, max) occurrence counts among the direct children of one
+   element instance. Each probability node chooses independently, so the
+   bounds are min/max over the choices of each dist, summed across dists. *)
+let instance_label_bounds (dists : Pxml.dist list) : (int * int) SMap.t =
+  let bounds_of_dist (d : Pxml.dist) =
+    let counts_of_choice (c : Pxml.choice) =
+      List.fold_left
+        (fun m n ->
+          match n with
+          | Pxml.Elem (name, _, _) ->
+              SMap.update name (fun v -> Some (1 + Option.value v ~default:0)) m
+          | Pxml.Text _ -> m)
+        SMap.empty c.Pxml.nodes
+    in
+    let per_choice = List.map counts_of_choice d.Pxml.choices in
+    let labels =
+      List.fold_left
+        (fun s m -> SMap.fold (fun k _ s -> SSet.add k s) m s)
+        SSet.empty per_choice
+    in
+    SSet.fold
+      (fun l acc ->
+        let counts =
+          List.map (fun m -> Option.value (SMap.find_opt l m) ~default:0) per_choice
+        in
+        let mn = List.fold_left min max_int counts in
+        let mx = List.fold_left max 0 counts in
+        SMap.add l (mn, mx) acc)
+      labels SMap.empty
+  in
+  List.fold_left
+    (fun acc d ->
+      SMap.union
+        (fun _ (amn, amx) (bmn, bmx) -> Some (amn + bmn, amx + bmx))
+        acc (bounds_of_dist d))
+    SMap.empty dists
+
+let dists_have_text dists =
+  List.exists
+    (fun (d : Pxml.dist) ->
+      List.exists
+        (fun (c : Pxml.choice) ->
+          List.exists (function Pxml.Text _ -> true | Pxml.Elem _ -> false) c.Pxml.nodes)
+        d.Pxml.choices)
+    dists
+
+let of_dists (root_dists : Pxml.dist list) : t =
+  let elems : (path, elem_acc) Hashtbl.t = Hashtbl.create 64 in
+  let cards : (path, card_acc) Hashtbl.t = Hashtbl.create 64 in
+  let elem_acc path =
+    match Hashtbl.find_opt elems path with
+    | Some a -> a
+    | None ->
+        let a = { instances = 0; has_text = false; attrs = SSet.empty } in
+        Hashtbl.add elems path a;
+        a
+  in
+  (* One element instance (or the document node) at [path] with content
+     [dists]. Possibilities are walked regardless of probability — even a
+     zero-probability subtree is recorded, keeping the summary a sound
+     over-approximation of every world. *)
+  let rec visit_instance path attrs dists =
+    let acc = elem_acc path in
+    acc.instances <- acc.instances + 1;
+    if dists_have_text dists then acc.has_text <- true;
+    List.iter (fun (name, _) -> acc.attrs <- SSet.add name acc.attrs) attrs;
+    let bounds = instance_label_bounds dists in
+    SMap.iter
+      (fun label (mn, mx) ->
+        let child = path @ [ label ] in
+        match Hashtbl.find_opt cards child with
+        | Some c ->
+            c.cmin <- min c.cmin mn;
+            c.cmax <- max c.cmax mx;
+            c.recorded_in <- c.recorded_in + 1
+        | None -> Hashtbl.add cards child { cmin = mn; cmax = mx; recorded_in = 1 })
+      bounds;
+    List.iter
+      (fun (d : Pxml.dist) ->
+        List.iter
+          (fun (c : Pxml.choice) ->
+            List.iter
+              (function
+                | Pxml.Elem (name, a, ds) -> visit_instance (path @ [ name ]) a ds
+                | Pxml.Text _ -> ())
+              c.Pxml.nodes)
+          d.Pxml.choices)
+      dists
+  in
+  visit_instance [] [] root_dists;
+  (* A label absent from some parent instances can have zero occurrences
+     under those parents, so its lower bound drops to 0. *)
+  Hashtbl.iter
+    (fun path (c : card_acc) ->
+      let parent = List.filteri (fun i _ -> i < List.length path - 1) path in
+      let parent_instances =
+        match Hashtbl.find_opt elems parent with Some a -> a.instances | None -> 0
+      in
+      if c.recorded_in < parent_instances then c.cmin <- 0)
+    cards;
+  (* Certainty flows top-down: the document node is certain; a child path is
+     certain when its parent is and at least one occurrence is guaranteed. *)
+  let certain_memo : (path, bool) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.add certain_memo [] true;
+  let rec certain path =
+    match Hashtbl.find_opt certain_memo path with
+    | Some c -> c
+    | None ->
+        let parent = List.filteri (fun i _ -> i < List.length path - 1) path in
+        let c =
+          certain parent
+          && match Hashtbl.find_opt cards path with Some k -> k.cmin >= 1 | None -> false
+        in
+        Hashtbl.add certain_memo path c;
+        c
+  in
+  Hashtbl.fold
+    (fun path (a : elem_acc) map ->
+      let card =
+        match Hashtbl.find_opt cards path with
+        | Some c -> { cmin = c.cmin; cmax = c.cmax }
+        | None -> { cmin = 1; cmax = 1 } (* the document node *)
+      in
+      PathMap.add path
+        {
+          card;
+          certain = certain path;
+          has_text = a.has_text;
+          attrs = SSet.elements a.attrs;
+          instances = a.instances;
+        }
+        map)
+    elems PathMap.empty
+
+let of_doc (d : Pxml.doc) = of_dists [ d ]
+
+let of_tree t = of_doc (Pxml.doc_of_tree t)
+
+let parent_of path = List.filteri (fun i _ -> i < List.length path - 1) path
+
+let merge a b =
+  if PathMap.is_empty a then b
+  else if PathMap.is_empty b then a
+  else
+    let union_sorted xs ys = SSet.elements (SSet.union (SSet.of_list xs) (SSet.of_list ys)) in
+    PathMap.merge
+      (fun path ea eb ->
+        match (ea, eb) with
+        | Some ea, Some eb ->
+            Some
+              {
+                card =
+                  {
+                    cmin = min ea.card.cmin eb.card.cmin;
+                    cmax = max ea.card.cmax eb.card.cmax;
+                  };
+                certain = ea.certain && eb.certain;
+                has_text = ea.has_text || eb.has_text;
+                attrs = union_sorted ea.attrs eb.attrs;
+                instances = ea.instances + eb.instances;
+              }
+        | Some e, None | None, Some e ->
+            (* Present on one side only: if the parent exists on both sides,
+               the other side's parents have zero occurrences, so the lower
+               bound drops and certainty is lost. If the parent is also
+               one-sided, the cardinality stays conditional on the parent. *)
+            let parent = parent_of path in
+            if path <> [] && PathMap.mem parent a && PathMap.mem parent b then
+              Some { e with card = { e.card with cmin = 0 }; certain = false }
+            else Some { e with certain = path = [] && e.certain }
+        | None, None -> None)
+      a b
+
+let find t path = PathMap.find_opt path t
+
+let mem t path = PathMap.mem path t
+
+let labels_under t path =
+  let n = List.length path in
+  PathMap.fold
+    (fun p _ acc ->
+      if List.length p = n + 1 && List.filteri (fun i _ -> i < n) p = path then
+        match List.nth_opt p n with Some l -> l :: acc | None -> acc
+      else acc)
+    t []
+  |> List.sort_uniq String.compare
+
+let has_text t path =
+  match find t path with Some (e : entry) -> e.has_text | None -> false
+
+let attrs t path = match find t path with Some (e : entry) -> e.attrs | None -> []
+
+let paths t = PathMap.fold (fun p _ acc -> if p = [] then acc else p :: acc) t [] |> List.rev
+
+let is_strict_prefix prefix p =
+  let rec go prefix p =
+    match (prefix, p) with
+    | [], _ :: _ -> true
+    | [], [] -> false
+    | x :: prefix, y :: p -> x = y && go prefix p
+    | _ :: _, [] -> false
+  in
+  go prefix p
+
+let descendant_paths t prefix =
+  PathMap.fold (fun p _ acc -> if is_strict_prefix prefix p then p :: acc else acc) t []
+  |> List.rev
+
+let path_to_string = function [] -> "/" | p -> "/" ^ String.concat "/" p
+
+let pp ppf t =
+  PathMap.iter
+    (fun p e ->
+      Format.fprintf ppf "%s  card=[%d,%d]%s%s%s  instances=%d@."
+        (path_to_string p) e.card.cmin e.card.cmax
+        (if e.certain then " certain" else " possible")
+        (if e.has_text then " text" else "")
+        (match e.attrs with [] -> "" | a -> " attrs=" ^ String.concat "," a)
+        e.instances)
+    t
+
+let to_json t =
+  let entry_json p e =
+    Json.Obj
+      [
+        ("path", Json.String (path_to_string p));
+        ("cmin", Json.Int e.card.cmin);
+        ("cmax", Json.Int e.card.cmax);
+        ("certain", Json.Bool e.certain);
+        ("has_text", Json.Bool e.has_text);
+        ("attrs", Json.List (List.map (fun a -> Json.String a) e.attrs));
+        ("instances", Json.Int e.instances);
+      ]
+  in
+  Json.Obj
+    [ ("paths", Json.List (PathMap.fold (fun p e acc -> entry_json p e :: acc) t [] |> List.rev)) ]

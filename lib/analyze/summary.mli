@@ -1,0 +1,79 @@
+(** Path summaries (DataGuides) for probabilistic documents.
+
+    A summary folds a {!Imprecise_pxml.Pxml.doc} into the set of element
+    label paths it can exhibit in {e any} possible world, with
+    per-parent-instance cardinality bounds, a certainty flag, text and
+    attribute information. It is the document-shaped half of static query
+    analysis: {!Query_check} decides satisfiability of a query against it
+    without enumerating a single world.
+
+    Soundness contract (what {!Query_check.statically_empty} relies on):
+    the summary {b over-approximates} — every label path, text position and
+    attribute that occurs in at least one possible world is recorded.
+    Possibilities are walked regardless of their probability (even zero),
+    so pruning decisions made against a summary hold in every world.
+    Conversely [certain] {b under-approximates}: it is only [true] when the
+    path provably occurs in every world.
+
+    Paths are root-to-node label lists; the empty path [[]] is the virtual
+    document node above the root element(s), mirroring the evaluator's
+    [#document] wrapper. *)
+
+type path = string list
+
+type card = { cmin : int; cmax : int }
+(** Total occurrences of a label under one parent instance, bounded over
+    that instance's local choice combinations and then over all parent
+    instances: [cmin] is a lower bound for every world that contains the
+    parent, [cmax] an upper bound. *)
+
+type entry = {
+  card : card;
+  certain : bool;  (** present in every possible world *)
+  has_text : bool;  (** may have text children in some world *)
+  attrs : string list;  (** attribute names seen on elements at this path, sorted *)
+  instances : int;  (** element instances at this path in the representation *)
+}
+
+type t
+
+(** [of_doc d] infers the summary of one document. Cost: one walk of the
+    representation — linear in its node count, independent of the number
+    of worlds. *)
+val of_doc : Imprecise_pxml.Pxml.doc -> t
+
+(** [of_tree t] summarises a certain document (single world). *)
+val of_tree : Imprecise_xml.Tree.t -> t
+
+(** [merge a b] is the collection-level summary: a path is possible when
+    possible in either input (cardinalities widen to cover both), and
+    certain only when certain in both. Merging the per-document summaries
+    of a store yields a summary sound for every document in it. *)
+val merge : t -> t -> t
+
+(** [empty] is the summary of "no document at all" — the neutral element
+    of {!merge}. *)
+val empty : t
+
+val find : t -> path -> entry option
+
+val mem : t -> path -> bool
+
+(** Child element labels recorded under [path], sorted. *)
+val labels_under : t -> path -> string list
+
+(** Whether elements at [path] may have text children. *)
+val has_text : t -> path -> bool
+
+val attrs : t -> path -> string list
+
+(** All recorded element paths, excluding the virtual root, in
+    lexicographic order. *)
+val paths : t -> path list
+
+(** [descendant_paths t p] is every recorded path strictly below [p]. *)
+val descendant_paths : t -> path -> path list
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Imprecise_obs.Obs.Json.t

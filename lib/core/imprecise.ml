@@ -28,6 +28,12 @@ end
 module Store = Imprecise_store.Store
 module Rulesets = Rulesets
 module Obs = Imprecise_obs.Obs
+module Analyze = struct
+  module Diag = Imprecise_analyze.Diag
+  module Summary = Imprecise_analyze.Summary
+  module Query_check = Imprecise_analyze.Query_check
+  module Doc_lint = Imprecise_analyze.Doc_lint
+end
 
 let parse_xml s =
   Result.map_error Xml.Parser.error_to_string (Xml.Parser.parse_string s)
@@ -61,6 +67,18 @@ let integrate_all ?(rules = Rulesets.full) ?(dtd = Dtd.empty) ?factorize ?world_
             (Ok doc) rest)
 
 let rank = Pquery.rank
+
+(* Merge the per-document summaries: sound for every document in the
+   store, so one summary serves collection-wide query analysis. *)
+let summarize_store store =
+  List.fold_left
+    (fun acc name ->
+      match Store.get store name with
+      | None -> acc
+      | Some (Store.Probabilistic doc) ->
+          Analyze.Summary.merge acc (Analyze.Summary.of_doc doc)
+      | Some (Store.Certain tree) -> Analyze.Summary.merge acc (Analyze.Summary.of_tree tree))
+    Analyze.Summary.empty (Store.names store)
 
 (* The store knows each document's generation; the cache key needs it.
    This is the one place that dependency is tied together — Pquery cannot

@@ -56,6 +56,15 @@ module Rulesets = Rulesets
     doc/observability.md). *)
 module Obs = Imprecise_obs.Obs
 
+(** Static analysis: diagnostics, path summaries, query and document
+    checks (see doc/analysis.md). *)
+module Analyze : sig
+  module Diag = Imprecise_analyze.Diag
+  module Summary = Imprecise_analyze.Summary
+  module Query_check = Imprecise_analyze.Query_check
+  module Doc_lint = Imprecise_analyze.Doc_lint
+end
+
 (** [parse_xml s] parses a document, with the error rendered as a string. *)
 val parse_xml : string -> (Tree.t, string) result
 
@@ -99,9 +108,11 @@ val integrate_all :
 (** [rank doc query] is the amalgamated ranked answer (see {!Pquery}).
     [jobs] parallelises the enumeration fallback over OCaml domains;
     [top_k] keeps only the leading answers, stopping enumeration early
-    when they are provably final. *)
+    when they are provably final. [static_check] (default [true]) prunes
+    statically-empty queries without evaluation (see {!Pquery.rank}). *)
 val rank :
   ?strategy:Pquery.strategy ->
+  ?static_check:bool ->
   ?world_limit:float ->
   ?jobs:int ->
   ?top_k:int ->
@@ -109,6 +120,11 @@ val rank :
   Pxml.doc ->
   string ->
   Answer.t list
+
+(** [summarize_store store] merges the path summaries of every document in
+    the store — a single {!Analyze.Summary.t} that soundly over-approximates
+    all of them, suitable for collection-wide query analysis. *)
+val summarize_store : Store.t -> Analyze.Summary.t
 
 (** [query_store store name query] ranks a query over the named stored
     document through the process-wide answer cache: the store supplies the

@@ -20,19 +20,37 @@ let c_unsupported = Obs.Metrics.counter "pquery.direct_unsupported"
 
 let c_answers = Obs.Metrics.counter "pquery.answers_amalgamated"
 
+let c_static_pruned = Obs.Metrics.counter "pquery.static_pruned"
+
 let compile = Eval.compile_exn
 
 let truncate top_k answers =
   match top_k with Some k -> List.filteri (fun i _ -> i < k) answers | None -> answers
 
-let rank_compiled ?(strategy = Auto) ?world_limit ?(jobs = 1) ?top_k ?top_k_tolerance doc
-    query =
+(* Statically-empty queries need no evaluation at all: the analyzer's
+   soundness contract (see doc/analysis.md) guarantees zero answers in
+   every possible world, so the amalgamated ranking is []. The summary is
+   one linear walk of the representation — nothing compared to world
+   enumeration, and usually worth it even against the direct evaluator. *)
+let statically_empty doc expr =
+  Obs.Trace.with_span "analyze.check" @@ fun () ->
+  Imprecise_analyze.Query_check.statically_empty
+    ~summary:(Imprecise_analyze.Summary.of_doc doc)
+    expr
+
+let rank_compiled ?(strategy = Auto) ?(static_check = true) ?world_limit ?(jobs = 1)
+    ?top_k ?top_k_tolerance doc query =
   Obs.Metrics.incr c_ranks;
   Obs.Trace.with_span "pquery.rank" @@ fun () ->
   (match top_k with
   | Some k when k <= 0 -> raise (Cannot_answer "top_k must be positive")
   | _ -> ());
   let expr = Eval.compiled_ast query in
+  if static_check && statically_empty doc expr then begin
+    Obs.Metrics.incr c_static_pruned;
+    []
+  end
+  else
   let enumerate () =
     Obs.Metrics.incr c_enumerate;
     Obs.Trace.with_span "enumerate" @@ fun () ->
@@ -81,8 +99,9 @@ let rank_compiled ?(strategy = Auto) ?world_limit ?(jobs = 1) ?top_k ?top_k_tole
   Obs.Metrics.incr ~by:(List.length answers) c_answers;
   answers
 
-let rank ?strategy ?world_limit ?jobs ?top_k ?top_k_tolerance doc query =
-  rank_compiled ?strategy ?world_limit ?jobs ?top_k ?top_k_tolerance doc (compile query)
+let rank ?strategy ?static_check ?world_limit ?jobs ?top_k ?top_k_tolerance doc query =
+  rank_compiled ?strategy ?static_check ?world_limit ?jobs ?top_k ?top_k_tolerance doc
+    (compile query)
 
 (* ---- the LRU answer cache ----------------------------------------------- *)
 

@@ -43,9 +43,18 @@ val compile : string -> Eval.compiled
     enumeration early when their order can no longer change and the
     unprocessed mass is at most [top_k_tolerance] (default [1e-9]); under
     [Direct_only]/[Auto]-direct/[Sample] it merely truncates the ranked
-    list, which is exact there. Raises {!Cannot_answer} on [top_k <= 0]. *)
+    list, which is exact there. Raises {!Cannot_answer} on [top_k <= 0].
+
+    [static_check] (default [true]) runs the static analyzer
+    ({!Imprecise_analyze.Query_check.statically_empty}) against the
+    document's path summary first; a query that provably selects nothing
+    in any possible world returns [[]] without evaluating a single world
+    (counter [pquery.static_pruned], span [analyze.check]). Pass [false]
+    to force full evaluation — the differential fuzz harness does, to
+    check the prune against ground truth rather than against itself. *)
 val rank :
   ?strategy:strategy ->
+  ?static_check:bool ->
   ?world_limit:float ->
   ?jobs:int ->
   ?top_k:int ->
@@ -57,6 +66,7 @@ val rank :
 (** [rank_compiled] is {!rank} on a pre-compiled query handle. *)
 val rank_compiled :
   ?strategy:strategy ->
+  ?static_check:bool ->
   ?world_limit:float ->
   ?jobs:int ->
   ?top_k:int ->

@@ -60,6 +60,8 @@ let token_to_string = function
   | Greater_equal -> ">="
   | Eof -> "<eof>"
 
+type located_error = { message : string; offset : int }
+
 let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
 
 let is_digit c = c >= '0' && c <= '9'
@@ -69,58 +71,58 @@ let is_name_start c =
 
 let is_name_char c = is_name_start c || is_digit c || c = '-' || c = '.' || c = ':'
 
-let tokenize src =
+let tokenize_located src =
   let n = String.length src in
-  let exception Lex_error of string in
+  let exception Lex_error of string * int in
+  let error ~at fmt = Format.kasprintf (fun m -> raise (Lex_error (m, at))) fmt in
   let peek i = if i < n then src.[i] else '\000' in
   let rec go i acc =
-    if i >= n then Ok (List.rev (Eof :: acc))
+    if i >= n then Ok (List.rev ((Eof, n) :: acc))
     else
       let c = src.[i] in
       if is_space c then go (i + 1) acc
       else
+        let tok t w = go (i + w) ((t, i) :: acc) in
         match c with
-        | '/' -> if peek (i + 1) = '/' then go (i + 2) (Double_slash :: acc) else go (i + 1) (Slash :: acc)
-        | '[' -> go (i + 1) (Lbracket :: acc)
-        | ']' -> go (i + 1) (Rbracket :: acc)
-        | '(' -> go (i + 1) (Lparen :: acc)
-        | ')' -> go (i + 1) (Rparen :: acc)
-        | '@' -> go (i + 1) (At :: acc)
-        | ',' -> go (i + 1) (Comma :: acc)
-        | '|' -> go (i + 1) (Pipe :: acc)
-        | '+' -> go (i + 1) (Plus :: acc)
-        | '-' -> go (i + 1) (Minus :: acc)
-        | '*' -> go (i + 1) (Star :: acc)
-        | '=' -> go (i + 1) (Equal :: acc)
+        | '/' -> if peek (i + 1) = '/' then tok Double_slash 2 else tok Slash 1
+        | '[' -> tok Lbracket 1
+        | ']' -> tok Rbracket 1
+        | '(' -> tok Lparen 1
+        | ')' -> tok Rparen 1
+        | '@' -> tok At 1
+        | ',' -> tok Comma 1
+        | '|' -> tok Pipe 1
+        | '+' -> tok Plus 1
+        | '-' -> tok Minus 1
+        | '*' -> tok Star 1
+        | '=' -> tok Equal 1
         | '!' ->
-            if peek (i + 1) = '=' then go (i + 2) (Not_equal :: acc)
-            else raise (Lex_error "'!' must be followed by '='")
-        | '<' -> if peek (i + 1) = '=' then go (i + 2) (Less_equal :: acc) else go (i + 1) (Less :: acc)
-        | '>' ->
-            if peek (i + 1) = '=' then go (i + 2) (Greater_equal :: acc)
-            else go (i + 1) (Greater :: acc)
+            if peek (i + 1) = '=' then tok Not_equal 2
+            else error ~at:i "'!' must be followed by '='"
+        | '<' -> if peek (i + 1) = '=' then tok Less_equal 2 else tok Less 1
+        | '>' -> if peek (i + 1) = '=' then tok Greater_equal 2 else tok Greater 1
         | ':' ->
-            if peek (i + 1) = ':' then go (i + 2) (Axis_sep :: acc)
-            else if peek (i + 1) = '=' then go (i + 2) (Assign :: acc)
-            else raise (Lex_error "unexpected ':'")
+            if peek (i + 1) = ':' then tok Axis_sep 2
+            else if peek (i + 1) = '=' then tok Assign 2
+            else error ~at:i "unexpected ':'"
         | '.' ->
-            if peek (i + 1) = '.' then go (i + 2) (Dotdot :: acc)
+            if peek (i + 1) = '.' then tok Dotdot 2
             else if is_digit (peek (i + 1)) then number i acc
-            else go (i + 1) (Dot :: acc)
-        | '{' -> go (i + 1) (Lbrace :: acc)
-        | '}' -> go (i + 1) (Rbrace :: acc)
-        | '"' | '\'' -> literal c (i + 1) (i + 1) acc
+            else tok Dot 1
+        | '{' -> tok Lbrace 1
+        | '}' -> tok Rbrace 1
+        | '"' | '\'' -> literal c i (i + 1) (i + 1) acc
         | '$' ->
             if is_name_start (peek (i + 1)) then begin
               let j = name_end (i + 1) in
-              go j (Variable (String.sub src (i + 1) (j - i - 1)) :: acc)
+              go j ((Variable (String.sub src (i + 1) (j - i - 1)), i) :: acc)
             end
-            else raise (Lex_error "'$' must be followed by a name")
+            else error ~at:i "'$' must be followed by a name"
         | c when is_digit c -> number i acc
         | c when is_name_start c ->
             let j = name_end i in
-            go j (Name (String.sub src i (j - i)) :: acc)
-        | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c))
+            go j ((Name (String.sub src i (j - i)), i) :: acc)
+        | c -> error ~at:i "unexpected character %C" c
   and name_end i =
     (* A ':' is part of the name (QName) only when followed by exactly one
        name character — never when it starts the '::' axis separator. *)
@@ -141,12 +143,17 @@ let tokenize src =
     end;
     let s = String.sub src i (!j - i) in
     match float_of_string_opt s with
-    | Some f -> go !j (Number f :: acc)
-    | None -> raise (Lex_error (Printf.sprintf "bad number %S" s))
-  and literal quote start i acc =
-    if i >= n then raise (Lex_error "unterminated string literal")
+    | Some f -> go !j ((Number f, i) :: acc)
+    | None -> error ~at:i "bad number %S" s
+  and literal quote opening start i acc =
+    if i >= n then error ~at:opening "unterminated string literal"
     else if src.[i] = quote then
-      go (i + 1) (Literal (String.sub src start (i - start)) :: acc)
-    else literal quote start (i + 1) acc
+      go (i + 1) ((Literal (String.sub src start (i - start)), opening) :: acc)
+    else literal quote opening start (i + 1) acc
   in
-  try go 0 [] with Lex_error msg -> Error msg
+  try go 0 [] with Lex_error (message, offset) -> Error { message; offset }
+
+let tokenize src =
+  match tokenize_located src with
+  | Ok tokens -> Ok (List.map fst tokens)
+  | Error e -> Error e.message

@@ -35,5 +35,13 @@ type token =
 
 val token_to_string : token -> string
 
+type located_error = { message : string; offset : int }
+(** [offset] is the 0-based character offset of the offending character in
+    the source string. *)
+
 (** [tokenize s] is the token stream of [s], ending with [Eof]. *)
 val tokenize : string -> (token list, string) result
+
+(** [tokenize_located s] additionally carries each token's start offset;
+    [Eof]'s offset is [String.length s]. *)
+val tokenize_located : string -> ((token * int) list, located_error) result

@@ -1,10 +1,16 @@
 exception Parse_error of string
 
-type stream = { mutable toks : Lexer.token list }
+type located_error = { message : string; offset : int option }
 
-let peek st = match st.toks with [] -> Lexer.Eof | t :: _ -> t
+(* Tokens are paired with their start offset in the source, so errors can
+   point at the offending character. *)
+type stream = { mutable toks : (Lexer.token * int) list }
 
-let peek2 st = match st.toks with _ :: t :: _ -> t | _ -> Lexer.Eof
+let peek st = match st.toks with [] -> Lexer.Eof | (t, _) :: _ -> t
+
+let peek2 st = match st.toks with _ :: (t, _) :: _ -> t | _ -> Lexer.Eof
+
+let peek_offset st = match st.toks with [] -> None | (_, off) :: _ -> Some off
 
 let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
 
@@ -328,17 +334,33 @@ and parse_node_test st : Ast.node_test =
   | Lexer.Name n -> advance st; Ast.Name n
   | t -> fail "expected a node test, found %s" (Lexer.token_to_string t)
 
-let parse src =
-  match Lexer.tokenize src with
-  | Error e -> Error e
+let parse_located src =
+  match Lexer.tokenize_located src with
+  | Error (e : Lexer.located_error) ->
+      Error { message = e.Lexer.message; offset = Some e.Lexer.offset }
   | Ok toks -> (
       let st = { toks } in
       try
         let e = parse_expr st in
         match peek st with
         | Lexer.Eof -> Ok e
-        | t -> Error (Printf.sprintf "trailing tokens starting at %s" (Lexer.token_to_string t))
-      with Parse_error msg -> Error msg)
+        | t ->
+            Error
+              {
+                message =
+                  Printf.sprintf "trailing tokens starting at %s" (Lexer.token_to_string t);
+                offset = peek_offset st;
+              }
+      with Parse_error msg ->
+        (* The head of the stream is the token that parsing choked on. *)
+        Error { message = msg; offset = peek_offset st })
+
+let parse src =
+  match parse_located src with
+  | Ok e -> Ok e
+  | Error { message; offset = None } -> Error message
+  | Error { message; offset = Some off } ->
+      Error (Printf.sprintf "%s (at offset %d)" message off)
 
 let parse_exn src =
   match parse src with

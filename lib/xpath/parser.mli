@@ -25,6 +25,15 @@
     Operator keywords ([and], [or], [div], [mod]) and [*] are disambiguated
     by parse position, as the XPath specification prescribes. *)
 
+type located_error = { message : string; offset : int option }
+(** [offset] is the 0-based character offset of the token the parser choked
+    on, when known ([None] only for errors with no anchor token). *)
+
+(** [parse_located src] parses with error positions. *)
+val parse_located : string -> (Ast.expr, located_error) result
+
+(** [parse src] is {!parse_located} with the offset folded into the error
+    message ([... (at offset N)]). *)
 val parse : string -> (Ast.expr, string) result
 
 val parse_exn : string -> Ast.expr

@@ -1,0 +1,139 @@
+(* The `dune build @lint` gate: run the static analyzers over the bundled
+   example documents and the paper's queries, and sanity-check the rule-set
+   presets. Exits nonzero when anything at Warning severity or above is
+   found; Info-level hints are counted but do not gate. *)
+
+module Diag = Imprecise.Analyze.Diag
+module Summary = Imprecise.Analyze.Summary
+module Query_check = Imprecise.Analyze.Query_check
+module Doc_lint = Imprecise.Analyze.Doc_lint
+module Oracle = Imprecise.Oracle
+module Rulesets = Imprecise.Rulesets
+module Workloads = Imprecise.Data.Workloads
+module Addressbook = Imprecise.Data.Addressbook
+module Tree = Imprecise.Tree
+
+let gate = ref Diag.Info
+
+let raise_gate s = if Diag.compare_severity s !gate > 0 then gate := s
+
+(* Print Warning+ findings in full; Info hints only as a count. *)
+let report label diags =
+  let infos, rest =
+    List.partition (fun (d : Diag.t) -> d.Diag.severity = Diag.Info) diags
+  in
+  (match (rest, infos) with
+  | [], [] -> Printf.printf "lint: %-42s ok\n" label
+  | [], _ -> Printf.printf "lint: %-42s ok (%d info hints)\n" label (List.length infos)
+  | _ ->
+      Printf.printf "lint: %-42s %d finding(s)\n" label (List.length rest);
+      List.iter (fun d -> print_endline ("  " ^ Diag.to_text d)) rest);
+  List.iter (fun (d : Diag.t) -> raise_gate d.Diag.severity) diags
+
+let integrate ~rules ~dtd a b =
+  match Imprecise.integrate ~rules ~dtd a b with
+  | Ok doc -> doc
+  | Error e -> Fmt.failwith "integration failed: %a" Imprecise.Integrate.pp_error e
+
+let check_queries label summary queries =
+  report label
+    (List.concat_map (fun q -> Query_check.check_string ~summary q) queries)
+
+(* ---- the Figure 2 address book ------------------------------------------- *)
+
+let fig2 () =
+  let doc =
+    integrate ~rules:Rulesets.generic ~dtd:Addressbook.dtd Addressbook.source_a
+      Addressbook.source_b
+  in
+  report "fig2: integrated document" (Doc_lint.lint doc);
+  check_queries "fig2: golden queries"
+    (Summary.of_doc doc)
+    [ "//person"; "//person/nm"; "//person/tel"; "/addressbook/person/nm/text()" ]
+
+(* ---- the §VI query demo document ------------------------------------------ *)
+
+let paper_queries =
+  [
+    {|//movie[.//genre="Horror"]/title|};
+    {|//movie[some $d in .//director satisfies contains($d,"John")]/title|};
+    "//movie/title";
+    "//movie/year";
+  ]
+
+let section_vi () =
+  let wl = Workloads.confusing () in
+  let rules = Rulesets.movie ~genre:true ~title:true ~director:true () in
+  let doc = integrate ~rules ~dtd:wl.Workloads.dtd (Workloads.mpeg7_doc wl) (Workloads.imdb_doc wl) in
+  report "§VI: integrated movie document" (Doc_lint.lint doc);
+  check_queries "§VI: paper queries" (Summary.of_doc doc) paper_queries;
+  (* The raw sources, as single-world probabilistic documents. *)
+  let source_summary =
+    Summary.merge
+      (Summary.of_tree (Workloads.mpeg7_doc wl))
+      (Summary.of_tree (Workloads.imdb_doc wl))
+  in
+  check_queries "§VI: queries vs raw sources" source_summary paper_queries
+
+(* ---- rule-set presets ------------------------------------------------------ *)
+
+let presets = Rulesets.table1 @ [ Rulesets.generic; Rulesets.full ]
+
+(* R001: duplicate rule names make reports ambiguous. *)
+let preset_names (p : Rulesets.t) =
+  let names = List.sort String.compare (Oracle.rule_names p.Rulesets.oracle) in
+  let rec dups = function
+    | a :: (b :: _ as rest) -> (if a = b then [ a ] else []) @ dups rest
+    | _ -> []
+  in
+  List.map
+    (fun n ->
+      Diag.makef ~code:"R001" ~severity:Diag.Error
+        "preset %S contains rule %S twice" p.Rulesets.name n)
+    (List.sort_uniq String.compare (dups names))
+
+(* R002: rules within one preset must never contradict each other on the
+   bundled example pairs — a Same/Different clash means the knowledge base
+   is inconsistent. *)
+let preset_conflicts (p : Rulesets.t) pairs =
+  List.filter_map
+    (fun (a, b) ->
+      match Oracle.decide p.Rulesets.oracle a b with
+      | (_ : Oracle.verdict) -> None
+      | exception Oracle.Conflict msg ->
+          Some
+            (Diag.makef ~code:"R002" ~severity:Diag.Error
+               "preset %S: rules conflict on a bundled example pair: %s"
+               p.Rulesets.name msg))
+    pairs
+
+let rulesets () =
+  let wl = Workloads.confusing () in
+  let movies doc = Tree.child_elements doc in
+  let movie_pairs =
+    List.concat_map
+      (fun a -> List.map (fun b -> (a, b)) (movies (Workloads.imdb_doc wl)))
+      (movies (Workloads.mpeg7_doc wl))
+  in
+  let person_pairs =
+    List.concat_map
+      (fun a -> List.map (fun b -> (a, b)) (Tree.child_elements Addressbook.source_b))
+      (Tree.child_elements Addressbook.source_a)
+  in
+  List.iter
+    (fun (p : Rulesets.t) ->
+      report
+        (Printf.sprintf "rulesets: preset %S" p.Rulesets.name)
+        (preset_names p
+        @ preset_conflicts p movie_pairs
+        @ preset_conflicts p person_pairs))
+    presets
+
+let () =
+  fig2 ();
+  section_vi ();
+  rulesets ();
+  let code = match !gate with Diag.Info -> 0 | Diag.Warning | Diag.Error -> 1 in
+  if code = 0 then print_endline "lint: clean"
+  else Printf.printf "lint: FAILED (worst severity: %s)\n" (Diag.severity_to_string !gate);
+  exit code

@@ -7,6 +7,14 @@
    convergence separately. Any disagreement prints the reproducing seed and
    query and fails the run.
 
+   The static analyzer rides along: the reference enumeration runs with
+   the static-empty prune disabled, so (a) a query the analyzer flags as
+   statically empty must enumerate to zero answers (soundness), and (b)
+   every pruning strategy below, which runs with the default prune on, is
+   differentially compared against the unpruned reference. A precision
+   smoke test asserts the paper's golden queries are never flagged on
+   their own documents.
+
    Runs under `dune runtest` and alone via `dune build @fuzz-smoke`; case
    count is overridable through FUZZ_CASES. *)
 
@@ -18,6 +26,8 @@ module Store = Imprecise.Store
 module Obs = Imprecise.Obs
 module Prng = Imprecise.Data.Prng
 module Random_docs = Imprecise.Data.Random_docs
+module Summary = Imprecise.Analyze.Summary
+module Query_check = Imprecise.Analyze.Query_check
 
 (* The pool leans on the generator's alphabet (tags a b c item name, words
    x y zz hello 42) so matches are likely. count(...) and some...satisfies
@@ -56,6 +66,8 @@ let cases =
 
 let failures = ref 0
 
+let pruned_cases = ref 0
+
 let fail seed query fmt =
   incr failures;
   Fmt.epr "FAIL (reproduce: seed %d, query %s)@.  " seed query;
@@ -72,7 +84,21 @@ let check_case i =
   let world_count = Pxml.world_count doc in
   if world_count > 5000. then false
   else begin
-    let reference = Pquery.rank ~strategy:Pquery.Enumerate_only doc query in
+    (* the reference is the raw semantics: the static prune stays off so it
+       can act as ground truth for the analyzer itself *)
+    let reference =
+      Pquery.rank ~strategy:Pquery.Enumerate_only ~static_check:false doc query
+    in
+    (* static analysis soundness: flagged empty ⇒ zero enumerated answers *)
+    (match Imprecise.Xpath.Parser.parse query with
+    | Error e -> fail seed query "query pool entry does not parse: %s" e
+    | Ok expr ->
+        if Query_check.statically_empty ~summary:(Summary.of_doc doc) expr then begin
+          incr pruned_cases;
+          if reference <> [] then
+            fail seed query "statically empty, but enumeration found %d answer(s):@.%s"
+              (List.length reference) (pp_answers reference)
+        end);
     (* properties of the reference itself *)
     List.iter
       (fun (a : Answer.t) ->
@@ -175,6 +201,46 @@ let check_sampling seed =
           sampled)
       [ "//a"; "//name"; "count(//a)" ]
 
+(* Precision smoke: the static analyzer must never flag the paper's golden
+   queries on the documents they are meant for — a false "empty" there
+   would silently prune real answers. *)
+let check_precision () =
+  let flagged summary q =
+    match Imprecise.Xpath.Parser.parse q with
+    | Ok e -> Query_check.statically_empty ~summary e
+    | Error e ->
+        fail 0 q "golden query does not parse: %s" e;
+        true
+  in
+  let assert_clean label summary queries =
+    List.iter
+      (fun q -> if flagged summary q then fail 0 q "%s golden query flagged empty" label)
+      queries
+  in
+  let module Addressbook = Imprecise.Data.Addressbook in
+  let module Workloads = Imprecise.Data.Workloads in
+  (match
+     Imprecise.integrate ~rules:Imprecise.Rulesets.generic ~dtd:Addressbook.dtd
+       Addressbook.source_a Addressbook.source_b
+   with
+  | Error _ -> fail 0 "fig2" "fig2 integration failed"
+  | Ok doc ->
+      assert_clean "fig2" (Summary.of_doc doc)
+        [ "//person"; "//person/nm"; "//person/tel" ]);
+  let wl = Workloads.confusing () in
+  let rules = Imprecise.Rulesets.movie ~genre:true ~title:true ~director:true () in
+  match
+    Imprecise.integrate ~rules ~dtd:wl.Workloads.dtd (Workloads.mpeg7_doc wl)
+      (Workloads.imdb_doc wl)
+  with
+  | Error _ -> fail 0 "§VI" "movie integration failed"
+  | Ok doc ->
+      assert_clean "§VI" (Summary.of_doc doc)
+        [
+          {|//movie[.//genre="Horror"]/title|};
+          {|//movie[some $d in .//director satisfies contains($d,"John")]/title|};
+        ]
+
 let () =
   let ran = ref 0 in
   let skipped = ref 0 in
@@ -182,6 +248,9 @@ let () =
     if check_case i then incr ran else incr skipped
   done;
   List.iter check_sampling [ 1; 5; 9 ];
-  Fmt.pr "fuzz: %d differential cases (%d skipped as too large), 3 sampling seeds, %d disagreements@."
-    !ran !skipped !failures;
+  check_precision ();
+  Fmt.pr
+    "fuzz: %d differential cases (%d skipped as too large, %d statically pruned), 3 \
+     sampling seeds, 2 precision documents, %d disagreements@."
+    !ran !skipped !pruned_cases !failures;
   if !failures > 0 then exit 1

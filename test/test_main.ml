@@ -5,4 +5,4 @@ let () =
    @ Test_integrate.suite @ Test_pquery.suite @ Test_quality.suite
    @ Test_feedback.suite @ Test_data.suite @ Test_store.suite @ Test_obs.suite
    @ Test_core.suite @ Test_extensions.suite @ Test_publications.suite
-   @ Test_conformance.suite @ Test_robustness.suite)
+   @ Test_conformance.suite @ Test_robustness.suite @ Test_analyze.suite)

@@ -82,7 +82,11 @@ let check_experiment ~file experiments name =
   if starts_with ~prefix:"pquery_" name then positive "pquery.worlds_enumerated";
   if name = "pquery_cached" then positive "pquery.cache.hit";
   (* the prune experiment must actually have pruned something *)
-  if name = "analyze_prune" then positive "pquery.static_pruned"
+  if name = "analyze_prune" then positive "pquery.static_pruned";
+  (* the parallel integration experiment must actually have fanned out,
+     and the incremental batch must actually have reused cached verdicts *)
+  if name = "integrate_parallel" then positive "integrate.parallel_runs";
+  if name = "integrate_incremental" then positive "oracle.cache.hit"
 
 let () =
   let file, wanted =

@@ -158,11 +158,16 @@ let report_doc doc =
 (* ---- integrate -------------------------------------------------------------- *)
 
 let integrate_cmd =
-  let run left right rules dtd infer factorize output trace =
+  let run inputs rules dtd infer factorize jobs output trace =
     with_telemetry trace @@ fun () ->
-    let a = or_die (load_certain left) and b = or_die (load_certain right) in
-    let dtd = resolve_dtd ~infer dtd [ a; b ] in
-    match integrate ~rules ~dtd ~factorize a b with
+    (match inputs with
+    | _ :: _ :: _ -> ()
+    | _ ->
+        Fmt.epr "imprecise: integrate needs at least two documents@.";
+        exit 1);
+    let docs = List.map (fun p -> or_die (load_certain p)) inputs in
+    let dtd = resolve_dtd ~infer dtd docs in
+    match integrate_many ~rules ~dtd ~factorize ~jobs docs with
     | Error e ->
         Fmt.epr "imprecise: %a@." Integrate.pp_error e;
         exit 1
@@ -170,15 +175,28 @@ let integrate_cmd =
         report_doc doc;
         write_output doc output
   in
-  let left = Arg.(required & pos 0 (some file) None & info [] ~docv:"LEFT.xml") in
-  let right = Arg.(required & pos 1 (some file) None & info [] ~docv:"RIGHT.xml") in
+  let inputs =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"SOURCE.xml")
+  in
   let factorize =
     Arg.(value & flag & info [ "factorize" ] ~doc:"Store independent clusters locally (compact representation).")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Score each candidate grid with $(docv) OCaml domains. Any $(docv) produces \
+             a bit-identical result to sequential integration (see doc/integrate.md).")
+  in
   Cmd.v
-    (Cmd.info "integrate" ~doc:"Probabilistically integrate two XML documents.")
+    (Cmd.info "integrate"
+       ~doc:
+         "Probabilistically integrate two or more XML documents. The first two are \
+          integrated directly; each further document is folded in incrementally, \
+          reusing one Oracle decision cache across the whole batch.")
     Term.(
-      const run $ left $ right $ rules_arg $ dtd_arg $ infer_dtd_arg $ factorize
+      const run $ inputs $ rules_arg $ dtd_arg $ infer_dtd_arg $ factorize $ jobs
       $ output_arg $ trace_arg)
 
 (* ---- stats -------------------------------------------------------------------- *)

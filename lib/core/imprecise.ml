@@ -10,6 +10,7 @@ module Compact = Imprecise_pxml.Compact
 module Codec = Imprecise_pxml.Codec
 module Xpath = Imprecise_xpath
 module Oracle = Imprecise_oracle.Oracle
+module Decision_cache = Imprecise_oracle.Decision_cache
 module Similarity = Imprecise_oracle.Similarity
 module Integrate = Imprecise_integrate.Integrate
 module Matching = Imprecise_integrate.Matching
@@ -40,9 +41,9 @@ let parse_xml s =
 
 let parse_xml_exn = Xml.Parser.parse_string_exn
 
-let config_of_rules (rules : Rulesets.t) ~dtd ?factorize () =
+let config_of_rules (rules : Rulesets.t) ~dtd ?factorize ?jobs ?decisions () =
   Integrate.config ~oracle:rules.Rulesets.oracle ~reconcile:rules.Rulesets.reconcile ~dtd
-    ?factorize ()
+    ?factorize ?jobs ?decisions ()
 
 let integrate ?(rules = Rulesets.full) ?(dtd = Dtd.empty) ?factorize left right =
   Integrate.integrate (config_of_rules rules ~dtd ?factorize ()) left right
@@ -59,6 +60,26 @@ let integrate_all ?(rules = Rulesets.full) ?(dtd = Dtd.empty) ?factorize ?world_
   | [ only ] -> Ok (Pxml.doc_of_tree only)
   | first :: second :: rest ->
       let cfg = config_of_rules rules ~dtd ?factorize () in
+      Result.bind (Integrate.integrate cfg first second) (fun doc ->
+          List.fold_left
+            (fun acc source ->
+              Result.bind acc (fun doc ->
+                  Integrate.integrate_incremental cfg ?world_limit doc source))
+            (Ok doc) rest)
+
+(* Batch integration through the parallel engine: one decision cache for
+   the whole fold, so a subtree pair decided while integrating source k is
+   free when source k+1 (or a later world of the same incremental step)
+   meets it again. The cache is created fresh here — it must not outlive
+   the rule set it memoizes. *)
+let integrate_many ?(rules = Rulesets.full) ?(dtd = Dtd.empty) ?factorize ?world_limit
+    ?jobs sources =
+  match sources with
+  | [] -> Error (Integrate.Root_mismatch ("(no", "sources)"))
+  | [ only ] -> Ok (Pxml.doc_of_tree only)
+  | first :: second :: rest ->
+      let decisions = Decision_cache.create () in
+      let cfg = config_of_rules rules ~dtd ?factorize ?jobs ~decisions () in
       Result.bind (Integrate.integrate cfg first second) (fun doc ->
           List.fold_left
             (fun acc source ->

@@ -32,6 +32,7 @@ module Compact = Imprecise_pxml.Compact
 module Codec = Imprecise_pxml.Codec
 module Xpath = Imprecise_xpath
 module Oracle = Imprecise_oracle.Oracle
+module Decision_cache = Imprecise_oracle.Decision_cache
 module Similarity = Imprecise_oracle.Similarity
 module Integrate = Imprecise_integrate.Integrate
 module Matching = Imprecise_integrate.Matching
@@ -102,6 +103,22 @@ val integrate_all :
   ?dtd:Dtd.t ->
   ?factorize:bool ->
   ?world_limit:float ->
+  Tree.t list ->
+  (Pxml.doc, Integrate.error) result
+
+(** [integrate_many ?jobs sources] is {!integrate_all} through the parallel
+    incremental engine: every candidate grid is scored by [jobs] OCaml
+    domains ({!Integrate.config}'s [jobs] — bit-identical to sequential for
+    any value), and one {!Decision_cache} is shared across the whole fold,
+    so subtree pairs already decided for an earlier source are not
+    re-decided for later ones. The cache is created per call and dies with
+    it (rule sets are caller-supplied, so it must not persist). *)
+val integrate_many :
+  ?rules:Rulesets.t ->
+  ?dtd:Dtd.t ->
+  ?factorize:bool ->
+  ?world_limit:float ->
+  ?jobs:int ->
   Tree.t list ->
   (Pxml.doc, Integrate.error) result
 

@@ -11,6 +11,8 @@ module P = Pxml.Pxml
    never integrate (metric names: doc/observability.md). *)
 let c_runs = Obs.Metrics.counter "integrate.runs"
 
+let c_par_runs = Obs.Metrics.counter "integrate.parallel_runs"
+
 let c_pairs = Obs.Metrics.counter "integrate.pairs_compared"
 
 let c_blocked = Obs.Metrics.counter "integrate.pairs_blocked"
@@ -36,12 +38,15 @@ type config = {
   block : Tree.t -> string option;
   max_possibilities : int;
   max_matchings : int;
+  jobs : int;
+  decisions : Oracle.Decision_cache.t option;
 }
 
 let config ~oracle ?(dtd = Xml.Dtd.empty) ?(factorize = false)
     ?(value_conflict = fun _ _ -> 0.5) ?(reconcile = fun _ _ _ -> None)
     ?(block = fun _ -> None) ?(max_possibilities = 1_000_000)
-    ?(max_matchings = 1_000_000) () =
+    ?(max_matchings = 1_000_000) ?(jobs = 1) ?decisions () =
+  if jobs < 1 then invalid_arg "Integrate.config: jobs must be >= 1";
   {
     oracle;
     dtd;
@@ -51,6 +56,8 @@ let config ~oracle ?(dtd = Xml.Dtd.empty) ?(factorize = false)
     block;
     max_possibilities;
     max_matchings;
+    jobs;
+    decisions;
   }
 
 type error =
@@ -240,38 +247,42 @@ module Engine (R : REP) = struct
        the standard entity-resolution blocking optimisation (sound only if
        the blocking function is, which is the caller's promise). *)
     let blocks_a = Array.map cfg.block ga and blocks_b = Array.map cfg.block gb in
-    let verdict i j =
+    (* The outcome function is called from [cfg.jobs] domains at once, so it
+       must not touch [trace] or bump counters one by one: each domain keeps
+       a private tally, and the merged totals are folded in below — exact
+       counts with no cross-domain mutation. The only shared state it
+       reaches is the decision cache, which synchronises internally. *)
+    let outcome i j =
       let x = ga.(i) and y = gb.(j) in
-      trace.pairs_compared <- trace.pairs_compared + 1;
-      Obs.Metrics.incr c_pairs;
-      if Tree.name x <> Tree.name y then O.Different
+      if Tree.name x <> Tree.name y then Matching.Verdict O.Different
       else if
         match blocks_a.(i), blocks_b.(j) with
         | Some ka, Some kb -> not (String.equal ka kb)
         | _ -> false
-      then begin
-        trace.pairs_blocked <- trace.pairs_blocked + 1;
-        Obs.Metrics.incr c_blocked;
-        O.Different
-      end
-      else begin
-        let v = try O.decide cfg.oracle x y with O.Conflict msg -> raise (Run_error (Oracle_conflict msg)) in
-        (match v with
-        | O.Same ->
-            trace.same_pairs <- trace.same_pairs + 1;
-            Obs.Metrics.incr c_same
-        | O.Unsure _ ->
-            trace.unsure_pairs <- trace.unsure_pairs + 1;
-            Obs.Metrics.incr c_unsure
-        | O.Different -> ());
-        v
-      end
+      then Matching.Blocked
+      else
+        let v =
+          try
+            match cfg.decisions with
+            | Some cache -> Oracle.Decision_cache.decide cache cfg.oracle x y
+            | None -> O.decide cfg.oracle x y
+          with O.Conflict msg -> raise (Run_error (Oracle_conflict msg))
+        in
+        Matching.Verdict v
     in
-    let graph =
+    let graph, tally =
       Obs.Trace.with_span "match" (fun () ->
-          Matching.graph_of_verdicts ~n_left:(Array.length ga) ~n_right:(Array.length gb)
-            verdict)
+          Matching.graph_of_outcomes ~jobs:cfg.jobs ~n_left:(Array.length ga)
+            ~n_right:(Array.length gb) outcome)
     in
+    trace.pairs_compared <- trace.pairs_compared + tally.Matching.pairs;
+    trace.pairs_blocked <- trace.pairs_blocked + tally.Matching.blocked;
+    trace.same_pairs <- trace.same_pairs + tally.Matching.same;
+    trace.unsure_pairs <- trace.unsure_pairs + tally.Matching.unsure;
+    Obs.Metrics.incr ~by:tally.Matching.pairs c_pairs;
+    Obs.Metrics.incr ~by:tally.Matching.blocked c_blocked;
+    Obs.Metrics.incr ~by:tally.Matching.same c_same;
+    Obs.Metrics.incr ~by:tally.Matching.unsure c_unsure;
     let iso_left, iso_right = Matching.isolated graph in
     let certain_dist =
       match List.map (fun i -> embed ga.(i)) iso_left
@@ -441,6 +452,7 @@ let run_catching f =
 
 let integrate_traced cfg a b =
   Obs.Metrics.incr c_runs;
+  if cfg.jobs > 1 then Obs.Metrics.incr c_par_runs;
   let trace = new_trace () in
   run_catching (fun () ->
       let doc = Obs.Trace.with_span "integrate" (fun () -> Materializer.run cfg trace a b) in

@@ -57,9 +57,20 @@ type config = {
           fails with [Too_large] beyond it (default 1_000_000) *)
   max_matchings : int;
       (** enumeration cap per cluster (default 1_000_000) *)
+  jobs : int;
+      (** OCaml domains scoring each candidate grid (default 1). Any value
+          produces a bit-identical result to [jobs = 1] — the grid is
+          sharded into contiguous row bands whose edge buffers and tallies
+          are merged deterministically (see doc/integrate.md). Requires
+          the Oracle's rules, [value_conflict] and [block] to be pure. *)
+  decisions : Oracle.Decision_cache.t option;
+      (** memoize Oracle verdicts by subtree pair across (and within)
+          runs; default [None]. See {!Oracle.Decision_cache} for the
+          purity contract. *)
 }
 
-(** [config ~oracle ()] with defaults described above. *)
+(** [config ~oracle ()] with defaults described above. Raises
+    [Invalid_argument] if [jobs < 1]. *)
 val config :
   oracle:Oracle.Oracle.t ->
   ?dtd:Xml.Dtd.t ->
@@ -69,6 +80,8 @@ val config :
   ?block:(Xml.Tree.t -> string option) ->
   ?max_possibilities:int ->
   ?max_matchings:int ->
+  ?jobs:int ->
+  ?decisions:Oracle.Decision_cache.t ->
   unit ->
   config
 

@@ -163,15 +163,85 @@ let count_matchings cluster = enumerate cluster (fun _ -> ())
 
 let clamp_prob p = Float.max 1e-9 (Float.min (1. -. 1e-9) p)
 
-let graph_of_verdicts ~n_left ~n_right verdict =
+type outcome = Verdict of Oracle.verdict | Blocked
+
+type tally = { pairs : int; blocked : int; same : int; unsure : int }
+
+let empty_tally = { pairs = 0; blocked = 0; same = 0; unsure = 0 }
+
+let add_tally a b =
+  {
+    pairs = a.pairs + b.pairs;
+    blocked = a.blocked + b.blocked;
+    same = a.same + b.same;
+    unsure = a.unsure + b.unsure;
+  }
+
+(* One contiguous band of rows, evaluated sequentially in row-major order.
+   Returns the band's edges (in that order) and its private tally — no
+   shared mutable state, so bands can run on separate domains. *)
+let eval_band ~lo ~hi ~n_right outcome =
   let edges = ref [] in
-  for i = 0 to n_left - 1 do
+  let pairs = ref 0 and blocked = ref 0 and same = ref 0 and unsure = ref 0 in
+  for i = lo to hi - 1 do
     for j = 0 to n_right - 1 do
-      match verdict i j with
-      | Oracle.Same -> edges := { left = i; right = j; prob = 1. } :: !edges
-      | Oracle.Different -> ()
-      | Oracle.Unsure p ->
+      incr pairs;
+      match outcome i j with
+      | Blocked -> incr blocked
+      | Verdict Oracle.Same ->
+          incr same;
+          edges := { left = i; right = j; prob = 1. } :: !edges
+      | Verdict Oracle.Different -> ()
+      | Verdict (Oracle.Unsure p) ->
+          incr unsure;
           if p > 0. then edges := { left = i; right = j; prob = clamp_prob p } :: !edges
     done
   done;
-  { n_left; n_right; edges = List.rev !edges }
+  ( List.rev !edges,
+    { pairs = !pairs; blocked = !blocked; same = !same; unsure = !unsure } )
+
+(* Grids smaller than this run sequentially whatever [jobs] says: spawning
+   a domain costs more than deciding this few pairs. Equality of the two
+   plans is unconditional (see below), so the gate is pure performance. *)
+let par_grid_min = 64
+
+let graph_of_outcomes ?(jobs = 1) ~n_left ~n_right outcome =
+  let jobs = max 1 (min jobs n_left) in
+  let jobs = if n_left * n_right < par_grid_min then 1 else jobs in
+  if jobs <= 1 then begin
+    let edges, tally = eval_band ~lo:0 ~hi:n_left ~n_right outcome in
+    ({ n_left; n_right; edges }, tally)
+  end
+  else begin
+    (* Contiguous row bands, one per domain. Concatenating the per-band
+       buffers in band order reproduces the sequential row-major edge
+       order exactly, and each edge's probability is computed from its
+       pair alone — so any [jobs] is bit-identical to [jobs = 1]. *)
+    let base = n_left / jobs and extra = n_left mod jobs in
+    let band d =
+      let lo = (d * base) + min d extra in
+      (lo, lo + base + if d < extra then 1 else 0)
+    in
+    let workers =
+      List.init (jobs - 1) (fun k ->
+          let lo, hi = band (k + 1) in
+          Domain.spawn (fun () -> eval_band ~lo ~hi ~n_right outcome))
+    in
+    let first =
+      let lo, hi = band 0 in
+      (* if band 0 raises (an Oracle conflict, say), still join the other
+         domains before re-raising — no domain may leak *)
+      match eval_band ~lo ~hi ~n_right outcome with
+      | result -> result
+      | exception e ->
+          List.iter (fun d -> try ignore (Domain.join d) with _ -> ()) workers;
+          raise e
+    in
+    let parts = first :: List.map Domain.join workers in
+    let edges = List.concat_map fst parts in
+    let tally = List.fold_left (fun acc (_, t) -> add_tally acc t) empty_tally parts in
+    ({ n_left; n_right; edges }, tally)
+  end
+
+let graph_of_verdicts ?jobs ~n_left ~n_right verdict =
+  fst (graph_of_outcomes ?jobs ~n_left ~n_right (fun i j -> Verdict (verdict i j)))

@@ -48,9 +48,50 @@ val matchings : ?limit:int -> cluster -> (float * (int * int) list) list
     matchings, without materialising them. *)
 val count_matchings : cluster -> int
 
-(** [graph_of_verdicts ~n_left ~n_right verdict] builds the candidate graph
-    by consulting [verdict left right] for every pair: [Same] ⇒ forced
-    edge, [Different] ⇒ no edge, [Unsure p] ⇒ edge with probability [p]
-    (clamped away from 0 and 1). *)
+(** What happened to one candidate pair: either the Oracle (or a
+    tag/structure check) produced a verdict, or blocking pruned the pair
+    before any Oracle call. *)
+type outcome = Verdict of Imprecise_oracle.Oracle.verdict | Blocked
+
+type tally = { pairs : int; blocked : int; same : int; unsure : int }
+(** Per-grid bookkeeping: [pairs] is every cell visited, [blocked] the
+    cells pruned by blocking, [same]/[unsure] the Oracle verdicts of those
+    kinds. Collected privately per domain and summed, so the totals are
+    exact whatever [jobs] is. *)
+
+val empty_tally : tally
+
+val add_tally : tally -> tally -> tally
+
+(** [graph_of_outcomes ?jobs ~n_left ~n_right outcome] builds the candidate
+    graph by consulting [outcome left right] for every cell of the grid:
+    [Verdict Same] ⇒ forced edge, [Verdict Different] or [Blocked] ⇒ no
+    edge, [Verdict (Unsure p)] ⇒ edge with probability [p] (clamped away
+    from 0 and 1), and returns the tally alongside.
+
+    [jobs] (default 1) shards the grid into contiguous row bands, one OCaml
+    domain per band. Each band buffers its edges and tally privately; the
+    buffers are concatenated in band order, which reproduces the
+    sequential row-major edge order exactly — the result is bit-identical
+    to [jobs = 1] for every [jobs]. [outcome] must therefore be safe to
+    call from multiple domains at once (pure, or internally synchronised),
+    and must not depend on call order. Grids smaller than an internal
+    threshold run sequentially regardless of [jobs]. An exception raised
+    by [outcome] (e.g. an Oracle conflict) is re-raised after every domain
+    has been joined. *)
+val graph_of_outcomes :
+  ?jobs:int ->
+  n_left:int ->
+  n_right:int ->
+  (int -> int -> outcome) ->
+  graph * tally
+
+(** [graph_of_verdicts ?jobs ~n_left ~n_right verdict] is
+    {!graph_of_outcomes} over [fun i j -> Verdict (verdict i j)], with the
+    tally discarded. *)
 val graph_of_verdicts :
-  n_left:int -> n_right:int -> (int -> int -> Imprecise_oracle.Oracle.verdict) -> graph
+  ?jobs:int ->
+  n_left:int ->
+  n_right:int ->
+  (int -> int -> Imprecise_oracle.Oracle.verdict) ->
+  graph

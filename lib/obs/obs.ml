@@ -249,10 +249,16 @@ module Json = struct
 end
 
 module Metrics = struct
-  type counter = { cname : string; mutable n : int }
+  (* Domain-safety: instrumented code runs inside spawned domains (parallel
+     integration and query enumeration), so counters are [Atomic.t] — an
+     increment is one fetch-and-add, never a lost update — and the
+     multi-field histograms take a per-histogram mutex. Registration (rare,
+     usually at module load) is serialised by a per-registry mutex. *)
+  type counter = { cname : string; n : int Atomic.t }
 
   type histogram = {
     hname : string;
+    hlock : Mutex.t;
     mutable obs : int;
     mutable sum : float;
     mutable mn : float;
@@ -260,6 +266,7 @@ module Metrics = struct
   }
 
   type registry = {
+    lock : Mutex.t;
     counters : (string, counter) Hashtbl.t;
     histograms : (string, histogram) Hashtbl.t;
     (* registration order, oldest first, for stable rendering *)
@@ -267,33 +274,50 @@ module Metrics = struct
   }
 
   let registry () =
-    { counters = Hashtbl.create 32; histograms = Hashtbl.create 16; rev_names = [] }
+    {
+      lock = Mutex.create ();
+      counters = Hashtbl.create 32;
+      histograms = Hashtbl.create 16;
+      rev_names = [];
+    }
 
   let global = registry ()
 
   let counter ?(registry = global) name =
+    Mutex.protect registry.lock @@ fun () ->
     match Hashtbl.find_opt registry.counters name with
     | Some c -> c
     | None ->
-        let c = { cname = name; n = 0 } in
+        let c = { cname = name; n = Atomic.make 0 } in
         Hashtbl.add registry.counters name c;
         registry.rev_names <- (name, `Counter) :: registry.rev_names;
         c
 
   let histogram ?(registry = global) name =
+    Mutex.protect registry.lock @@ fun () ->
     match Hashtbl.find_opt registry.histograms name with
     | Some h -> h
     | None ->
-        let h = { hname = name; obs = 0; sum = 0.; mn = Float.infinity; mx = Float.neg_infinity } in
+        let h =
+          {
+            hname = name;
+            hlock = Mutex.create ();
+            obs = 0;
+            sum = 0.;
+            mn = Float.infinity;
+            mx = Float.neg_infinity;
+          }
+        in
         Hashtbl.add registry.histograms name h;
         registry.rev_names <- (name, `Histogram) :: registry.rev_names;
         h
 
-  let incr ?(by = 1) c = c.n <- c.n + by
+  let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.n by)
 
-  let count c = c.n
+  let count c = Atomic.get c.n
 
   let observe h v =
+    Mutex.protect h.hlock @@ fun () ->
     h.obs <- h.obs + 1;
     h.sum <- h.sum +. v;
     if v < h.mn then h.mn <- v;
@@ -301,7 +325,9 @@ module Metrics = struct
 
   type hstats = { observations : int; sum : float; min : float; max : float }
 
-  let stats h = { observations = h.obs; sum = h.sum; min = h.mn; max = h.mx }
+  let stats h =
+    Mutex.protect h.hlock @@ fun () ->
+    { observations = h.obs; sum = h.sum; min = h.mn; max = h.mx }
 
   let mean s = if s.observations = 0 then 0. else s.sum /. float_of_int s.observations
 
@@ -311,12 +337,16 @@ module Metrics = struct
   }
 
   let snapshot ?(registry = global) () =
+    (* the registry lock also excludes concurrent registration, so the
+       Hashtbl reads below never race a resize *)
+    Mutex.protect registry.lock @@ fun () ->
     let names = List.rev registry.rev_names in
     {
       counters =
         List.filter_map
           (function
-            | name, `Counter -> Some (name, (Hashtbl.find registry.counters name).n)
+            | name, `Counter ->
+                Some (name, Atomic.get (Hashtbl.find registry.counters name).n)
             | _, `Histogram -> None)
           names;
       histograms =
@@ -328,9 +358,11 @@ module Metrics = struct
     }
 
   let reset ?(registry = global) () =
-    Hashtbl.iter (fun _ c -> c.n <- 0) registry.counters;
+    Mutex.protect registry.lock @@ fun () ->
+    Hashtbl.iter (fun _ c -> Atomic.set c.n 0) registry.counters;
     Hashtbl.iter
       (fun _ h ->
+        Mutex.protect h.hlock @@ fun () ->
         h.obs <- 0;
         h.sum <- 0.;
         h.mn <- Float.infinity;
@@ -386,30 +418,43 @@ module Trace = struct
   type state = {
     mutable sink : sink option;
     mutable now : unit -> float;
-    mutable stack : frame list;
   }
 
   (* [Sys.time] (CPU seconds) is the only clock the stdlib has; real callers
      install a wall clock such as [Unix.gettimeofday]. *)
-  let st = { sink = None; now = Sys.time; stack = [] }
+  let st = { sink = None; now = Sys.time }
+
+  (* Every domain owns its own span stack. A single shared stack corrupts
+     the tree as soon as a span opens inside a spawned domain (frames from
+     different domains interleave); with domain-local stacks, spans opened
+     off the installing domain nest among themselves and are delivered to
+     the sink as separate *root* spans when their outermost span completes.
+     They are never attached under another domain's currently-open span —
+     cross-domain attachment would race with the parent closing. The sink
+     itself is serialised by [sink_lock], so any sink (the collector
+     included) may be driven from parallel code. *)
+  let stack_key : frame list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+  let sink_lock = Mutex.create ()
 
   let enabled () = st.sink <> None
 
   let install ?(now = Sys.time) sink =
     st.sink <- Some sink;
     st.now <- now;
-    st.stack <- []
+    Domain.DLS.get stack_key := []
 
   let uninstall () =
     st.sink <- None;
-    st.stack <- []
+    Domain.DLS.get stack_key := []
 
   let with_span name f =
     match st.sink with
     | None -> f () (* the whole cost of disabled tracing: one load + branch *)
     | Some _ ->
+        let stack = Domain.DLS.get stack_key in
         let frame = { fname = name; fstart = st.now (); rev_children = [] } in
-        st.stack <- frame :: st.stack;
+        stack := frame :: !stack;
         let finish () =
           let stop = st.now () in
           (* tolerate install/uninstall mid-span: pop up to our frame if it
@@ -419,10 +464,10 @@ module Trace = struct
             | _ :: rest -> pop rest
             | [] -> None
           in
-          match pop st.stack with
+          match pop !stack with
           | None -> ()
           | Some rest ->
-              st.stack <- rest;
+              stack := rest;
               let span =
                 {
                   name = frame.fname;
@@ -431,17 +476,19 @@ module Trace = struct
                   children = List.rev frame.rev_children;
                 }
               in
-              (match (st.stack, st.sink) with
+              (match (!stack, st.sink) with
               | parent :: _, _ -> parent.rev_children <- span :: parent.rev_children
-              | [], Some sink -> sink span
+              | [], Some sink -> Mutex.protect sink_lock (fun () -> sink span)
               | [], None -> ())
         in
         Fun.protect ~finally:finish f
 
   let collector () =
+    (* roots only ever arrive under [sink_lock]; the read side takes the
+       same lock so a collect during parallel spans is well-defined *)
     let rev_roots = ref [] in
     let sink span = rev_roots := span :: !rev_roots in
-    (sink, fun () -> List.rev !rev_roots)
+    (sink, fun () -> Mutex.protect sink_lock (fun () -> List.rev !rev_roots))
 
   let human_duration s =
     if s >= 1. then Printf.sprintf "%.2f s" s

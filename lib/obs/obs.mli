@@ -4,12 +4,13 @@
 
     - {!Metrics}: named counters and histograms in a registry, with
       snapshot/reset and text/JSON rendering. Counters are always on —
-      an increment is one mutable-field write, so the hot paths simply
-      count unconditionally.
+      an increment is one atomic fetch-and-add, so the hot paths simply
+      count unconditionally, and they count {e exactly} even from
+      parallel domains.
     - {!Trace}: nested timing spans with an injectable clock and a
       pluggable sink. The default is {e no sink}: [with_span name f] is
       then a single load-and-branch around [f ()], so instrumented code
-      costs ~nothing when tracing is off.
+      costs ~nothing when tracing is off. Span stacks are domain-local.
     - {!Json}: the minimal JSON both render to, including a parser so
       snapshot files can be validated without external dependencies.
 
@@ -57,6 +58,8 @@ module Metrics : sig
       idempotent, the same name yields the same counter) a counter. *)
   val counter : ?registry:registry -> string -> counter
 
+  (** Atomic (one fetch-and-add): increments from parallel domains are
+      never lost — [n] domains adding [k] each always totals [n·k]. *)
   val incr : ?by:int -> counter -> unit
 
   val count : counter -> int
@@ -69,6 +72,8 @@ module Metrics : sig
       separate namespaces. *)
   val histogram : ?registry:registry -> string -> histogram
 
+  (** Guarded by a per-histogram mutex, so the (count, sum, min, max)
+      tuple stays internally consistent under parallel observation. *)
   val observe : histogram -> float -> unit
 
   type hstats = { observations : int; sum : float; min : float; max : float }
@@ -122,7 +127,15 @@ module Trace : sig
 
   (** [with_span name f] runs [f ()] inside a span when a sink is
       installed (the span closes even if [f] raises), and is just
-      [f ()] otherwise. *)
+      [f ()] otherwise.
+
+      Span stacks are {e domain-local}: a span opened inside a spawned
+      domain nests under that domain's open spans only, and when the
+      domain's outermost span completes it reaches the sink as a
+      separate root span — it is never attached under another domain's
+      currently-open span (attachment across domains would race with the
+      parent closing). Sink invocations are serialised by an internal
+      mutex, so {!collector} is safe to use from parallel code. *)
   val with_span : string -> (unit -> 'a) -> 'a
 
   (** [collector ()] is a sink that accumulates root spans, and the

@@ -1,0 +1,110 @@
+module Xml = Imprecise_xml
+module Obs = Imprecise_obs.Obs
+
+let c_hit = Obs.Metrics.counter "oracle.cache.hit"
+
+let c_miss = Obs.Metrics.counter "oracle.cache.miss"
+
+let c_evict = Obs.Metrics.counter "oracle.cache.evict"
+
+(* Same LRU shape as Pquery.Cache (hash table into an intrusive recency
+   list, every operation O(1)), but keyed by the subtree pair itself and
+   guarded by a mutex: the integration engine consults one cache from all
+   the domains deciding the verdict grid. Structural hashing/equality are
+   fine here — Tree.t is pure data, and hash collisions resolve through
+   equality. *)
+
+type key = Xml.Tree.t * Xml.Tree.t
+
+type node = {
+  key : key;
+  mutable value : Oracle.verdict;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  lock : Mutex.t;
+  tbl : (key, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable capacity : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Decision_cache.create: capacity must be positive";
+  { lock = Mutex.create (); tbl = Hashtbl.create 64; head = None; tail = None; capacity }
+
+let capacity t = t.capacity
+
+let length t = Mutex.protect t.lock @@ fun () -> Hashtbl.length t.tbl
+
+let clear t =
+  Mutex.protect t.lock @@ fun () ->
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t n =
+  if t.head != Some n then begin
+    unlink t n;
+    push_front t n
+  end
+
+let evict_tail t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.tbl n.key;
+      Obs.Metrics.incr c_evict
+
+let find t a b =
+  Mutex.protect t.lock @@ fun () ->
+  match Hashtbl.find_opt t.tbl (a, b) with
+  | Some n ->
+      Obs.Metrics.incr c_hit;
+      touch t n;
+      Some n.value
+  | None ->
+      Obs.Metrics.incr c_miss;
+      None
+
+let add t a b value =
+  Mutex.protect t.lock @@ fun () ->
+  let key = (a, b) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+      n.value <- value;
+      touch t n
+  | None ->
+      if Hashtbl.length t.tbl >= t.capacity then evict_tail t;
+      let n = { key; value; prev = None; next = None } in
+      Hashtbl.add t.tbl key n;
+      push_front t n
+
+(* The lock is NOT held across [Oracle.decide]: a slow rule set would
+   serialise every domain. Two domains may therefore decide the same
+   fresh pair concurrently; both compute the same verdict (rules are
+   pure by the {!Oracle} contract) and the second [add] is an idempotent
+   overwrite, so the race costs duplicated work, never wrong answers.
+   Conflicts are re-raised and never cached. *)
+let decide t oracle a b =
+  match find t a b with
+  | Some v -> v
+  | None ->
+      let v = Oracle.decide oracle a b in
+      add t a b v;
+      v

@@ -1,0 +1,50 @@
+(** Memoized Oracle decisions.
+
+    Integration decides the same subtree pairs over and over: re-running
+    with revised rules, folding a third source over an integration whose
+    elements were already compared, or simply meeting the same repeated
+    subtrees in one verdict grid. This cache keys the Oracle's verdict by
+    the {e pair of subtrees themselves} (structural equality), so any
+    repeat is answered without consulting the rules again.
+
+    Soundness contract: the Oracle's rules and default must be pure
+    functions of the two subtrees. Rules that close over external state
+    would make a cached verdict stale; nothing in this module can detect
+    that. Callers who revise the rule set must use a fresh cache (the
+    engine creates one per {!val:Imprecise.integrate_many} call).
+
+    The cache is a mutex-guarded LRU, safe to consult from the parallel
+    domains of [Matching.graph_of_outcomes]. Hits, misses and evictions
+    are counted under [oracle.cache.hit] / [oracle.cache.miss] /
+    [oracle.cache.evict]; note that a cache hit skips [Oracle.decide],
+    so [oracle.decisions] and per-rule fired counters only grow on
+    misses. *)
+
+module Xml = Imprecise_xml
+
+type t
+
+(** [create ?capacity ()] makes an empty cache evicting least-recently
+    used entries beyond [capacity] (default 4096) pairs. Raises
+    [Invalid_argument] if [capacity <= 0]. *)
+val create : ?capacity:int -> unit -> t
+
+val capacity : t -> int
+
+val length : t -> int
+
+val clear : t -> unit
+
+(** [find t a b] is the cached verdict for the pair, if present (counts a
+    hit or miss either way). *)
+val find : t -> Xml.Tree.t -> Xml.Tree.t -> Oracle.verdict option
+
+(** [add t a b v] records a verdict (overwriting any previous one). *)
+val add : t -> Xml.Tree.t -> Xml.Tree.t -> Oracle.verdict -> unit
+
+(** [decide t oracle a b] is [Oracle.decide oracle a b] memoized through
+    the cache. [Oracle.Conflict] propagates and is never cached. The
+    internal lock is not held during the Oracle call, so concurrent
+    misses on the same pair may both run the rules — harmless for pure
+    rules, see the soundness contract above. *)
+val decide : t -> Oracle.t -> Xml.Tree.t -> Xml.Tree.t -> Oracle.verdict

@@ -99,9 +99,14 @@ let remove t key =
 
 (* Composite key. The generation is what invalidates: every [Store.put]
    stamps the document with a fresh generation, so entries for superseded
-   document states can never be hit again and age out of the LRU. The
-   field order puts the query last so keys stay readable in debuggers. *)
+   document states can never be hit again and age out of the LRU. Each
+   string field is length-prefixed so the encoding is injective: a plain
+   separator-joined key ("c#g1#v#q") collides when a collection or query
+   itself contains the separator — e.g. ("c", 1, "v", "x#g1#v#x") and
+   ("c#g1#v#x", 1, "v", "x") used to produce the same key. The field
+   order still puts the query last so keys stay readable in debuggers. *)
 let key ~collection ~generation ~variant ~query =
-  Printf.sprintf "%s#g%d#%s#%s" collection generation variant query
+  Printf.sprintf "%d:%s#g%d#%d:%s#%d:%s" (String.length collection) collection
+    generation (String.length variant) variant (String.length query) query
 
 let global = create ~capacity:256 ()

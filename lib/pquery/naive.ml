@@ -110,7 +110,8 @@ let rank_seq ?top_k ~tolerance doc expr =
    its own table; the tables are summed afterwards. Shards partition the
    enumeration exactly, so the merged distribution is the sequential one
    (up to float summation order). Counters are bumped once, after the
-   join — Obs counters are plain mutable ints, not atomics. *)
+   join — atomic counters make per-shard bumps safe too, but one
+   batched add keeps the increment off the enumeration loop. *)
 let rank_par ~jobs ?top_k doc expr =
   Obs.Metrics.incr c_parallel;
   let workers =

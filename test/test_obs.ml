@@ -85,6 +85,68 @@ let test_snapshot_then_reset () =
   check Alcotest.int "old histogram handle still live" 1
     (Metrics.stats h).Metrics.observations
 
+(* ---- domain safety -------------------------------------------------------- *)
+
+(* The headline regression of PR 5: counters used to be plain mutable ints,
+   so 8 domains racing on one counter lost updates. Atomic fetch-and-add
+   must account for every single increment. *)
+let test_counter_domain_safe () =
+  let r = Metrics.registry () in
+  let c = Metrics.counter ~registry:r "stress" in
+  let domains = 8 and per_domain = 100_000 in
+  let worker () =
+    Domain.spawn (fun () ->
+        for _ = 1 to per_domain do
+          Metrics.incr c
+        done)
+  in
+  let spawned = List.init domains (fun _ -> worker ()) in
+  List.iter Domain.join spawned;
+  check Alcotest.int "no increment lost across 8 domains" (domains * per_domain)
+    (Metrics.count c)
+
+let test_histogram_domain_safe () =
+  let r = Metrics.registry () in
+  let h = Metrics.histogram ~registry:r "stress.h" in
+  let domains = 8 and per_domain = 10_000 in
+  let spawned =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              (* distinct values per domain so min/max are exercised too *)
+              Metrics.observe h (float_of_int ((d * per_domain) + i))
+            done))
+  in
+  List.iter Domain.join spawned;
+  let s = Metrics.stats h in
+  check Alcotest.int "no observation lost" (domains * per_domain) s.Metrics.observations;
+  check feq "min observed" 1. s.Metrics.min;
+  check feq "max observed" (float_of_int (domains * per_domain)) s.Metrics.max;
+  let n = float_of_int (domains * per_domain) in
+  check feq "sum is exactly 1+2+...+n" (n *. (n +. 1.) /. 2.) s.Metrics.sum
+
+(* Concurrent registration under the registry lock: every domain asking for
+   the same name must get the same counter, and distinct names must all
+   survive into the snapshot. *)
+let test_registration_domain_safe () =
+  let r = Metrics.registry () in
+  let domains = 8 in
+  let spawned =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to 100 do
+              Metrics.incr (Metrics.counter ~registry:r "shared");
+              Metrics.incr (Metrics.counter ~registry:r (Printf.sprintf "own.%d.%d" d i))
+            done))
+  in
+  List.iter Domain.join spawned;
+  check Alcotest.int "shared counter exact" (domains * 100)
+    (Metrics.count (Metrics.counter ~registry:r "shared"));
+  let snap = Metrics.snapshot ~registry:r () in
+  check Alcotest.int "every registration survived"
+    (1 + (domains * 100))
+    (List.length snap.Metrics.counters)
+
 (* ---- tracing ------------------------------------------------------------- *)
 
 (* A deterministic clock: every assertion below is pure arithmetic on the
@@ -162,6 +224,41 @@ let test_no_sink_fast_path () =
     "only spans from the enabled window" [ "real" ]
     (List.map (fun (s : Trace.span) -> s.Trace.name) roots);
   check Alcotest.bool "uninstall disables again" false (Trace.enabled ())
+
+(* Span stacks are domain-local: spans opened inside a spawned domain must
+   arrive at the sink as their own root (with their own children intact) and
+   must never corrupt the tree of the span open on the spawning domain. *)
+let test_spans_domain_local () =
+  let now, tick = fake_clock () in
+  let roots =
+    with_collector now (fun () ->
+        Trace.with_span "main" (fun () ->
+            tick 1.;
+            let d =
+              Domain.spawn (fun () ->
+                  Trace.with_span "worker" (fun () ->
+                      Trace.with_span "inner" (fun () -> tick 1.)))
+            in
+            Domain.join d;
+            (* the worker's spans must not have hijacked main's stack *)
+            Trace.with_span "after" (fun () -> tick 1.)))
+  in
+  let by_name n = List.find_opt (fun (s : Trace.span) -> s.Trace.name = n) roots in
+  check Alcotest.int "two roots: worker and main" 2 (List.length roots);
+  (match by_name "worker" with
+  | Some w ->
+      check
+        Alcotest.(list string)
+        "worker kept its own child" [ "inner" ]
+        (List.map (fun (s : Trace.span) -> s.Trace.name) w.Trace.children)
+  | None -> Alcotest.fail "worker span missing from the sink");
+  match by_name "main" with
+  | Some m ->
+      check
+        Alcotest.(list string)
+        "main's tree has only its own child" [ "after" ]
+        (List.map (fun (s : Trace.span) -> s.Trace.name) m.Trace.children)
+  | None -> Alcotest.fail "main span missing from the sink"
 
 (* ---- json ---------------------------------------------------------------- *)
 
@@ -285,11 +382,18 @@ let suite =
         t "snapshot: registration order, zeros included" test_snapshot_order_and_zeros;
         t "snapshot then reset" test_snapshot_then_reset;
       ] );
+    ( "obs.domains",
+      [
+        t "8 domains x 100k increments count exactly" test_counter_domain_safe;
+        t "parallel histogram observations are exact" test_histogram_domain_safe;
+        t "concurrent registration is safe" test_registration_domain_safe;
+      ] );
     ( "obs.trace",
       [
         t "nested spans under a fake clock" test_nested_spans_fake_clock;
         t "spans close on exceptions" test_span_closes_on_exception;
         t "no sink: with_span is pass-through" test_no_sink_fast_path;
+        t "span stacks are domain-local" test_spans_domain_local;
       ] );
     ( "obs.json",
       [

@@ -281,6 +281,25 @@ let test_lru_eviction () =
   check Alcotest.bool "key 3 kept" true (Imprecise_pquery.Cache.find cache (key 3) <> None);
   check Alcotest.int "capacity respected" 2 (Imprecise_pquery.Cache.length cache)
 
+(* Regression: the old separator-joined key ("c#g1#v#q") was not injective
+   when a field contained the separator — these two entries collided, so a
+   cached answer for one query could be served for a different one. The
+   length-prefixed key must keep them distinct. *)
+let test_key_injective () =
+  let k1 = Imprecise_pquery.Cache.key ~collection:"c" ~generation:1 ~variant:"v" ~query:"x#g1#v#x" in
+  let k2 = Imprecise_pquery.Cache.key ~collection:"c#g1#v#x" ~generation:1 ~variant:"v" ~query:"x" in
+  check Alcotest.bool "fields containing '#' no longer collide" true (k1 <> k2);
+  (* a few more adversarial splits of the same rendered text *)
+  let k3 = Imprecise_pquery.Cache.key ~collection:"a#g2" ~generation:3 ~variant:"" ~query:"q" in
+  let k4 = Imprecise_pquery.Cache.key ~collection:"a" ~generation:2 ~variant:"#g3#" ~query:"q" in
+  check Alcotest.bool "generation cannot migrate between fields" true (k3 <> k4);
+  let k5 = Imprecise_pquery.Cache.key ~collection:"c" ~generation:1 ~variant:"v#1:q" ~query:"" in
+  let k6 = Imprecise_pquery.Cache.key ~collection:"c" ~generation:1 ~variant:"v" ~query:"q" in
+  check Alcotest.bool "variant/query boundary is unambiguous" true (k5 <> k6);
+  (* identical fields still produce identical keys *)
+  check Alcotest.string "key is deterministic" k1
+    (Imprecise_pquery.Cache.key ~collection:"c" ~generation:1 ~variant:"v" ~query:"x#g1#v#x")
+
 (* ---- the paper's demo queries (§VI) ---------------------------------------------- *)
 
 let query_doc =
@@ -491,6 +510,7 @@ let suite =
         q prop_topk_is_reference_head;
         t "cache hits and generation invalidation" test_cache_hit_and_invalidation;
         t "LRU eviction order" test_lru_eviction;
+        t "composite key is injective" test_key_injective;
       ] );
     ( "pquery.paper",
       [

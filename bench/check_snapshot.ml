@@ -40,7 +40,8 @@ let starts_with ~prefix s =
    -zero catalogue entries like the store's. *)
 let required_counters =
   [ "integrate.pairs_compared"; "oracle.decisions"; "store.bytes_written";
-    "pquery.worlds_enumerated"; "pquery.static_pruned" ]
+    "pquery.worlds_enumerated"; "pquery.static_pruned"; "pquery.degraded";
+    "resilience.retries"; "resilience.deadline_exceeded" ]
 
 let required_histograms = [ "integrate.nodes_produced"; "integrate.worlds_produced" ]
 
@@ -86,7 +87,13 @@ let check_experiment ~file experiments name =
   (* the parallel integration experiment must actually have fanned out,
      and the incremental batch must actually have reused cached verdicts *)
   if name = "integrate_parallel" then positive "integrate.parallel_runs";
-  if name = "integrate_incremental" then positive "oracle.cache.hit"
+  if name = "integrate_incremental" then positive "oracle.cache.hit";
+  (* the degradation experiment must actually have degraded an answer and
+     tripped its deadline *)
+  if name = "pquery_degraded" then begin
+    positive "pquery.degraded";
+    positive "resilience.deadline_exceeded"
+  end
 
 let () =
   let file, wanted =

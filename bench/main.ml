@@ -423,6 +423,75 @@ let pquery_cached () =
     t_inval
     (Answer.equal ~tolerance:1e-9 cold fresh)
 
+(* ---- extension: graceful degradation -------------------------------------------------- *)
+
+let pquery_degraded () =
+  section "Resilience - graceful degradation under starved budgets (doc/resilience.md)";
+  let doc = query_document () in
+  (* count(..) is outside the direct evaluator's class, so the exact rung
+     must enumerate — and 500 work units cannot cover this document *)
+  let q = Printf.sprintf "count(%s)" q1 in
+  let exact = rank ~strategy:Pquery.Enumerate_only ~world_limit:1e7 doc q in
+  Printf.printf "document: %d nodes, %s possible worlds; query: %s\n" (node_count doc)
+    (human (world_count doc)) q;
+  let budget = Resilience.Budget.create ~max_worlds:500 () in
+  let graded, t = time (fun () -> Pquery.rank_graded ~budget doc q) in
+  let prob answers v =
+    match List.find_opt (fun (a : Answer.t) -> a.Answer.value = v) answers with
+    | Some a -> a.Answer.prob
+    | None -> 0.
+  in
+  let err =
+    List.fold_left
+      (fun acc (a : Answer.t) ->
+        Float.max acc (Float.abs (a.Answer.prob -. prob graded.Resilience.Degrade.value a.Answer.value)))
+      0. exact
+  in
+  (match graded.Resilience.Degrade.grade with
+  | Resilience.Degrade.Exact ->
+      Fmt.failwith "[%s] a 500-world budget cannot rank %g worlds exactly" !in_experiment
+        (world_count doc)
+  | Resilience.Degrade.Approximate { rung; tolerance; confidence } ->
+      Printf.printf
+        "budget 500 worlds: degraded to %-7s in %.3fs — max |error| %.4f vs declared \
+         tolerance %.4f (confidence %.3f)\n"
+        rung t err tolerance confidence;
+      (* small slack on top of the declared bound for the Hoeffding tail *)
+      if err > tolerance +. 0.02 then
+        Fmt.failwith "[%s] degraded answer off by %.4f > declared %.4f" !in_experiment err
+          tolerance);
+  (* a deadline of D ms must halt an open-ended enumeration within 2·D *)
+  let huge =
+    Pxml.certain
+      [
+        Pxml.elem "r"
+          (List.init 30 (fun i ->
+               Pxml.dist
+                 [
+                   Pxml.choice ~prob:0.5
+                     [ Pxml.Elem ("v", [], [ Pxml.certain [ Pxml.Text (string_of_int i) ] ]) ];
+                   Pxml.choice ~prob:0.5 [];
+                 ]))
+      ]
+  in
+  let d_ms = 50 in
+  let deadline = Resilience.Budget.create ~timeout_ms:d_ms () in
+  let t0 = Unix.gettimeofday () in
+  (match
+     rank ~budget:deadline ~strategy:Pquery.Enumerate_only ~world_limit:1e12 huge "//r/v"
+   with
+  | _ -> Fmt.failwith "[%s] 2^30 worlds cannot be enumerated in %d ms" !in_experiment d_ms
+  | exception Resilience.Budget.Exceeded Resilience.Budget.Deadline -> ());
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  Printf.printf "deadline %d ms on 2^30 worlds: halted in %.1f ms" d_ms elapsed_ms;
+  if elapsed_ms >= 2. *. float_of_int d_ms then
+    Fmt.failwith "[%s] deadline %d ms only halted after %.1f ms (> 2x)" !in_experiment d_ms
+      elapsed_ms;
+  Printf.printf " (< 2x the deadline)\n";
+  Printf.printf
+    "(the ladder fell exact -> top-k -> sampling; every answer carries its\n\
+     declared tolerance, so 'good is good enough' extends to time budgets)\n"
+
 (* ---- extension: static analysis prune ------------------------------------------------- *)
 
 let analyze_prune () =
@@ -700,6 +769,7 @@ let experiments =
     ("pquery_enumerate", pquery_enumerate);
     ("pquery_parallel", pquery_parallel);
     ("pquery_cached", pquery_cached);
+    ("pquery_degraded", pquery_degraded);
     ("analyze_prune", analyze_prune);
     ("quality", quality);
     ("feedback", feedback);

@@ -133,6 +133,42 @@ let with_telemetry trace f =
     Fun.protect ~finally:report f
   end
 
+(* ---- resilience -------------------------------------------------------------- *)
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Deadline for the command's heavy work (world enumeration, candidate-grid \
+           scoring), in milliseconds. Query falls down a degradation ladder to a \
+           cheaper approximate answer; integrate and stats report a clean budget \
+           error. See doc/resilience.md.")
+
+let max_worlds_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-worlds" ] ~docv:"N"
+        ~doc:
+          "Work budget: at most $(docv) enumerated worlds / grid cells before the \
+           command degrades (query) or stops with a budget error (integrate, stats).")
+
+let budget_of timeout_ms max_worlds =
+  match (timeout_ms, max_worlds) with
+  | None, None -> None
+  | _ -> (
+      try Some (Resilience.Budget.create ?timeout_ms ?max_worlds ())
+      with Invalid_argument msg -> or_die (Error msg))
+
+let resilience_totals () =
+  let count name = Obs.Metrics.count (Obs.Metrics.counter name) in
+  ( count "resilience.retries",
+    count "resilience.retry_giveups",
+    count "resilience.deadline_exceeded",
+    count "pquery.degraded" )
+
 let infer_dtd_arg =
   Arg.(
     value & flag
@@ -158,7 +194,7 @@ let report_doc doc =
 (* ---- integrate -------------------------------------------------------------- *)
 
 let integrate_cmd =
-  let run inputs rules dtd infer factorize jobs output trace =
+  let run inputs rules dtd infer factorize jobs timeout_ms max_worlds output trace =
     with_telemetry trace @@ fun () ->
     (match inputs with
     | _ :: _ :: _ -> ()
@@ -167,7 +203,8 @@ let integrate_cmd =
         exit 1);
     let docs = List.map (fun p -> or_die (load_certain p)) inputs in
     let dtd = resolve_dtd ~infer dtd docs in
-    match integrate_many ~rules ~dtd ~factorize ~jobs docs with
+    let budget = budget_of timeout_ms max_worlds in
+    match integrate_many ~rules ~dtd ~factorize ~jobs ?budget docs with
     | Error e ->
         Fmt.epr "imprecise: %a@." Integrate.pp_error e;
         exit 1
@@ -197,16 +234,17 @@ let integrate_cmd =
           reusing one Oracle decision cache across the whole batch.")
     Term.(
       const run $ inputs $ rules_arg $ dtd_arg $ infer_dtd_arg $ factorize $ jobs
-      $ output_arg $ trace_arg)
+      $ timeout_arg $ max_worlds_arg $ output_arg $ trace_arg)
 
 (* ---- stats -------------------------------------------------------------------- *)
 
 let stats_cmd =
-  let run left right rules dtd infer factorize trace =
+  let run left right rules dtd infer factorize timeout_ms max_worlds trace =
     with_telemetry trace @@ fun () ->
     let a = or_die (load_certain left) and b = or_die (load_certain right) in
     let dtd = resolve_dtd ~infer dtd [ a; b ] in
-    match integration_stats ~rules ~dtd ~factorize a b with
+    let budget = budget_of timeout_ms max_worlds in
+    match integration_stats ~rules ~dtd ~factorize ?budget a b with
     | Error e ->
         Fmt.epr "imprecise: %a@." Integrate.pp_error e;
         exit 1
@@ -221,7 +259,10 @@ let stats_cmd =
         Fmt.pr "forced matches: %d@." s.Integrate.trace.Integrate.same_pairs;
         Fmt.pr "clusters: %d (largest enumeration: %d)@."
           s.Integrate.trace.Integrate.cluster_count
-          s.Integrate.trace.Integrate.largest_enumeration
+          s.Integrate.trace.Integrate.largest_enumeration;
+        let retries, giveups, deadlines, degraded = resilience_totals () in
+        Fmt.pr "resilience: retries=%d giveups=%d deadline_exceeded=%d degraded=%d@."
+          retries giveups deadlines degraded
   in
   let left = Arg.(required & pos 0 (some file) None & info [] ~docv:"LEFT.xml") in
   let right = Arg.(required & pos 1 (some file) None & info [] ~docv:"RIGHT.xml") in
@@ -233,7 +274,7 @@ let stats_cmd =
           what $(b,integrate) can build).")
     Term.(
       const run $ left $ right $ rules_arg $ dtd_arg $ infer_dtd_arg $ factorize
-      $ trace_arg)
+      $ timeout_arg $ max_worlds_arg $ trace_arg)
 
 (* ---- rules ---------------------------------------------------------------------- *)
 
@@ -254,7 +295,7 @@ let rules_cmd =
 let strategy_names = [ "auto"; "direct"; "enumerate"; "sample" ]
 
 let query_cmd =
-  let run path query strategy samples seed jobs top_k trace =
+  let run path query strategy samples seed jobs top_k timeout_ms max_worlds trace =
     with_telemetry trace @@ fun () ->
     let doc = or_die (load_doc path) in
     let strategy =
@@ -277,14 +318,43 @@ let query_cmd =
         Fmt.epr "imprecise: --top-k must be at least 1@.";
         exit 1
     | _ -> ());
-    match Pquery.rank ~strategy ~jobs ?top_k doc query with
-    | answers -> Fmt.pr "%a@?" Answer.pp answers
-    | exception Pquery.Cannot_answer msg ->
-        Fmt.epr "imprecise: cannot answer: %s@." msg;
-        exit 1
-    | exception Failure msg ->
-        Fmt.epr "imprecise: %s@." msg;
-        exit 1
+    let budget = budget_of timeout_ms max_worlds in
+    (* With a budget and the default strategy, answer through the
+       degradation ladder: always an answer, graded by how approximate.
+       An explicit strategy is honoured instead — there a blown budget is
+       a clean error, not a silent strategy change. *)
+    match (budget, strategy) with
+    | Some _, Pquery.Auto -> (
+        match Pquery.rank_graded ?budget ~jobs ?top_k doc query with
+        | { Resilience.Degrade.value; grade } ->
+            if not (Resilience.Degrade.is_exact grade) then
+              Fmt.epr "imprecise: budget exhausted, degraded answer: %a@."
+                Resilience.Degrade.pp_grade grade;
+            Fmt.pr "%a@?" Answer.pp value
+        | exception Failure msg ->
+            Fmt.epr "imprecise: %s@." msg;
+            exit 1)
+    | _ -> (
+        match Pquery.rank ?budget ~strategy ~jobs ?top_k doc query with
+        | answers -> Fmt.pr "%a@?" Answer.pp answers
+        | exception Pquery.Cannot_answer msg ->
+            Fmt.epr "imprecise: cannot answer: %s@." msg;
+            exit 1
+        | exception Resilience.Budget.Exceeded reason ->
+            Fmt.epr
+              "imprecise: budget exceeded (%s) under --strategy %a; drop --strategy to \
+               degrade gracefully@."
+              (Resilience.Budget.reason_to_string reason)
+              (fun ppf -> function
+                | Pquery.Direct_only -> Fmt.string ppf "direct"
+                | Pquery.Enumerate_only -> Fmt.string ppf "enumerate"
+                | Pquery.Sample _ -> Fmt.string ppf "sample"
+                | Pquery.Auto -> Fmt.string ppf "auto")
+              strategy;
+            exit 1
+        | exception Failure msg ->
+            Fmt.epr "imprecise: %s@." msg;
+            exit 1)
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC.xml") in
   let query = Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY") in
@@ -319,7 +389,9 @@ let query_cmd =
        ~doc:
          "Query a (probabilistic or plain) document; answers are ranked by the \
           probability that they belong to the result.")
-    Term.(const run $ path $ query $ strategy $ samples $ seed $ jobs $ top_k $ trace_arg)
+    Term.(
+      const run $ path $ query $ strategy $ samples $ seed $ jobs $ top_k $ timeout_arg
+      $ max_worlds_arg $ trace_arg)
 
 (* ---- worlds -------------------------------------------------------------------- *)
 
@@ -540,10 +612,16 @@ let check_cmd =
 (* ---- doctor ------------------------------------------------------------------------ *)
 
 let doctor_cmd =
-  let run dir strict repair trace =
+  let run dir strict repair retries trace =
     with_telemetry trace @@ fun () ->
     let mode = if strict then Store.Strict else Store.Salvage in
-    match Store.load ~mode ~quarantine:repair dir with
+    let retry =
+      if retries <= 1 then None
+      else
+        try Some (Resilience.Retry.policy ~max_attempts:retries ())
+        with Invalid_argument msg -> or_die (Error msg)
+    in
+    match Store.load ?retry ~mode ~quarantine:repair dir with
     | Error msg ->
         Fmt.epr "imprecise: %s@." msg;
         exit 1
@@ -556,7 +634,7 @@ let doctor_cmd =
         let clean = Store.recovered_all report && report.Store.manifest = `Ok in
         if clean then exit 0
         else if repair then begin
-          match Store.save s ~dir with
+          match Store.save ?retry s ~dir with
           | Ok () ->
               Fmt.pr "rewrote a clean manifest for the recovered documents@.";
               exit 0
@@ -583,6 +661,16 @@ let doctor_cmd =
              verified manifest again — also upgrading a legacy or corrupt-manifest \
              directory. Without this flag doctor only reads.")
   in
+  let retries =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Re-run a load (and the $(b,--repair) save) up to $(docv) times on \
+             transient IO failures, with exponential backoff. Safe: each load \
+             attempt builds a fresh store, each save attempt stages under a fresh \
+             generation.")
+  in
   Cmd.v
     (Cmd.info "doctor"
        ~doc:
@@ -590,7 +678,7 @@ let doctor_cmd =
           manifest and print a per-document recovery report. Exits 0 only if the \
           manifest is present and verified and every document was recovered (or \
           $(b,--repair) restored that state).")
-    Term.(const run $ dir $ strict $ repair $ trace_arg)
+    Term.(const run $ dir $ strict $ repair $ retries $ trace_arg)
 
 (* ---- demo -------------------------------------------------------------------------- *)
 

@@ -29,6 +29,12 @@ end
 module Store = Imprecise_store.Store
 module Rulesets = Rulesets
 module Obs = Imprecise_obs.Obs
+module Resilience = struct
+  module Budget = Imprecise_resilience.Budget
+  module Retry = Imprecise_resilience.Retry
+  module Degrade = Imprecise_resilience.Degrade
+  module Chaos = Imprecise_resilience.Chaos
+end
 module Analyze = struct
   module Diag = Imprecise_analyze.Diag
   module Summary = Imprecise_analyze.Summary
@@ -41,15 +47,16 @@ let parse_xml s =
 
 let parse_xml_exn = Xml.Parser.parse_string_exn
 
-let config_of_rules (rules : Rulesets.t) ~dtd ?factorize ?jobs ?decisions () =
+let config_of_rules (rules : Rulesets.t) ~dtd ?factorize ?jobs ?decisions ?budget () =
   Integrate.config ~oracle:rules.Rulesets.oracle ~reconcile:rules.Rulesets.reconcile ~dtd
-    ?factorize ?jobs ?decisions ()
+    ?factorize ?jobs ?decisions ?budget ()
 
 let integrate ?(rules = Rulesets.full) ?(dtd = Dtd.empty) ?factorize left right =
   Integrate.integrate (config_of_rules rules ~dtd ?factorize ()) left right
 
-let integration_stats ?(rules = Rulesets.full) ?(dtd = Dtd.empty) ?factorize left right =
-  Integrate.stats (config_of_rules rules ~dtd ?factorize ()) left right
+let integration_stats ?(rules = Rulesets.full) ?(dtd = Dtd.empty) ?factorize ?budget
+    left right =
+  Integrate.stats (config_of_rules rules ~dtd ?factorize ?budget ()) left right
 
 (* Fold a whole list of sources into one probabilistic document: ordinary
    integration for the first two, incremental integration for the rest. *)
@@ -73,13 +80,15 @@ let integrate_all ?(rules = Rulesets.full) ?(dtd = Dtd.empty) ?factorize ?world_
    meets it again. The cache is created fresh here — it must not outlive
    the rule set it memoizes. *)
 let integrate_many ?(rules = Rulesets.full) ?(dtd = Dtd.empty) ?factorize ?world_limit
-    ?jobs sources =
+    ?jobs ?decisions ?budget sources =
   match sources with
   | [] -> Error (Integrate.Root_mismatch ("(no", "sources)"))
   | [ only ] -> Ok (Pxml.doc_of_tree only)
   | first :: second :: rest ->
-      let decisions = Decision_cache.create () in
-      let cfg = config_of_rules rules ~dtd ?factorize ?jobs ~decisions () in
+      let decisions =
+        match decisions with Some c -> c | None -> Decision_cache.create ()
+      in
+      let cfg = config_of_rules rules ~dtd ?factorize ?jobs ~decisions ?budget () in
       Result.bind (Integrate.integrate cfg first second) (fun doc ->
           List.fold_left
             (fun acc source ->
@@ -104,7 +113,8 @@ let summarize_store store =
 (* The store knows each document's generation; the cache key needs it.
    This is the one place that dependency is tied together — Pquery cannot
    depend on Store. *)
-let query_store ?strategy ?world_limit ?jobs ?top_k ?top_k_tolerance store name query =
+let query_store ?budget ?strategy ?world_limit ?jobs ?top_k ?top_k_tolerance store name
+    query =
   match Store.get store name with
   | None -> Error (Fmt.str "no document %S in store" name)
   | Some stored -> (
@@ -115,12 +125,16 @@ let query_store ?strategy ?world_limit ?jobs ?top_k ?top_k_tolerance store name 
       in
       let generation = Option.value ~default:0 (Store.generation store name) in
       match
-        Pquery.rank_cached ?strategy ?world_limit ?jobs ?top_k ?top_k_tolerance
+        Pquery.rank_cached ?budget ?strategy ?world_limit ?jobs ?top_k ?top_k_tolerance
           ~collection:name ~generation doc query
       with
       | answers -> Ok answers
       | exception Pquery.Cannot_answer msg -> Error msg
-      | exception Failure msg -> Error msg)
+      | exception Failure msg -> Error msg
+      | exception Imprecise_resilience.Budget.Exceeded reason ->
+          Error
+            (Fmt.str "budget exceeded (%s); raise --timeout-ms/--max-worlds or use rank_graded"
+               (Imprecise_resilience.Budget.reason_to_string reason)))
 
 let explain = Pquery.explain
 

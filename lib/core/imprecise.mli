@@ -57,6 +57,17 @@ module Rulesets = Rulesets
     doc/observability.md). *)
 module Obs = Imprecise_obs.Obs
 
+(** Resilience: deadlines and work budgets ({!Resilience.Budget}),
+    retry with backoff ({!Resilience.Retry}), graceful degradation
+    ({!Resilience.Degrade}) and scripted fault plans for chaos testing
+    ({!Resilience.Chaos}). See doc/resilience.md. *)
+module Resilience : sig
+  module Budget = Imprecise_resilience.Budget
+  module Retry = Imprecise_resilience.Retry
+  module Degrade = Imprecise_resilience.Degrade
+  module Chaos = Imprecise_resilience.Chaos
+end
+
 (** Static analysis: diagnostics, path summaries, query and document
     checks (see doc/analysis.md). *)
 module Analyze : sig
@@ -84,11 +95,13 @@ val integrate :
   (Pxml.doc, Integrate.error) result
 
 (** [integration_stats] — exact node/world counts of the would-be
-    integration, without materialising it (works at any scale). *)
+    integration, without materialising it (works at any scale). [budget]
+    bounds the candidate-grid work as in {!integrate_many}. *)
 val integration_stats :
   ?rules:Rulesets.t ->
   ?dtd:Dtd.t ->
   ?factorize:bool ->
+  ?budget:Imprecise_resilience.Budget.t ->
   Tree.t ->
   Tree.t ->
   (Integrate.summary, Integrate.error) result
@@ -111,14 +124,24 @@ val integrate_all :
     domains ({!Integrate.config}'s [jobs] — bit-identical to sequential for
     any value), and one {!Decision_cache} is shared across the whole fold,
     so subtree pairs already decided for an earlier source are not
-    re-decided for later ones. The cache is created per call and dies with
-    it (rule sets are caller-supplied, so it must not persist). *)
+    re-decided for later ones. By default the cache is created per call and
+    dies with it (rule sets are caller-supplied, so it must not persist);
+    pass [decisions] to reuse one across folds {e of the same rule set} —
+    the fold is atomic with respect to it: on [Error] the cache holds only
+    sound individual verdicts, never partial fold state.
+
+    [budget] ({!Resilience.Budget}) bounds the whole fold — candidate-grid
+    cells and prior-world expansions tick it; a trip yields
+    [Error (Budget_exceeded _)] and, as with any mid-fold failure, no
+    partial result escapes. *)
 val integrate_many :
   ?rules:Rulesets.t ->
   ?dtd:Dtd.t ->
   ?factorize:bool ->
   ?world_limit:float ->
   ?jobs:int ->
+  ?decisions:Decision_cache.t ->
+  ?budget:Imprecise_resilience.Budget.t ->
   Tree.t list ->
   (Pxml.doc, Integrate.error) result
 
@@ -128,6 +151,7 @@ val integrate_many :
     when they are provably final. [static_check] (default [true]) prunes
     statically-empty queries without evaluation (see {!Pquery.rank}). *)
 val rank :
+  ?budget:Imprecise_resilience.Budget.t ->
   ?strategy:Pquery.strategy ->
   ?static_check:bool ->
   ?world_limit:float ->
@@ -149,8 +173,10 @@ val summarize_store : Store.t -> Analyze.Summary.t
     [Store.put] of the same name are never served after it. Certain
     documents are queried as single-world probabilistic ones. [Error] on a
     missing name, an unparseable query, or a strategy that cannot answer
-    ({!Pquery.Cannot_answer}). *)
+    ({!Pquery.Cannot_answer}). A [budget] trip is reported as [Error] too,
+    with the cache left untouched. *)
 val query_store :
+  ?budget:Imprecise_resilience.Budget.t ->
   ?strategy:Pquery.strategy ->
   ?world_limit:float ->
   ?jobs:int ->

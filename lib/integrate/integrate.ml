@@ -6,6 +6,7 @@ module Obs = Imprecise_obs.Obs
 module Tree = Xml.Tree
 module O = Oracle.Oracle
 module P = Pxml.Pxml
+module Budget = Imprecise_resilience.Budget
 
 (* Registered at load time so the catalogue is complete even in runs that
    never integrate (metric names: doc/observability.md). *)
@@ -40,12 +41,13 @@ type config = {
   max_matchings : int;
   jobs : int;
   decisions : Oracle.Decision_cache.t option;
+  budget : Budget.t option;
 }
 
 let config ~oracle ?(dtd = Xml.Dtd.empty) ?(factorize = false)
     ?(value_conflict = fun _ _ -> 0.5) ?(reconcile = fun _ _ _ -> None)
     ?(block = fun _ -> None) ?(max_possibilities = 1_000_000)
-    ?(max_matchings = 1_000_000) ?(jobs = 1) ?decisions () =
+    ?(max_matchings = 1_000_000) ?(jobs = 1) ?decisions ?budget () =
   if jobs < 1 then invalid_arg "Integrate.config: jobs must be >= 1";
   {
     oracle;
@@ -58,6 +60,7 @@ let config ~oracle ?(dtd = Xml.Dtd.empty) ?(factorize = false)
     max_matchings;
     jobs;
     decisions;
+    budget;
   }
 
 type error =
@@ -66,6 +69,7 @@ type error =
   | Too_large of int
   | Oracle_conflict of string
   | Infeasible of string
+  | Budget_exceeded of string
 
 let pp_error ppf = function
   | Root_mismatch (a, b) -> Fmt.pf ppf "root elements differ: <%s> vs <%s>" a b
@@ -73,6 +77,7 @@ let pp_error ppf = function
   | Too_large n -> Fmt.pf ppf "more than %d possibilities; use stats or factorize" n
   | Oracle_conflict msg -> Fmt.pf ppf "oracle conflict: %s" msg
   | Infeasible msg -> Fmt.pf ppf "infeasible integration: %s" msg
+  | Budget_exceeded reason -> Fmt.pf ppf "budget exceeded (%s); raise --timeout-ms/--max-worlds" reason
 
 type trace = {
   mutable unsure_pairs : int;
@@ -272,8 +277,8 @@ module Engine (R : REP) = struct
     in
     let graph, tally =
       Obs.Trace.with_span "match" (fun () ->
-          Matching.graph_of_outcomes ~jobs:cfg.jobs ~n_left:(Array.length ga)
-            ~n_right:(Array.length gb) outcome)
+          Matching.graph_of_outcomes ?budget:cfg.budget ~jobs:cfg.jobs
+            ~n_left:(Array.length ga) ~n_right:(Array.length gb) outcome)
     in
     trace.pairs_compared <- trace.pairs_compared + tally.Matching.pairs;
     trace.pairs_blocked <- trace.pairs_blocked + tally.Matching.blocked;
@@ -449,6 +454,7 @@ let run_catching f =
   | Run_error e -> Error e
   | Matching.Infeasible msg -> Error (Infeasible msg)
   | O.Conflict msg -> Error (Oracle_conflict msg)
+  | Budget.Exceeded reason -> Error (Budget_exceeded (Budget.reason_to_string reason))
 
 let integrate_traced cfg a b =
   Obs.Metrics.incr c_runs;
@@ -493,7 +499,7 @@ let integrate_incremental cfg ?(world_limit = 1000.) doc source =
                     (Run_error
                        (Root_mismatch
                           ("#forest", Option.value ~default:"#text" (Tree.name source)))))
-            (Imprecise_pxml.Worlds.merged doc)
+            (Imprecise_pxml.Worlds.merged ?budget:cfg.budget doc)
         in
         Imprecise_pxml.Compact.compact (P.dist choices))
   end

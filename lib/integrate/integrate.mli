@@ -67,6 +67,13 @@ type config = {
       (** memoize Oracle verdicts by subtree pair across (and within)
           runs; default [None]. See {!Oracle.Decision_cache} for the
           purity contract. *)
+  budget : Imprecise_resilience.Budget.t option;
+      (** cooperative deadline / work-pool token (default [None]): ticked
+          once per candidate-grid cell and once per prior world during
+          {!integrate_incremental}'s fold. A trip surfaces as
+          [Error (Budget_exceeded _)], never as an exception, and with
+          [jobs > 1] cancels the sibling band domains at their next tick.
+          See doc/resilience.md. *)
 }
 
 (** [config ~oracle ()] with defaults described above. Raises
@@ -82,6 +89,7 @@ val config :
   ?max_matchings:int ->
   ?jobs:int ->
   ?decisions:Oracle.Decision_cache.t ->
+  ?budget:Imprecise_resilience.Budget.t ->
   unit ->
   config
 
@@ -94,6 +102,9 @@ type error =
   | Oracle_conflict of string  (** contradictory absolute rules *)
   | Infeasible of string
       (** forced matches contradict sibling-distinctness *)
+  | Budget_exceeded of string
+      (** the configured {!Imprecise_resilience.Budget} tripped (deadline,
+          world pool, or explicit cancellation — the string names which) *)
 
 val pp_error : Format.formatter -> error -> unit
 

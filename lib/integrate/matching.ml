@@ -1,4 +1,5 @@
 module Oracle = Imprecise_oracle.Oracle
+module Budget = Imprecise_resilience.Budget
 
 type edge = { left : int; right : int; prob : float }
 
@@ -180,11 +181,12 @@ let add_tally a b =
 (* One contiguous band of rows, evaluated sequentially in row-major order.
    Returns the band's edges (in that order) and its private tally — no
    shared mutable state, so bands can run on separate domains. *)
-let eval_band ~lo ~hi ~n_right outcome =
+let eval_band ?budget ~lo ~hi ~n_right outcome =
   let edges = ref [] in
   let pairs = ref 0 and blocked = ref 0 and same = ref 0 and unsure = ref 0 in
   for i = lo to hi - 1 do
     for j = 0 to n_right - 1 do
+      Option.iter Budget.tick budget;
       incr pairs;
       match outcome i j with
       | Blocked -> incr blocked
@@ -205,39 +207,41 @@ let eval_band ~lo ~hi ~n_right outcome =
    plans is unconditional (see below), so the gate is pure performance. *)
 let par_grid_min = 64
 
-let graph_of_outcomes ?(jobs = 1) ~n_left ~n_right outcome =
+let graph_of_outcomes ?budget ?(jobs = 1) ~n_left ~n_right outcome =
   let jobs = max 1 (min jobs n_left) in
   let jobs = if n_left * n_right < par_grid_min then 1 else jobs in
   if jobs <= 1 then begin
-    let edges, tally = eval_band ~lo:0 ~hi:n_left ~n_right outcome in
+    let edges, tally = eval_band ?budget ~lo:0 ~hi:n_left ~n_right outcome in
     ({ n_left; n_right; edges }, tally)
   end
   else begin
     (* Contiguous row bands, one per domain. Concatenating the per-band
        buffers in band order reproduces the sequential row-major edge
        order exactly, and each edge's probability is computed from its
-       pair alone — so any [jobs] is bit-identical to [jobs = 1]. *)
+       pair alone — so any [jobs] is bit-identical to [jobs = 1].
+
+       Every band runs inside [guarded], which captures success or failure
+       instead of letting an exception escape mid-join (which would leak
+       unjoined domains, and could report a later band's failure while an
+       earlier band's went unseen). On failure the shared budget is
+       cancelled so sibling bands stop at their next tick; after all
+       domains are joined, the first failure in band order is re-raised. *)
     let base = n_left / jobs and extra = n_left mod jobs in
     let band d =
       let lo = (d * base) + min d extra in
       (lo, lo + base + if d < extra then 1 else 0)
     in
-    let workers =
-      List.init (jobs - 1) (fun k ->
-          let lo, hi = band (k + 1) in
-          Domain.spawn (fun () -> eval_band ~lo ~hi ~n_right outcome))
-    in
-    let first =
-      let lo, hi = band 0 in
-      (* if band 0 raises (an Oracle conflict, say), still join the other
-         domains before re-raising — no domain may leak *)
-      match eval_band ~lo ~hi ~n_right outcome with
-      | result -> result
+    let guarded d () =
+      let lo, hi = band d in
+      match eval_band ?budget ~lo ~hi ~n_right outcome with
+      | result -> Ok result
       | exception e ->
-          List.iter (fun d -> try ignore (Domain.join d) with _ -> ()) workers;
-          raise e
+          Option.iter Budget.cancel budget;
+          Error e
     in
-    let parts = first :: List.map Domain.join workers in
+    let workers = List.init (jobs - 1) (fun k -> Domain.spawn (guarded (k + 1))) in
+    let outcomes = guarded 0 () :: List.map Domain.join workers in
+    let parts = List.map (function Ok r -> r | Error e -> raise e) outcomes in
     let edges = List.concat_map fst parts in
     let tally = List.fold_left (fun acc (_, t) -> add_tally acc t) empty_tally parts in
     ({ n_left; n_right; edges }, tally)

@@ -76,10 +76,17 @@ val add_tally : tally -> tally -> tally
     to [jobs = 1] for every [jobs]. [outcome] must therefore be safe to
     call from multiple domains at once (pure, or internally synchronised),
     and must not depend on call order. Grids smaller than an internal
-    threshold run sequentially regardless of [jobs]. An exception raised
-    by [outcome] (e.g. an Oracle conflict) is re-raised after every domain
-    has been joined. *)
+    threshold run sequentially regardless of [jobs]. If any band's
+    [outcome] raises (e.g. an Oracle conflict), every domain is joined
+    first and then the first failure in band order is re-raised —
+    whichever band it came from; no domain leaks.
+
+    [budget] ({!Imprecise_resilience.Budget}) is ticked once per grid
+    cell; a blown deadline or work pool raises [Budget.Exceeded], and
+    with [jobs > 1] the tripping band cancels the shared budget so its
+    siblings stop at their next tick instead of finishing their bands. *)
 val graph_of_outcomes :
+  ?budget:Imprecise_resilience.Budget.t ->
   ?jobs:int ->
   n_left:int ->
   n_right:int ->

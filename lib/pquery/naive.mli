@@ -31,8 +31,18 @@ exception Too_many_worlds of float
     reported probabilities are within [tolerance] of the full
     enumeration's. Raises [Invalid_argument] on [top_k <= 0]. With
     [jobs > 1] the cut happens after the parallel merge (no early stop:
-    shards cannot observe each other's accumulated mass cheaply). *)
+    shards cannot observe each other's accumulated mass cheaply).
+
+    [budget] is a cooperative cancellation token
+    ({!Imprecise_resilience.Budget}): it is checked on entry and ticked
+    once per enumerated world (across all shards when [jobs > 1]), so a
+    blown deadline or world pool raises [Budget.Exceeded] promptly
+    instead of walking the space to the end. With [jobs > 1] the first
+    shard to trip cancels the budget, stopping every sibling domain at
+    its next tick; all domains are still joined before the exception
+    propagates. *)
 val rank :
+  ?budget:Imprecise_resilience.Budget.t ->
   ?limit:float ->
   ?jobs:int ->
   ?top_k:int ->
@@ -43,6 +53,7 @@ val rank :
 
 (** [rank_expr] is {!rank} on a pre-parsed query. *)
 val rank_expr :
+  ?budget:Imprecise_resilience.Budget.t ->
   ?limit:float ->
   ?jobs:int ->
   ?top_k:int ->

@@ -1,6 +1,8 @@
 module Pxml = Imprecise_pxml.Pxml
 module Eval = Imprecise_xpath.Eval
 module Obs = Imprecise_obs.Obs
+module Budget = Imprecise_resilience.Budget
+module Degrade = Imprecise_resilience.Degrade
 
 type strategy = Auto | Direct_only | Enumerate_only | Sample of { n : int; seed : int }
 
@@ -22,6 +24,8 @@ let c_answers = Obs.Metrics.counter "pquery.answers_amalgamated"
 
 let c_static_pruned = Obs.Metrics.counter "pquery.static_pruned"
 
+let c_degraded = Obs.Metrics.counter "pquery.degraded"
+
 let compile = Eval.compile_exn
 
 let truncate top_k answers =
@@ -38,13 +42,14 @@ let statically_empty doc expr =
     ~summary:(Imprecise_analyze.Summary.of_doc doc)
     expr
 
-let rank_compiled ?(strategy = Auto) ?(static_check = true) ?world_limit ?(jobs = 1)
-    ?top_k ?top_k_tolerance doc query =
+let rank_compiled ?budget ?(strategy = Auto) ?(static_check = true) ?world_limit
+    ?(jobs = 1) ?top_k ?top_k_tolerance doc query =
   Obs.Metrics.incr c_ranks;
   Obs.Trace.with_span "pquery.rank" @@ fun () ->
   (match top_k with
   | Some k when k <= 0 -> raise (Cannot_answer "top_k must be positive")
   | _ -> ());
+  Option.iter Budget.check budget;
   let expr = Eval.compiled_ast query in
   if static_check && statically_empty doc expr then begin
     Obs.Metrics.incr c_static_pruned;
@@ -54,7 +59,9 @@ let rank_compiled ?(strategy = Auto) ?(static_check = true) ?world_limit ?(jobs 
   let enumerate () =
     Obs.Metrics.incr c_enumerate;
     Obs.Trace.with_span "enumerate" @@ fun () ->
-    try Naive.rank_expr ?limit:world_limit ~jobs ?top_k ?tolerance:top_k_tolerance doc expr
+    try
+      Naive.rank_expr ?budget ?limit:world_limit ~jobs ?top_k
+        ?tolerance:top_k_tolerance doc expr
     with Naive.Too_many_worlds n ->
       raise (Cannot_answer (Fmt.str "document has %g possible worlds; too many to enumerate" n))
   in
@@ -86,6 +93,7 @@ let rank_compiled ?(strategy = Auto) ?(static_check = true) ?world_limit ?(jobs 
         let tbl = Hashtbl.create 64 in
         List.iter
           (fun (_, forest) ->
+            Option.iter Budget.tick budget;
             List.iter
               (fun v ->
                 let prev = Option.value ~default:0. (Hashtbl.find_opt tbl v) in
@@ -99,9 +107,73 @@ let rank_compiled ?(strategy = Auto) ?(static_check = true) ?world_limit ?(jobs 
   Obs.Metrics.incr ~by:(List.length answers) c_answers;
   answers
 
-let rank ?strategy ?static_check ?world_limit ?jobs ?top_k ?top_k_tolerance doc query =
-  rank_compiled ?strategy ?static_check ?world_limit ?jobs ?top_k ?top_k_tolerance doc
-    (compile query)
+let rank ?budget ?strategy ?static_check ?world_limit ?jobs ?top_k ?top_k_tolerance doc
+    query =
+  rank_compiled ?budget ?strategy ?static_check ?world_limit ?jobs ?top_k
+    ?top_k_tolerance doc (compile query)
+
+(* ---- graceful degradation ------------------------------------------------ *)
+
+(* Exceptions that mean "the exact computation was too expensive" — the
+   next rung of the ladder may still answer. Anything else (parse errors,
+   invalid arguments, IO) propagates untouched. *)
+let degradable = function
+  | Budget.Exceeded _ | Naive.Too_many_worlds _ | Cannot_answer _ -> true
+  | _ -> false
+
+(* The sampling rung is fixed-cost: n draws, whatever the document size.
+   Hoeffding: P(|p̂ - p| > ε) <= 2·exp(-2nε²) per value, so with
+   ε = sqrt(ln(2/(1-c)) / 2n) each reported probability is within ε of the
+   true one with probability at least c. *)
+let sample_n = 4096
+
+let sample_confidence = 0.999
+
+let sample_tolerance =
+  sqrt (log (2. /. (1. -. sample_confidence)) /. (2. *. float_of_int sample_n))
+
+let rank_graded ?budget ?world_limit ?jobs ?top_k doc query =
+  let compiled = compile query in
+  (* Sub-budgets are carved eagerly: the exact rung gets 60% of whatever
+     deadline/pool the caller granted, the top-k rung 80% — tripping a
+     sub-budget leaves the caller's own budget live, so later rungs still
+     get their slice. The sampling rung takes no budget at all: its cost
+     is fixed, so it always returns, which is what makes the ladder
+     total. *)
+  let sub fraction = Option.map (Budget.sub ~fraction) budget in
+  let rungs =
+    [
+      {
+        Degrade.name = "exact";
+        run =
+          (fun () ->
+            Degrade.exact
+              (rank_compiled ?budget:(sub 0.6) ?world_limit ?jobs ?top_k doc compiled));
+      };
+      {
+        Degrade.name = "top_k";
+        run =
+          (fun () ->
+            let k = Option.value ~default:10 top_k in
+            Degrade.approximate ~rung:"top_k" ~tolerance:1e-2 ~confidence:1.
+              (rank_compiled ?budget:(sub 0.8) ~strategy:Enumerate_only
+                 ~world_limit:5e6 ?jobs ~top_k:k ~top_k_tolerance:1e-2 doc compiled));
+      };
+      {
+        Degrade.name = "sample";
+        run =
+          (fun () ->
+            Degrade.approximate ~rung:"sample" ~tolerance:sample_tolerance
+              ~confidence:sample_confidence
+              (rank_compiled
+                 ~strategy:(Sample { n = sample_n; seed = 42 })
+                 ?top_k doc compiled));
+      };
+    ]
+  in
+  let graded = Degrade.ladder ~degradable rungs in
+  if not (Degrade.is_exact graded.Degrade.grade) then Obs.Metrics.incr c_degraded;
+  graded
 
 (* ---- the LRU answer cache ----------------------------------------------- *)
 
@@ -123,8 +195,8 @@ let variant_of ~strategy ~top_k ~top_k_tolerance =
   | Some k ->
       Printf.sprintf "%s:top%d:%g" s k (Option.value ~default:1e-9 top_k_tolerance)
 
-let rank_cached ?(strategy = Auto) ?world_limit ?jobs ?top_k ?top_k_tolerance ~collection
-    ~generation doc query =
+let rank_cached ?budget ?(strategy = Auto) ?world_limit ?jobs ?top_k ?top_k_tolerance
+    ~collection ~generation doc query =
   let key =
     Cache.key ~collection ~generation
       ~variant:(variant_of ~strategy ~top_k ~top_k_tolerance)
@@ -133,8 +205,13 @@ let rank_cached ?(strategy = Auto) ?world_limit ?jobs ?top_k ?top_k_tolerance ~c
   match Cache.find Cache.global key with
   | Some answers -> answers
   | None ->
+      (* [Cache.add] runs only after [rank] returns normally: a rank that
+         raises — budget trip, Too_many_worlds, anything — leaves the
+         cache untouched, so a cancelled query can never poison later
+         lookups with a partial result. (Regression-tested in
+         test_pquery.ml.) *)
       let answers =
-        rank ~strategy ?world_limit ?jobs ?top_k ?top_k_tolerance doc query
+        rank ?budget ~strategy ?world_limit ?jobs ?top_k ?top_k_tolerance doc query
       in
       Cache.add Cache.global key answers;
       answers

@@ -51,8 +51,15 @@ val compile : string -> Eval.compiled
     in any possible world returns [[]] without evaluating a single world
     (counter [pquery.static_pruned], span [analyze.check]). Pass [false]
     to force full evaluation — the differential fuzz harness does, to
-    check the prune against ground truth rather than against itself. *)
+    check the prune against ground truth rather than against itself.
+
+    [budget] ({!Imprecise_resilience.Budget}) is checked on entry, ticked
+    per enumerated world on the enumeration path and per drawn world on
+    the sampling path; a trip raises [Budget.Exceeded]. Use
+    {!rank_graded} instead to turn budget trips into a degraded answer
+    rather than an exception. *)
 val rank :
+  ?budget:Imprecise_resilience.Budget.t ->
   ?strategy:strategy ->
   ?static_check:bool ->
   ?world_limit:float ->
@@ -65,6 +72,7 @@ val rank :
 
 (** [rank_compiled] is {!rank} on a pre-compiled query handle. *)
 val rank_compiled :
+  ?budget:Imprecise_resilience.Budget.t ->
   ?strategy:strategy ->
   ?static_check:bool ->
   ?world_limit:float ->
@@ -75,6 +83,36 @@ val rank_compiled :
   Eval.compiled ->
   Answer.t list
 
+(** [rank_graded ?budget ?world_limit ?jobs ?top_k doc query] is the
+    "good is good enough" entry point: a degradation ladder
+    ({!Imprecise_resilience.Degrade}) that always returns an answer,
+    tagged with how approximate it is.
+
+    - {b exact} — {!rank} under 60% of [budget]; result grade
+      {!Imprecise_resilience.Degrade.Exact}.
+    - {b top_k} — enumeration with early termination ([top_k] answers,
+      default 10, tolerance [1e-2]) under 80% of the remaining budget;
+      grade [Approximate] with [tolerance = 1e-2], [confidence = 1.]
+      (the early-stop bound is deterministic).
+    - {b sample} — a fixed 4096-world Monte-Carlo estimate, {e without}
+      budget, so it always returns; grade [Approximate] with the
+      Hoeffding tolerance [≈0.031] at confidence [0.999].
+
+    Only budget trips, {!Naive.Too_many_worlds} and {!Cannot_answer}
+    fall through the ladder (counter [pquery.degraded], and
+    [resilience.degradations] per step); other exceptions — and any
+    failure of the sampling rung — propagate. Results are never cached:
+    a degraded answer is an artefact of this call's budget, not of the
+    document. *)
+val rank_graded :
+  ?budget:Imprecise_resilience.Budget.t ->
+  ?world_limit:float ->
+  ?jobs:int ->
+  ?top_k:int ->
+  Pxml.doc ->
+  string ->
+  Answer.t list Imprecise_resilience.Degrade.graded
+
 (** [rank_cached ~collection ~generation doc query] is {!rank} memoized in
     the process-wide {!Cache.global}. [collection] names the document
     (typically its store name) and [generation] is its store generation
@@ -82,8 +120,10 @@ val rank_compiled :
     states never match again and age out of the LRU. The caller must pass
     the [doc] that [(collection, generation)] actually refers to —
     {!Imprecise.query_store} does this bookkeeping for you. Exceptions are
-    not cached. *)
+    not cached: in particular a budget trip mid-computation leaves the
+    cache exactly as it was, so cancelled queries cannot poison it. *)
 val rank_cached :
+  ?budget:Imprecise_resilience.Budget.t ->
   ?strategy:strategy ->
   ?world_limit:float ->
   ?jobs:int ->

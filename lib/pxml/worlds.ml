@@ -38,6 +38,23 @@ and enumerate (d : Pxml.dist) : world Seq.t =
         (product (List.map (fun n -> Seq.map (fun (p, t) -> (p, [ t ])) (enumerate_node n)) c.Pxml.nodes)))
     (List.to_seq (live_choices d))
 
+module Budget = Imprecise_resilience.Budget
+
+(* Cooperative cancellation: tick the budget once per produced world, so a
+   blown deadline or exhausted world pool stops the consumer at the next
+   element instead of at the end of an exponential walk. *)
+let guard budget seq =
+  match budget with
+  | None -> seq
+  | Some b ->
+      Seq.map
+        (fun w ->
+          Budget.tick b;
+          w)
+        seq
+
+let enumerate ?budget d = guard budget (enumerate d)
+
 (* ---- sharding, for parallel enumeration ----------------------------------
 
    A shard is a rewritten document whose enumeration is a disjoint subset
@@ -118,17 +135,21 @@ and shard_content ~shards ~shard dists =
   in
   go [] dists
 
-let enumerate_shard ~shards ~shard (d : Pxml.dist) : world Seq.t =
-  if shards <= 1 then enumerate d
+let enumerate_shard ?budget ~shards ~shard (d : Pxml.dist) : world Seq.t =
+  if shards <= 1 then enumerate ?budget d
   else begin
     if shard < 0 || shard >= shards then
       invalid_arg (Printf.sprintf "Worlds.enumerate_shard: shard %d of %d" shard shards);
     match shard_dist ~shards ~shard d with
-    | Some d -> enumerate d
+    | Some d -> enumerate ?budget d
     | None ->
-        Seq.filter_map
-          (fun (i, w) -> if i mod shards = shard then Some w else None)
-          (Seq.mapi (fun i w -> (i, w)) (enumerate d))
+        (* guard outside the stride: each shard ticks only the worlds it
+           owns, so across shards the shared budget is consumed exactly
+           once per world, same as the structurally-sharded path *)
+        guard budget
+          (Seq.filter_map
+             (fun (i, w) -> if i mod shards = shard then Some w else None)
+             (Seq.mapi (fun i w -> (i, w)) (enumerate d)))
   end
 
 
@@ -141,14 +162,14 @@ end
 
 module M = Map.Make (Key)
 
-let merged d =
+let merged ?budget d =
   let m =
     Seq.fold_left
       (fun m (p, forest) ->
         let key = List.map Xml.Tree.canonical forest in
         let prev = Option.value ~default:0. (M.find_opt key m) in
         M.add key (prev +. p) m)
-      M.empty (enumerate d)
+      M.empty (enumerate ?budget d)
   in
   M.bindings m
   |> List.map (fun (k, p) -> (p, k))

@@ -18,8 +18,14 @@ type world = float * Imprecise_xml.Tree.t list
     they carry no mass, so expanding them is pure waste ({!Pxml.world_count}
     still counts them, being a count of combinations, not of reachable
     worlds). Suffix products are memoized, so sibling probability nodes are
-    each expanded once rather than once per prefix world. *)
-val enumerate : Pxml.doc -> world Seq.t
+    each expanded once rather than once per prefix world.
+
+    [?budget] is ticked once per produced world
+    ({!Imprecise_resilience.Budget.tick}), so forcing the sequence raises
+    [Budget.Exceeded] promptly when a deadline passes or the world pool
+    runs dry — cooperative cancellation for consumers that would otherwise
+    walk an exponential space to the end. *)
+val enumerate : ?budget:Imprecise_resilience.Budget.t -> Pxml.doc -> world Seq.t
 
 (** [enumerate_node n] enumerates worlds of a single probabilistic node. *)
 val enumerate_node : Pxml.node -> (float * Imprecise_xml.Tree.t) Seq.t
@@ -37,13 +43,19 @@ val enumerate_node : Pxml.node -> (float * Imprecise_xml.Tree.t) Seq.t
     (near-certain documents) does a shard fall back to index-striding the
     full enumeration, which repeats the walk per shard but still splits
     the per-world evaluation cost evenly. Used by the parallel query
-    evaluator — each OCaml domain walks one shard. *)
-val enumerate_shard : shards:int -> shard:int -> Pxml.doc -> world Seq.t
+    evaluator — each OCaml domain walks one shard.
+
+    [?budget] is ticked once per world the shard {e owns}; sharing one
+    budget across all shards therefore consumes it exactly once per world
+    overall, and tripping it cancels every sibling shard at its next
+    tick. *)
+val enumerate_shard :
+  ?budget:Imprecise_resilience.Budget.t -> shards:int -> shard:int -> Pxml.doc -> world Seq.t
 
 (** [merged d] enumerates all worlds, merges those whose canonical XML is
     equal (summing probabilities), and returns them sorted by decreasing
-    probability. *)
-val merged : Pxml.doc -> world list
+    probability. [?budget] as in {!enumerate}. *)
+val merged : ?budget:Imprecise_resilience.Budget.t -> Pxml.doc -> world list
 
 (** [distinct_count d] is the number of distinct (canonical) worlds. *)
 val distinct_count : Pxml.doc -> int

@@ -1,0 +1,49 @@
+type spec = Never | Always | First of int | At of int list | Every of int
+
+type site = { mutable hit : int; mutable fired : int }
+
+type t = {
+  specs : (string * spec) list;
+  sites : (string, site) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+let plan specs = { specs; sites = Hashtbl.create 8; lock = Mutex.create () }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let site t name =
+  match Hashtbl.find_opt t.sites name with
+  | Some s -> s
+  | None ->
+      let s = { hit = 0; fired = 0 } in
+      Hashtbl.add t.sites name s;
+      s
+
+let matches spec n =
+  match spec with
+  | Never -> false
+  | Always -> true
+  | First k -> n <= k
+  | At hits -> List.mem n hits
+  | Every k -> k > 0 && n mod k = 0
+
+let fires t name =
+  with_lock t @@ fun () ->
+  let s = site t name in
+  s.hit <- s.hit + 1;
+  let spec = Option.value ~default:Never (List.assoc_opt name t.specs) in
+  let fire = matches spec s.hit in
+  if fire then s.fired <- s.fired + 1;
+  fire
+
+let hits t name = with_lock t @@ fun () -> (site t name).hit
+
+let faults t name = with_lock t @@ fun () -> (site t name).fired
+
+let report t =
+  with_lock t @@ fun () ->
+  Hashtbl.fold (fun name s acc -> (name, (s.hit, s.fired)) :: acc) t.sites []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,46 @@
+(** Graceful degradation: a ladder of increasingly approximate rungs.
+
+    "Good is good enough": when the exact computation blows its budget,
+    return a cheaper answer {e tagged with how approximate it is} instead
+    of raising. A ladder is an ordered list of rungs; each rung either
+    produces a {!graded} result or raises. Exceptions the caller marks
+    [degradable] (budget trips, enumeration limits) fall through to the
+    next rung; anything else — and the last rung's failure — propagates.
+
+    The query ladder lives in {!Imprecise_pquery.Pquery.rank_graded}:
+    exact enumeration → top-k with a bounded tolerance → Monte-Carlo
+    sampling with a Hoeffding confidence bound. Each fallback step bumps
+    [resilience.degradations] and runs under a [degrade.<rung>] trace
+    span. *)
+
+(** How trustworthy a result is. [Approximate] declares the bound the
+    producing rung guarantees: with probability at least [confidence],
+    every reported probability is within [tolerance] of the exact
+    value ([confidence = 1.] for deterministic bounds like top-k's). *)
+type grade =
+  | Exact
+  | Approximate of { rung : string; tolerance : float; confidence : float }
+
+type 'a graded = { value : 'a; grade : grade }
+
+val exact : 'a -> 'a graded
+
+val approximate : rung:string -> tolerance:float -> confidence:float -> 'a -> 'a graded
+
+val is_exact : grade -> bool
+
+val pp_grade : Format.formatter -> grade -> unit
+
+type 'a rung = { name : string; run : unit -> 'a graded }
+
+(** [ladder ?on_fallback ~degradable rungs] runs the rungs in order and
+    returns the first one's result. A rung raising [e] with
+    [degradable e = true] falls to the next rung (after calling
+    [on_fallback ~rung e] and bumping [resilience.degradations]); a
+    non-degradable exception, or the last rung failing for any reason,
+    is re-raised. [Invalid_argument] on an empty ladder. *)
+val ladder :
+  ?on_fallback:(rung:string -> exn -> unit) ->
+  degradable:(exn -> bool) ->
+  'a rung list ->
+  'a graded

@@ -1,0 +1,51 @@
+module Obs = Imprecise_obs.Obs
+module Prng = Imprecise_prng.Prng
+
+type error_class = Transient | Permanent
+
+type policy = {
+  max_attempts : int;
+  base_delay_ms : float;
+  multiplier : float;
+  max_delay_ms : float;
+  jitter : float;
+  seed : int;
+}
+
+let c_retries = Obs.Metrics.counter "resilience.retries"
+
+let c_giveups = Obs.Metrics.counter "resilience.retry_giveups"
+
+let policy ?(max_attempts = 3) ?(base_delay_ms = 10.) ?(multiplier = 2.)
+    ?(max_delay_ms = 500.) ?(jitter = 0.25) ?(seed = 1) () =
+  if max_attempts < 1 then invalid_arg "Retry.policy: max_attempts must be >= 1";
+  if base_delay_ms < 0. || max_delay_ms < 0. then
+    invalid_arg "Retry.policy: delays must be non-negative";
+  if jitter < 0. || jitter > 1. then invalid_arg "Retry.policy: jitter must be in [0,1]";
+  { max_attempts; base_delay_ms; multiplier; max_delay_ms; jitter; seed }
+
+(* Deterministic jitter: one PRNG draw per (policy, attempt), so the whole
+   schedule is a pure function of the policy. *)
+let delay_ms p ~attempt =
+  let base =
+    Float.min p.max_delay_ms
+      (p.base_delay_ms *. (p.multiplier ** float_of_int (attempt - 1)))
+  in
+  let rec advance rng k = if k <= 0 then rng else advance (snd (Prng.next rng)) (k - 1) in
+  let u, _ = Prng.float (advance (Prng.make p.seed) attempt) in
+  base *. (1. -. p.jitter +. (2. *. p.jitter *. u))
+
+let run ?(sleep = Unix.sleepf) ?(on_retry = fun ~attempt:_ _ -> ()) ~classify p f =
+  let rec go attempt =
+    try f ()
+    with e when attempt < p.max_attempts && classify e = Transient ->
+      Obs.Metrics.incr c_retries;
+      on_retry ~attempt e;
+      sleep (delay_ms p ~attempt /. 1000.);
+      go (attempt + 1)
+  in
+  try go 1
+  with e ->
+    (* out of attempts (or permanent): the caller sees the final failure *)
+    if classify e = Transient then Obs.Metrics.incr c_giveups;
+    raise e

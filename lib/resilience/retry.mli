@@ -1,0 +1,58 @@
+(** Retry with exponential backoff and deterministic jitter.
+
+    Wraps an operation that can fail transiently — store IO under disk
+    pressure, injected chaos faults — and re-runs it a bounded number of
+    times. The caller classifies each exception as [Transient] (worth
+    retrying) or [Permanent] (re-raised immediately);
+    {!Imprecise_store.Store.Io.classify_error} is the classifier for
+    store IO.
+
+    Backoff is exponential with a cap, and jittered {e deterministically}:
+    the jitter comes from {!Imprecise_prng.Prng} seeded by the policy, so
+    a retry schedule is reproducible — the chaos harness can assert exact
+    behaviour while production still decorrelates concurrent retriers by
+    seeding differently. Every retry bumps [resilience.retries]; running
+    out of attempts bumps [resilience.retry_giveups]. *)
+
+type error_class = Transient | Permanent
+
+type policy = {
+  max_attempts : int;  (** total attempts, including the first (>= 1) *)
+  base_delay_ms : float;  (** delay before the first retry *)
+  multiplier : float;  (** growth factor per further retry *)
+  max_delay_ms : float;  (** backoff cap *)
+  jitter : float;  (** relative jitter in [0..1]: delay × (1 ± jitter) *)
+  seed : int;  (** PRNG seed for the jitter *)
+}
+
+(** [policy ()] is 3 attempts, 10 ms base, ×2 growth, 500 ms cap, ±25%
+    jitter, seed 1; every field can be overridden. [Invalid_argument] on
+    [max_attempts < 1] or negative delays. *)
+val policy :
+  ?max_attempts:int ->
+  ?base_delay_ms:float ->
+  ?multiplier:float ->
+  ?max_delay_ms:float ->
+  ?jitter:float ->
+  ?seed:int ->
+  unit ->
+  policy
+
+(** [delay_ms p ~attempt] is the jittered delay after failed attempt
+    [attempt] (1-based) — a pure function of the policy, so tests can
+    predict the schedule. *)
+val delay_ms : policy -> attempt:int -> float
+
+(** [run ?sleep ?on_retry ~classify p f] runs [f ()]; on an exception
+    [classify]d [Transient] it sleeps ([sleep] is in seconds, default
+    [Unix.sleepf] — tests inject a recorder) and tries again, up to
+    [p.max_attempts] total attempts. [Permanent] exceptions, and the last
+    attempt's failure, are re-raised. [on_retry ~attempt e] is called
+    before each sleep. *)
+val run :
+  ?sleep:(float -> unit) ->
+  ?on_retry:(attempt:int -> exn -> unit) ->
+  classify:(exn -> error_class) ->
+  policy ->
+  (unit -> 'a) ->
+  'a

@@ -108,6 +108,89 @@ let faulty ?(mode = Crash) ~fail_at base =
     mkdir = (fun dir -> if armed () then boom ("mkdir " ^ dir) else base.mkdir dir);
   }
 
+(* Predicate-driven fault injection: [should_fail op path] is consulted on
+   every operation, so a chaos plan can script transient faults ("first two
+   manifest fsyncs"), persistent ones ("every write to this path"), and
+   read-side damage, none of which the one-shot [faulty] can express. *)
+let flaky ?(mode = Crash) ~should_fail base =
+  let boom what =
+    match mode with
+    | Crash | Torn -> raise (Fault (Fmt.str "injected fault (%s)" what))
+    | Enospc -> raise (Sys_error (Fmt.str "%s: No space left on device (injected)" what))
+  in
+  {
+    list_dir =
+      (fun dir ->
+        if should_fail List_dir dir then boom ("list " ^ dir) else base.list_dir dir);
+    read_file =
+      (fun path ->
+        if should_fail Read path then
+          match mode with
+          | Crash | Enospc -> boom ("read " ^ path)
+          | Torn ->
+              (* silent damage: a truncated read with no error — the CRC
+                 gate, not the IO layer, must catch this *)
+              let r = base.read_file path in
+              String.sub r 0 (String.length r / 2)
+        else base.read_file path);
+    write_file =
+      (fun path data ->
+        if should_fail Write path then begin
+          (match mode with
+          | Crash -> ()
+          | Torn | Enospc ->
+              base.write_file path (String.sub data 0 (String.length data / 2)));
+          boom ("write " ^ path)
+        end
+        else base.write_file path data);
+    fsync =
+      (fun path -> if should_fail Fsync path then boom ("fsync " ^ path) else base.fsync path);
+    fsync_dir =
+      (fun dir ->
+        if should_fail Fsync_dir dir then boom ("fsync-dir " ^ dir)
+        else base.fsync_dir dir);
+    rename =
+      (fun ~src ~dst ->
+        if should_fail Rename dst then boom ("rename " ^ dst) else base.rename ~src ~dst);
+    delete =
+      (fun path ->
+        if should_fail Delete path then boom ("delete " ^ path) else base.delete path);
+    mkdir =
+      (fun dir -> if should_fail Mkdir dir then boom ("mkdir " ^ dir) else base.mkdir dir);
+    exists = base.exists;
+  }
+
+(* ---- fault classification ----------------------------------------------
+
+   Which IO failures are worth retrying? Injected [Fault]s model crashes
+   and torn writes — the transient kind the chaos harness scripts.
+   [Sys_error] covers both transient conditions (full disk that a cleanup
+   may free, EINTR, EAGAIN, flaky media) and permanent ones (permission
+   denied, no such directory); only messages recognisably of the first
+   kind classify as transient. *)
+
+let transient_fragments =
+  [
+    "No space left";
+    "Resource temporarily unavailable";
+    "Interrupted system call";
+    "Input/output error";
+    "Too many open files";
+    "Device or resource busy";
+  ]
+
+let contains ~needle hay =
+  let nh = String.length needle and lh = String.length hay in
+  let rec go i = i + nh <= lh && (String.sub hay i nh = needle || go (i + 1)) in
+  go 0
+
+let classify_error = function
+  | Fault _ -> Imprecise_resilience.Retry.Transient
+  | Sys_error msg
+    when List.exists (fun needle -> contains ~needle msg) transient_fragments ->
+      Imprecise_resilience.Retry.Transient
+  | _ -> Imprecise_resilience.Retry.Permanent
+
 (* ---- operation labels --------------------------------------------------
 
    The store runs different kinds of operations through one [t]: staging a

@@ -42,6 +42,28 @@ type fault_mode = Crash | Torn | Enospc
     Default mode: [Crash]. *)
 val faulty : ?mode:fault_mode -> fail_at:int -> t -> t
 
+(** [flaky ?mode ~should_fail base] fails exactly the operations for which
+    [should_fail op path] is true — unlike {!faulty} it covers reads and
+    directory listings, and the predicate can script transient faults
+    (fail the first [n] consultations, then heal) or persistent ones.
+    Drive it from a {!Imprecise_resilience.Chaos} plan:
+    [flaky ~should_fail:(fun op _ -> op = Fsync && Chaos.fires plan "fsync") real].
+
+    Mode refines {!fault_mode} for the read path: [Torn] reads return a
+    silent prefix of the data {e without} raising — damage only the
+    store's CRC gate can catch; [Crash]/[Enospc] reads raise like any
+    other operation. *)
+val flaky : ?mode:fault_mode -> should_fail:(op -> string -> bool) -> t -> t
+
+(** [classify_error e] sorts an IO failure for retry purposes:
+    {!Fault} (injected crash/torn write) and [Sys_error]s whose message
+    indicates a typically-transient condition (full disk, EINTR, EAGAIN,
+    EIO, EMFILE, EBUSY) are
+    [Transient]; everything else — permission denied, missing directory,
+    and all non-IO exceptions — is [Permanent]. This is the default
+    classifier behind {!Store.save}/{!Store.load} retries. *)
+val classify_error : exn -> Imprecise_resilience.Retry.error_class
+
 (** [observe f base] calls [f op path] after each operation of [base]
     {e completes} ([path] is the destination for renames). Failed
     operations are not reported, so wrapping a {!faulty} shim records

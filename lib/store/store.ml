@@ -138,13 +138,25 @@ let doc_name_of_file file =
 
 let serialize doc = Xml.Printer.to_string ~decl:true ~indent:2 (doc_to_tree doc) ^ "\n"
 
+(* ---- retry ------------------------------------------------------------- *)
+
+module Retry = Imprecise_resilience.Retry
+
+(* Attempts are idempotent by construction, so retrying is safe: a save
+   stages each try under a fresh generation (leftover .tmp files and
+   half-committed generations from a failed attempt are invisible to the
+   next, and swept by its cleanup phase), and a load builds a fresh
+   in-memory store per attempt. [Io.classify_error] keeps permanent
+   failures (bad directory, strict-mode corruption) from burning
+   attempts. *)
+let with_retry ?retry ?sleep f =
+  match retry with
+  | None -> f ()
+  | Some policy -> Retry.run ?sleep ~classify:Io.classify_error policy f
+
 (* ---- save ------------------------------------------------------------- *)
 
-let save ?(io = Io.real) t ~dir =
-  let io = Io.metered io in
-  Obs.Metrics.incr c_saves;
-  Obs.Trace.with_span "store.save" @@ fun () ->
-  try
+let save_attempt io t ~dir =
     if not (Io.exists io dir) then Io.mkdir io dir;
     let mpath = Filename.concat dir Manifest.filename in
     (* the previous commit, when readable: exactly the document files this
@@ -214,11 +226,16 @@ let save ?(io = Io.real) t ~dir =
             in
             if store_owned && not (committed file) then
               Io.delete io (Filename.concat dir file))
-          (Io.list_dir io dir));
-    Ok ()
-  with
-  | Sys_error msg -> Error msg
-  | Io.Fault msg -> Error msg
+          (Io.list_dir io dir))
+
+let save ?(io = Io.real) ?retry ?sleep t ~dir =
+  let io = Io.metered io in
+  Obs.Metrics.incr c_saves;
+  Obs.Trace.with_span "store.save" @@ fun () ->
+  match with_retry ?retry ?sleep (fun () -> save_attempt io t ~dir) with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg
+  | exception Io.Fault msg -> Error msg
 
 (* ---- load ------------------------------------------------------------- *)
 
@@ -257,11 +274,7 @@ let parse_doc data =
         | Error msg -> Error msg
       else Ok (Certain tree)
 
-let load ?(io = Io.real) ?(mode = Salvage) ?(quarantine = false) dir =
-  let io = Io.metered io in
-  Obs.Metrics.incr c_loads;
-  Obs.Trace.with_span "store.load" @@ fun () ->
-  try
+let load_attempt io ~mode ~quarantine dir =
     let files = Io.list_dir io dir |> List.sort String.compare in
     let t = create () in
     let outcomes = ref [] (* newest first *) in
@@ -386,8 +399,14 @@ let load ?(io = Io.real) ?(mode = Salvage) ?(quarantine = false) dir =
         if not (noted name) then
           note name (Quarantined "interrupted write (only a .tmp staging file found)"))
       tmp_notes;
-    Ok (t, { manifest = manifest_status; docs = List.rev !outcomes })
-  with
-  | Abort msg -> Error msg
-  | Sys_error msg -> Error msg
-  | Io.Fault msg -> Error msg
+    (t, { manifest = manifest_status; docs = List.rev !outcomes })
+
+let load ?(io = Io.real) ?retry ?sleep ?(mode = Salvage) ?(quarantine = false) dir =
+  let io = Io.metered io in
+  Obs.Metrics.incr c_loads;
+  Obs.Trace.with_span "store.load" @@ fun () ->
+  match with_retry ?retry ?sleep (fun () -> load_attempt io ~mode ~quarantine dir) with
+  | result -> Ok result
+  | exception Abort msg -> Error msg
+  | exception Sys_error msg -> Error msg
+  | exception Io.Fault msg -> Error msg

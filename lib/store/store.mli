@@ -76,9 +76,26 @@ val size : t -> int
     commit are superseded files deleted — the previous manifest's files,
     older-generation documents, and leftover staging files — so removed
     documents stay removed. [<base>.g<N>.xml], [*.xml.tmp] and [MANIFEST]
-    names are owned by the store; foreign files are never deleted. *)
+    names are owned by the store; foreign files are never deleted.
 
-val save : ?io:Io.t -> t -> dir:string -> (unit, string) result
+    [retry] re-runs a failed save under the given
+    {!Imprecise_resilience.Retry.policy} (default: one attempt, as
+    before), classifying failures with {!Io.classify_error} — transient
+    faults (injected crash/torn write, full disk, EINTR-family errors)
+    are retried with exponential backoff, permanent ones (bad directory,
+    permissions) fail immediately. Retrying is safe because every attempt
+    stages under a fresh generation: a half-staged failed attempt is
+    invisible to the next one and swept by its cleanup. [sleep] overrides
+    the backoff sleep (seconds; tests pass [ignore]). Counters
+    [resilience.retries] / [resilience.retry_giveups] record the
+    outcome. *)
+val save :
+  ?io:Io.t ->
+  ?retry:Imprecise_resilience.Retry.policy ->
+  ?sleep:(float -> unit) ->
+  t ->
+  dir:string ->
+  (unit, string) result
 
 (** How {!load} treats damage:
     - [Salvage] (default): recover every intact document and record what
@@ -124,6 +141,17 @@ val pp_report : Format.formatter -> report -> unit
     cannot disturb a save racing it. With [~quarantine:true] (used by
     [imprecise doctor --repair]) everything reported [Quarantined] — plus
     a corrupt manifest and leftover [.tmp] staging files — is renamed to
-    [<file>.corrupt] so that a subsequent load finds a clean directory. *)
+    [<file>.corrupt] so that a subsequent load finds a clean directory.
+
+    [retry]/[sleep] as in {!save}: transient IO failures re-run the whole
+    load (each attempt builds a fresh in-memory store, so attempts cannot
+    contaminate each other); strict-mode damage is permanent and is never
+    retried. *)
 val load :
-  ?io:Io.t -> ?mode:load_mode -> ?quarantine:bool -> string -> (t * report, string) result
+  ?io:Io.t ->
+  ?retry:Imprecise_resilience.Retry.policy ->
+  ?sleep:(float -> unit) ->
+  ?mode:load_mode ->
+  ?quarantine:bool ->
+  string ->
+  (t * report, string) result

@@ -538,6 +538,47 @@ let test_typical_conditions () =
       check (Alcotest.float 0.) "four possible worlds" 4. s.Integrate.worlds;
       check Alcotest.bool "a few thousand nodes" true (s.Integrate.nodes < 10_000.)
 
+(* ---- mid-fold failure atomicity ------------------------------------------- *)
+
+(* Regression for the batch engine's atomicity contract: a source failing
+   mid-fold (here: the third source's root does not match) must surface as
+   a clean typed Error and leave the shared decision cache holding only
+   sound individual verdicts — never partial fold state. A rerun over good
+   sources with the surviving cache must be identical to a fresh run. *)
+let test_integrate_many_mid_fold_atomicity () =
+  let book suffix =
+    parse
+      (Printf.sprintf
+         "<addressbook><person><nm>Alice</nm><tel>111%s</tel></person>\
+          <person><nm>Bob</nm><tel>222%s</tel></person></addressbook>"
+         suffix suffix)
+  in
+  let good = [ book ""; book "x"; book "y" ] in
+  let bad = [ book ""; book "x"; parse "<phonebook><p>oops</p></phonebook>" ] in
+  let fresh =
+    match Imprecise.integrate_many good with
+    | Ok doc -> doc
+    | Error e -> Alcotest.failf "fresh fold failed: %a" Integrate.pp_error e
+  in
+  let decisions = Imprecise.Decision_cache.create () in
+  (match Imprecise.integrate_many ~decisions bad with
+  | Ok _ -> Alcotest.fail "a mid-fold root mismatch must fail the fold"
+  | Error (Integrate.Root_mismatch _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Integrate.pp_error e);
+  (* the cache survived the failed fold with only sound verdicts: reusing
+     it reproduces the fresh result exactly ... *)
+  (match Imprecise.integrate_many ~decisions good with
+  | Ok doc -> check Alcotest.bool "reused cache, identical result" true (Pxml.equal fresh doc)
+  | Error e -> Alcotest.failf "rerun over the surviving cache failed: %a" Integrate.pp_error e);
+  (* ... and a second reuse is served from the cache, not the Oracle *)
+  let count name = Imprecise.Obs.Metrics.count (Imprecise.Obs.Metrics.counter name) in
+  let decided0 = count "oracle.decisions" in
+  (match Imprecise.integrate_many ~decisions good with
+  | Ok doc -> check Alcotest.bool "cached rerun still identical" true (Pxml.equal fresh doc)
+  | Error e -> Alcotest.failf "cached rerun failed: %a" Integrate.pp_error e);
+  check Alcotest.int "no fresh Oracle decisions on the cached rerun" decided0
+    (count "oracle.decisions")
+
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
   let q p = QCheck_alcotest.to_alcotest p in
@@ -593,4 +634,6 @@ let suite =
         t "estimator matches materialisation on Figure-5 points" test_stats_mirror_figure5_points;
         t "typical conditions: 2 undecided, 4 worlds" test_typical_conditions;
       ] );
+    ( "integrate.resilience",
+      [ t "mid-fold failure is atomic" test_integrate_many_mid_fold_atomicity ] );
   ]

@@ -22,6 +22,7 @@ module Codec = Imprecise.Codec
 module Oracle = Imprecise.Oracle
 module Decision_cache = Imprecise.Decision_cache
 module Integrate = Imprecise.Integrate
+module Matching = Imprecise.Matching
 module Obs = Imprecise.Obs
 module Prng = Imprecise.Data.Prng
 module Random_docs = Imprecise.Data.Random_docs
@@ -112,6 +113,32 @@ let check_large_case n seed =
 
 let count name = Obs.Metrics.count (Obs.Metrics.counter name)
 
+(* Regression: a band worker failing used to be visible only if it was
+   band 0 — a later band's exception escaped before the workers were
+   joined (leaking domains), and when several bands failed, which failure
+   surfaced was racy. graph_of_outcomes must join every worker and
+   re-raise the first failure in band order, deterministically. *)
+exception Band_boom of int
+
+let check_band_exception_propagation () =
+  (* 8x8 = 64 cells: exactly par_grid_min, so jobs=4 really fans out into
+     four 2-row bands. Bands 1 (rows 2-3) and 3 (rows 6-7) both raise at
+     their first cell; bands 0 and 2 run to completion. *)
+  let cells = Atomic.make 0 in
+  let outcome i j =
+    Atomic.incr cells;
+    if (i = 2 || i = 6) && j = 0 then raise (Band_boom (i / 2));
+    Matching.Verdict (if i = j then Oracle.Unsure 0.5 else Oracle.Different)
+  in
+  (match Matching.graph_of_outcomes ~jobs:4 ~n_left:8 ~n_right:8 outcome with
+  | _ -> fail 0 "two bands raised, yet the grid reported success"
+  | exception Band_boom 1 -> ()
+  | exception Band_boom b -> fail 0 "band %d's failure surfaced before band 1's" b);
+  (* all four bands were joined: the two clean bands finished their 16
+     cells each, the two raising bands stopped at their first cell *)
+  let seen = Atomic.get cells in
+  if seen <> 34 then fail 0 "expected 16+1+16+1 = 34 cells visited, saw %d" seen
+
 let check_decision_cache () =
   let a, b = Addressbook.larger 40 7 in
   let plain =
@@ -148,9 +175,12 @@ let () =
     Fmt.epr "FAIL: large cases never took the parallel path@."
   end;
   check_decision_cache ();
+  check_band_exception_propagation ();
   if !failures > 0 then begin
     Fmt.epr "%d parallel-equivalence failure(s) over %d fuzz cases@." !failures cases;
     exit 1
   end;
-  Fmt.pr "parallel engine: %d fuzz cases + large grids + decision cache, all identical@."
+  Fmt.pr
+    "parallel engine: %d fuzz cases + large grids + decision cache + band-failure \
+     propagation, all identical@."
     cases

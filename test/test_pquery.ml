@@ -475,6 +475,51 @@ let test_rank_on_certain_equals_plain_query () =
       List.iter (fun (a : Answer.t) -> check (Alcotest.float 1e-9) a.value 1. a.prob) ranked)
     [ "//movie/title"; {|//movie[genre="Horror"]/title|}; "//movie/genre" ]
 
+(* Regression: a rank_cached call whose budget trips mid-enumeration must
+   not populate the cache with whatever it had accumulated — the next call
+   would serve a truncated ranking as if it were the document's answer.
+   Exceptions must leave the cache exactly as it was. *)
+let test_cancelled_query_cannot_poison_cache () =
+  let module Budget = Imprecise.Resilience.Budget in
+  let module Cache = Imprecise_pquery.Cache in
+  (* 2^12 worlds: plenty to be mid-flight when a 40-world budget trips *)
+  let doc =
+    Pxml.certain
+      [
+        Pxml.elem "r"
+          (List.init 12 (fun i ->
+               Pxml.dist
+                 [
+                   Pxml.choice ~prob:0.5
+                     [ Pxml.Elem ("v", [], [ Pxml.certain [ Pxml.Text (string_of_int i) ] ]) ];
+                   Pxml.choice ~prob:0.5 [];
+                 ]))
+      ]
+  in
+  let query = "//r/v" in
+  let len0 = Cache.length Cache.global in
+  let budget = Budget.create ~max_worlds:40 () in
+  (match
+     Pquery.rank_cached ~budget ~strategy:Pquery.Enumerate_only ~collection:"poison-test"
+       ~generation:1 doc query
+   with
+  | _ -> Alcotest.fail "40 worlds cannot enumerate 2^12"
+  | exception Budget.Exceeded _ -> ());
+  check Alcotest.int "tripped query left the cache untouched" len0
+    (Cache.length Cache.global);
+  (* the same key, uncancelled: a full recomputation (no hit), and the
+     answer must be the exact ranking, not a cancelled run's leftovers *)
+  let hits = Imprecise.Obs.Metrics.counter "pquery.cache.hit" in
+  let hits0 = Imprecise.Obs.Metrics.count hits in
+  let answers =
+    Pquery.rank_cached ~strategy:Pquery.Enumerate_only ~collection:"poison-test"
+      ~generation:1 doc query
+  in
+  check Alcotest.int "recomputed, not served from cache" hits0
+    (Imprecise.Obs.Metrics.count hits);
+  check Alcotest.bool "recomputed answer is the exact ranking" true
+    (answers_agree answers (Pquery.rank ~strategy:Pquery.Enumerate_only doc query))
+
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
   let s name f = Alcotest.test_case name `Slow f in
@@ -511,6 +556,7 @@ let suite =
         t "cache hits and generation invalidation" test_cache_hit_and_invalidation;
         t "LRU eviction order" test_lru_eviction;
         t "composite key is injective" test_key_injective;
+        t "cancelled queries cannot poison the cache" test_cancelled_query_cannot_poison_cache;
       ] );
     ( "pquery.paper",
       [

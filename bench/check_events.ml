@@ -1,0 +1,80 @@
+(* Validates the flight-recorder artefacts a telemetry-enabled CLI run
+   writes: the JSONL event log from [--events-out] (every line must parse
+   back through [Obs.Json.parse] and [Obs.Event.of_json], at least one
+   event, at least one op-completion record carrying [dur_ms]) and the
+   Chrome trace-event file from [--trace-out] (must parse, [traceEvents]
+   non-empty, every entry carrying name/ph/ts/dur).
+
+     check_events.exe EVENTS.jsonl TRACE.json
+
+   This is what `dune build @obs-smoke` runs. *)
+
+module Obs = Imprecise.Obs
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("check_events: " ^ msg);
+      exit 1)
+    fmt
+
+let check_events file =
+  let ic = open_in file in
+  let events = ref 0 and with_dur = ref 0 and line_no = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr line_no;
+       if String.trim line <> "" then begin
+         let ev =
+           match Obs.Json.parse line with
+           | Error e -> fail "%s:%d: does not parse as JSON: %s" file !line_no e
+           | Ok json -> (
+               match Obs.Event.of_json json with
+               | Error e -> fail "%s:%d: not an event: %s" file !line_no e
+               | Ok ev -> ev)
+         in
+         incr events;
+         if Obs.Event.field "dur_ms" ev <> None then incr with_dur
+       end
+     done
+   with End_of_file -> close_in ic);
+  if !events = 0 then fail "%s: no events" file;
+  if !with_dur = 0 then fail "%s: no op-completion records (dur_ms)" file;
+  (!events, !with_dur)
+
+let check_trace file =
+  let ic = open_in_bin file in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let json =
+    match Obs.Json.parse s with
+    | Ok j -> j
+    | Error e -> fail "%s does not parse as JSON: %s" file e
+  in
+  let spans =
+    match Obs.Json.member "traceEvents" json with
+    | Some (Obs.Json.List (_ :: _ as l)) -> l
+    | Some (Obs.Json.List []) -> fail "%s: traceEvents is empty" file
+    | _ -> fail "%s: missing \"traceEvents\" list" file
+  in
+  List.iteri
+    (fun i span ->
+      List.iter
+        (fun key ->
+          if Obs.Json.member key span = None then
+            fail "%s: traceEvents[%d] has no %S" file i key)
+        [ "name"; "ph"; "ts"; "dur" ])
+    spans;
+  List.length spans
+
+let () =
+  let events_file, trace_file =
+    match Sys.argv with
+    | [| _; e; t |] -> (e, t)
+    | _ -> fail "usage: check_events EVENTS.jsonl TRACE.json"
+  in
+  let events, with_dur = check_events events_file in
+  let spans = check_trace trace_file in
+  Printf.printf "check_events: %s OK (%d events, %d with dur_ms), %s OK (%d spans)\n"
+    events_file events with_dur trace_file spans

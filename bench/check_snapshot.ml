@@ -41,9 +41,11 @@ let starts_with ~prefix s =
 let required_counters =
   [ "integrate.pairs_compared"; "oracle.decisions"; "store.bytes_written";
     "pquery.worlds_enumerated"; "pquery.static_pruned"; "pquery.degraded";
-    "resilience.retries"; "resilience.deadline_exceeded" ]
+    "resilience.retries"; "resilience.deadline_exceeded"; "obs.events_dropped";
+    "obs.ops_recorded" ]
 
-let required_histograms = [ "integrate.nodes_produced"; "integrate.worlds_produced" ]
+let required_histograms =
+  [ "integrate.nodes_produced"; "integrate.worlds_produced"; "pquery.latency" ]
 
 let check_experiment ~file experiments name =
   let e =
@@ -93,6 +95,23 @@ let check_experiment ~file experiments name =
   if name = "pquery_degraded" then begin
     positive "pquery.degraded";
     positive "resilience.deadline_exceeded"
+  end;
+  (* the event ring must never have overflowed during a bench run *)
+  (match Obs.Json.member "obs.events_dropped" counters with
+  | Some (Obs.Json.Int 0) -> ()
+  | Some j -> fail "%s: obs.events_dropped = %s (ring overflowed)" ctx (Obs.Json.to_string j)
+  | None -> fail "%s: counter \"obs.events_dropped\" missing" ctx);
+  (* querying experiments must surface latency quantiles in their snapshot *)
+  if starts_with ~prefix:"pquery_" name then begin
+    let h =
+      match Obs.Json.member "pquery.latency" (member ~ctx "histograms" metrics) with
+      | Some h -> h
+      | None -> fail "%s: histogram \"pquery.latency\" missing" ctx
+    in
+    match Obs.Json.member "p99" h with
+    | Some (Obs.Json.Float p) when p >= 0. -> ()
+    | Some (Obs.Json.Int p) when p >= 0 -> ()
+    | _ -> fail "%s: pquery.latency has no p99 — quantile sketch asleep?" ctx
   end
 
 let () =

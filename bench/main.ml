@@ -808,6 +808,8 @@ let run_experiment ~record name f =
   in_experiment := "(harness)"
 
 let () =
+  (* wall-clock latency histograms (lib/obs defaults to CPU time) *)
+  Obs.Clock.set Unix.gettimeofday;
   let rec split json acc = function
     | [] -> (json, List.rev acc)
     | "--json" :: file :: rest -> split (Some file) acc rest

@@ -100,7 +100,15 @@ let or_die = function
       Fmt.epr "imprecise: %s@." msg;
       exit 1
 
+let die fmt = Fmt.kstr (fun msg -> or_die (Error msg)) fmt
+
 (* ---- telemetry -------------------------------------------------------------- *)
+
+type telemetry = {
+  trace : bool;  (* span tree + metrics snapshot to stderr *)
+  trace_out : string option;  (* Chrome trace-event JSON file *)
+  events_out : string option;  (* JSONL structured-event file *)
+}
 
 let trace_arg =
   Arg.(
@@ -110,23 +118,72 @@ let trace_arg =
           "Record timing spans and metrics while the command runs, and print the span \
            tree and a metrics snapshot to stderr afterwards (see doc/observability.md).")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the recorded spans to $(docv) as Chrome trace-event JSON, loadable \
+           in Perfetto or chrome://tracing.")
+
+let events_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events-out" ] ~docv:"FILE"
+        ~doc:
+          "Stream structured flight-recorder events (oracle verdicts, cache hits, \
+           budget trips, degradations, per-op records) to $(docv) as JSON lines; \
+           aggregate afterwards with $(b,imprecise report).")
+
+let telemetry_term =
+  Term.(
+    const (fun trace trace_out events_out -> { trace; trace_out; events_out })
+    $ trace_arg $ trace_out_arg $ events_out_arg)
+
 (* The report runs once, as a [Fun.protect] finaliser for exceptions and
    via [at_exit] for the subcommands (doctor, validate, …) that [exit]
    mid-body — [Stdlib.exit] does not unwind [Fun.protect]. Spans still
-   open at a hard [exit] are simply not reported. *)
-let with_telemetry trace f =
-  if not trace then f ()
+   open at a hard [exit] are simply not reported. Tracing is installed for
+   any of the three outputs: the event stream wants span ids on its events
+   even when nobody asked for the span tree itself. *)
+let with_telemetry t f =
+  if not (t.trace || t.trace_out <> None || t.events_out <> None) then f ()
   else begin
     let sink, roots = Obs.Trace.collector () in
     Obs.Trace.install ~now:Unix.gettimeofday sink;
+    let events_oc =
+      Option.map
+        (fun path ->
+          let oc = open_out path in
+          Obs.Event.enable ~sink:(Obs.Event.jsonl_sink oc) ();
+          oc)
+        t.events_out
+    in
     let reported = ref false in
     let report () =
       if not !reported then begin
         reported := true;
         Obs.Trace.uninstall ();
-        Fmt.epr "--- trace spans ---@.";
-        List.iter (fun s -> Fmt.epr "%s" (Obs.Trace.to_text s)) (roots ());
-        Fmt.epr "--- metrics ---@.%s@?" (Obs.Metrics.to_text (Obs.Metrics.snapshot ()))
+        let spans = roots () in
+        (match events_oc with
+        | Some oc ->
+            Obs.Event.disable ();
+            close_out oc
+        | None -> ());
+        (match t.trace_out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Obs.Json.to_string (Obs.Trace.to_chrome spans));
+            output_char oc '\n';
+            close_out oc
+        | None -> ());
+        if t.trace then begin
+          Fmt.epr "--- trace spans ---@.";
+          List.iter (fun s -> Fmt.epr "%s" (Obs.Trace.to_text s)) spans;
+          Fmt.epr "--- metrics ---@.%s@?" (Obs.Metrics.to_text (Obs.Metrics.snapshot ()))
+        end
       end
     in
     at_exit report;
@@ -194,8 +251,8 @@ let report_doc doc =
 (* ---- integrate -------------------------------------------------------------- *)
 
 let integrate_cmd =
-  let run inputs rules dtd infer factorize jobs timeout_ms max_worlds output trace =
-    with_telemetry trace @@ fun () ->
+  let run inputs rules dtd infer factorize jobs timeout_ms max_worlds output tele =
+    with_telemetry tele @@ fun () ->
     (match inputs with
     | _ :: _ :: _ -> ()
     | _ ->
@@ -234,13 +291,13 @@ let integrate_cmd =
           reusing one Oracle decision cache across the whole batch.")
     Term.(
       const run $ inputs $ rules_arg $ dtd_arg $ infer_dtd_arg $ factorize $ jobs
-      $ timeout_arg $ max_worlds_arg $ output_arg $ trace_arg)
+      $ timeout_arg $ max_worlds_arg $ output_arg $ telemetry_term)
 
 (* ---- stats -------------------------------------------------------------------- *)
 
 let stats_cmd =
-  let run left right rules dtd infer factorize timeout_ms max_worlds trace =
-    with_telemetry trace @@ fun () ->
+  let run left right rules dtd infer factorize timeout_ms max_worlds tele =
+    with_telemetry tele @@ fun () ->
     let a = or_die (load_certain left) and b = or_die (load_certain right) in
     let dtd = resolve_dtd ~infer dtd [ a; b ] in
     let budget = budget_of timeout_ms max_worlds in
@@ -274,12 +331,13 @@ let stats_cmd =
           what $(b,integrate) can build).")
     Term.(
       const run $ left $ right $ rules_arg $ dtd_arg $ infer_dtd_arg $ factorize
-      $ timeout_arg $ max_worlds_arg $ trace_arg)
+      $ timeout_arg $ max_worlds_arg $ telemetry_term)
 
 (* ---- rules ---------------------------------------------------------------------- *)
 
 let rules_cmd =
-  let run () =
+  let run tele =
+    with_telemetry tele @@ fun () ->
     List.iter
       (fun (r : Rulesets.t) ->
         Fmt.pr "%-22s %s@." r.Rulesets.name r.Rulesets.description;
@@ -288,15 +346,15 @@ let rules_cmd =
   in
   Cmd.v
     (Cmd.info "rules" ~doc:"List the built-in Oracle rule presets and their rules.")
-    Term.(const run $ const ())
+    Term.(const run $ telemetry_term)
 
 (* ---- query --------------------------------------------------------------------- *)
 
 let strategy_names = [ "auto"; "direct"; "enumerate"; "sample" ]
 
 let query_cmd =
-  let run path query strategy samples seed jobs top_k timeout_ms max_worlds trace =
-    with_telemetry trace @@ fun () ->
+  let run path query strategy samples seed jobs top_k timeout_ms max_worlds tele =
+    with_telemetry tele @@ fun () ->
     let doc = or_die (load_doc path) in
     let strategy =
       match strategy with
@@ -391,12 +449,13 @@ let query_cmd =
           probability that they belong to the result.")
     Term.(
       const run $ path $ query $ strategy $ samples $ seed $ jobs $ top_k $ timeout_arg
-      $ max_worlds_arg $ trace_arg)
+      $ max_worlds_arg $ telemetry_term)
 
 (* ---- worlds -------------------------------------------------------------------- *)
 
 let worlds_cmd =
-  let run path limit top =
+  let run path limit top tele =
+    with_telemetry tele @@ fun () ->
     let doc = or_die (load_doc path) in
     let print (p, forest) =
       Fmt.pr "%.4f  %s@." p
@@ -425,12 +484,13 @@ let worlds_cmd =
   in
   Cmd.v
     (Cmd.info "worlds" ~doc:"Enumerate the possible worlds of a probabilistic document.")
-    Term.(const run $ path $ limit $ top)
+    Term.(const run $ path $ limit $ top $ telemetry_term)
 
 (* ---- feedback -------------------------------------------------------------------- *)
 
 let feedback_cmd =
-  let run path query value incorrect exact output =
+  let run path query value incorrect exact output tele =
+    with_telemetry tele @@ fun () ->
     let doc = or_die (load_doc path) in
     let correct = not incorrect in
     let result =
@@ -458,12 +518,13 @@ let feedback_cmd =
   Cmd.v
     (Cmd.info "feedback"
        ~doc:"Assert that VALUE is a correct/incorrect answer of QUERY and remove the data of inconsistent worlds.")
-    Term.(const run $ path $ query $ value $ incorrect $ exact $ output_arg)
+    Term.(const run $ path $ query $ value $ incorrect $ exact $ output_arg $ telemetry_term)
 
 (* ---- explain --------------------------------------------------------------------- *)
 
 let explain_cmd =
-  let run path query value k =
+  let run path query value k tele =
+    with_telemetry tele @@ fun () ->
     let doc = or_die (load_doc path) in
     match Pquery.explain ~k doc query value with
     | e ->
@@ -492,7 +553,7 @@ let explain_cmd =
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Show the most likely worlds in which VALUE is (and is not) an answer of QUERY.")
-    Term.(const run $ path $ query $ value $ k)
+    Term.(const run $ path $ query $ value $ k $ telemetry_term)
 
 (* ---- validate / check ------------------------------------------------------------- *)
 
@@ -538,7 +599,8 @@ let render_diags format diags =
             (Diag.severity_to_string w))
 
 let validate_cmd =
-  let run path dtd format =
+  let run path dtd format tele =
+    with_telemetry tele @@ fun () ->
     let dtd_decl = or_die (load_dtd dtd) in
     let diags, doc =
       match load_doc path with
@@ -560,11 +622,11 @@ let validate_cmd =
          "Check probabilistic structure (and optionally a DTD in every world). All \
           findings are reported, not just the first; the exit code is the worst \
           severity (0 ok/info, 1 warning, 2 error).")
-    Term.(const run $ path $ dtd_arg $ format_arg)
+    Term.(const run $ path $ dtd_arg $ format_arg $ telemetry_term)
 
 let check_cmd =
-  let run path queries dtd format trace =
-    with_telemetry trace @@ fun () ->
+  let run path queries dtd format tele =
+    with_telemetry tele @@ fun () ->
     if path = None && queries = [] then begin
       Fmt.epr "imprecise: nothing to check: give a DOC.xml and/or --query@.";
       exit 1
@@ -607,13 +669,13 @@ let check_cmd =
          "Static analysis: lint a probabilistic document and/or analyse queries \
           against its path summary, without enumerating any worlds. Reports stable \
           diagnostic codes (doc/analysis.md); the exit code is the worst severity.")
-    Term.(const run $ path $ queries $ dtd_arg $ format_arg $ trace_arg)
+    Term.(const run $ path $ queries $ dtd_arg $ format_arg $ telemetry_term)
 
 (* ---- doctor ------------------------------------------------------------------------ *)
 
 let doctor_cmd =
-  let run dir strict repair retries trace =
-    with_telemetry trace @@ fun () ->
+  let run dir strict repair retries tele =
+    with_telemetry tele @@ fun () ->
     let mode = if strict then Store.Strict else Store.Salvage in
     let retry =
       if retries <= 1 then None
@@ -678,13 +740,13 @@ let doctor_cmd =
           manifest and print a per-document recovery report. Exits 0 only if the \
           manifest is present and verified and every document was recovered (or \
           $(b,--repair) restored that state).")
-    Term.(const run $ dir $ strict $ repair $ retries $ trace_arg)
+    Term.(const run $ dir $ strict $ repair $ retries $ telemetry_term)
 
 (* ---- demo -------------------------------------------------------------------------- *)
 
 let demo_cmd =
-  let run trace =
-    with_telemetry trace @@ fun () ->
+  let run tele =
+    with_telemetry tele @@ fun () ->
     Fmt.pr "Integrating the two Figure-2 address books under 'person: nm?, tel?':@.";
     let doc =
       Result.get_ok
@@ -704,7 +766,225 @@ let demo_cmd =
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Run the paper's Figure-2 example end to end.")
-    Term.(const run $ trace_arg)
+    Term.(const run $ telemetry_term)
+
+(* ---- report ------------------------------------------------------------------------ *)
+
+(* Offline aggregation of a JSONL event log written by [--events-out].
+   An "op completion" is any event carrying a [dur_ms] field, except the
+   [slow_op] markers (those duplicate an op the recorder already emitted,
+   so counting them would double-book the latency). *)
+let report_cmd =
+  let fstr name ev =
+    match Obs.Event.field name ev with Some (Obs.Json.String s) -> Some s | _ -> None
+  in
+  let ffloat name ev =
+    match Obs.Event.field name ev with
+    | Some (Obs.Json.Float f) -> Some f
+    | Some (Obs.Json.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  let fbool name ev =
+    match Obs.Event.field name ev with Some (Obs.Json.Bool b) -> Some b | _ -> None
+  in
+  let bump tbl key =
+    Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+  in
+  let run file top format =
+    let ic =
+      try open_in file
+      with Sys_error msg -> die "cannot open event log: %s" msg
+    in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    (* per-op latency aggregates, keyed by event (= op) name *)
+    let lat : (string, Obs.Quantile.t * float ref * int ref) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let total_events = ref 0 and ops = ref 0 and errors = ref 0 in
+    let degrades = Hashtbl.create 8 (* rung -> count *) in
+    let trips = Hashtbl.create 8 (* reason -> count *) in
+    let retries = ref 0 and giveups = ref 0 and slow_marks = ref 0 in
+    let caches = Hashtbl.create 8 (* event name -> (hits, lookups) *) in
+    (* slowest ops, descending by dur_ms, bounded to [top] *)
+    let slowest = ref [] in
+    let note_slow dur ev =
+      slowest :=
+        List.filteri
+          (fun i _ -> i < top)
+          (List.merge (fun (a, _) (b, _) -> compare b a) [ (dur, ev) ] !slowest)
+    in
+    let line_no = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         incr line_no;
+         if String.trim line <> "" then begin
+           let ev =
+             match Obs.Json.parse line with
+             | Error msg -> die "%s:%d: %s" file !line_no msg
+             | Ok json -> (
+                 match Obs.Event.of_json json with
+                 | Error msg -> die "%s:%d: %s" file !line_no msg
+                 | Ok ev -> ev)
+           in
+           incr total_events;
+           (match ev.Obs.Event.name with
+           | "degrade" ->
+               bump degrades (Option.value ~default:"?" (fstr "rung" ev))
+           | "budget.trip" ->
+               bump trips (Option.value ~default:"?" (fstr "reason" ev))
+           | "retry" -> incr retries
+           | "retry.giveup" -> incr giveups
+           | "slow_op" -> incr slow_marks
+           | _ -> ());
+           (match fbool "hit" ev with
+           | Some hit ->
+               let h, n =
+                 Option.value ~default:(0, 0) (Hashtbl.find_opt caches ev.Obs.Event.name)
+               in
+               Hashtbl.replace caches ev.Obs.Event.name
+                 ((h + if hit then 1 else 0), n + 1)
+           | None -> ());
+           match ffloat "dur_ms" ev with
+           | Some dur when ev.Obs.Event.name <> "slow_op" ->
+               incr ops;
+               let q, mx, errs =
+                 match Hashtbl.find_opt lat ev.Obs.Event.name with
+                 | Some entry -> entry
+                 | None ->
+                     let entry = (Obs.Quantile.create (), ref 0., ref 0) in
+                     Hashtbl.add lat ev.Obs.Event.name entry;
+                     entry
+               in
+               Obs.Quantile.add q dur;
+               if dur > !mx then mx := dur;
+               (match fstr "outcome" ev with
+               | Some o when String.length o >= 5 && String.sub o 0 5 = "error" ->
+                   incr errs;
+                   incr errors
+               | _ -> ());
+               note_slow dur ev
+           | _ -> ()
+         end
+       done
+     with End_of_file -> ());
+    if !total_events = 0 then die "%s: no events (is this an --events-out log?)" file;
+    let by_name tbl = List.sort compare (Hashtbl.fold (fun k v l -> (k, v) :: l) tbl []) in
+    let ops_rows =
+      List.map
+        (fun (name, (q, mx, errs)) ->
+          (name, Obs.Quantile.count q, Obs.Quantile.estimate q 0.5,
+           Obs.Quantile.estimate q 0.9, Obs.Quantile.estimate q 0.99, !mx, !errs))
+        (by_name lat)
+    in
+    match format with
+    | `Json ->
+        let obj =
+          Obs.Json.Obj
+            [
+              ("events", Obs.Json.Int !total_events);
+              ("ops", Obs.Json.Int !ops);
+              ("errors", Obs.Json.Int !errors);
+              ( "latency_ms",
+                Obs.Json.Obj
+                  (List.map
+                     (fun (name, n, p50, p90, p99, mx, errs) ->
+                       ( name,
+                         Obs.Json.Obj
+                           [
+                             ("n", Obs.Json.Int n); ("p50", Obs.Json.Float p50);
+                             ("p90", Obs.Json.Float p90); ("p99", Obs.Json.Float p99);
+                             ("max", Obs.Json.Float mx); ("errors", Obs.Json.Int errs);
+                           ] ))
+                     ops_rows) );
+              ( "degradations",
+                Obs.Json.Obj
+                  (List.map (fun (r, n) -> (r, Obs.Json.Int n)) (by_name degrades)) );
+              ( "budget_trips",
+                Obs.Json.Obj
+                  (List.map (fun (r, n) -> (r, Obs.Json.Int n)) (by_name trips)) );
+              ("retries", Obs.Json.Int !retries);
+              ("retry_giveups", Obs.Json.Int !giveups);
+              ("slow_ops", Obs.Json.Int !slow_marks);
+              ( "caches",
+                Obs.Json.Obj
+                  (List.map
+                     (fun (name, (h, n)) ->
+                       ( name,
+                         Obs.Json.Obj
+                           [ ("hits", Obs.Json.Int h); ("lookups", Obs.Json.Int n) ] ))
+                     (by_name caches)) );
+              ( "slowest",
+                Obs.Json.List
+                  (List.map
+                     (fun (dur, ev) ->
+                       Obs.Json.Obj
+                         [
+                           ("op", Obs.Json.String ev.Obs.Event.name);
+                           ("dur_ms", Obs.Json.Float dur);
+                           ("trace", Obs.Json.Int ev.Obs.Event.trace_id);
+                           ( "detail",
+                             Obs.Json.String (Option.value ~default:"" (fstr "detail" ev))
+                           );
+                         ])
+                     !slowest) );
+            ]
+        in
+        print_endline (Obs.Json.to_string ~indent:2 obj)
+    | `Text ->
+        Fmt.pr "%d event(s), %d op completion(s), %d error(s)@.@." !total_events !ops
+          !errors;
+        if ops_rows <> [] then begin
+          Fmt.pr "latency (ms)          %8s %9s %9s %9s %9s %6s@." "n" "p50" "p90" "p99"
+            "max" "err";
+          List.iter
+            (fun (name, n, p50, p90, p99, mx, errs) ->
+              Fmt.pr "  %-19s %8d %9.3f %9.3f %9.3f %9.3f %6d@." name n p50 p90 p99 mx
+                errs)
+            ops_rows;
+          Fmt.pr "@."
+        end;
+        let section title rows pp =
+          if rows <> [] then begin
+            Fmt.pr "%s@." title;
+            List.iter pp rows;
+            Fmt.pr "@."
+          end
+        in
+        section "degradations (by rung degraded from)" (by_name degrades)
+          (fun (r, n) -> Fmt.pr "  %-19s %8d@." r n);
+        section "budget trips (by reason)" (by_name trips) (fun (r, n) ->
+            Fmt.pr "  %-19s %8d@." r n);
+        if !retries > 0 || !giveups > 0 then
+          Fmt.pr "retries: %d (gave up %d time(s))@.@." !retries !giveups;
+        section "cache effectiveness" (by_name caches) (fun (name, (h, n)) ->
+            Fmt.pr "  %-19s %8d/%d hits (%.0f%%)@." name h n
+              (if n = 0 then 0. else 100. *. float_of_int h /. float_of_int n));
+        section
+          (Fmt.str "slowest ops (top %d)" top)
+          !slowest
+          (fun (dur, ev) ->
+            Fmt.pr "  %9.3f ms  %-19s trace=%d  %s@." dur ev.Obs.Event.name
+              ev.Obs.Event.trace_id
+              (Option.value ~default:"" (fstr "detail" ev)))
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EVENTS.jsonl" ~doc:"JSONL event log written by $(b,--events-out).")
+  in
+  let top =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"N" ~doc:"How many of the slowest ops to list.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Aggregate a flight-recorder event log: per-op latency quantiles, degradation \
+          and budget-trip rates, cache effectiveness, and the slowest operations.")
+    Term.(const run $ file $ top $ format_arg)
 
 let main =
   Cmd.group
@@ -712,7 +992,11 @@ let main =
        ~doc:"Good-is-good-enough probabilistic XML data integration (IMPrECISE, ICDE 2008).")
     [
       integrate_cmd; stats_cmd; query_cmd; worlds_cmd; explain_cmd; feedback_cmd;
-      validate_cmd; check_cmd; rules_cmd; doctor_cmd; demo_cmd;
+      validate_cmd; check_cmd; rules_cmd; doctor_cmd; demo_cmd; report_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* wall-clock for event timestamps and recorder durations; the obs
+     library itself is stdlib-only and defaults to CPU time *)
+  Obs.Clock.set Unix.gettimeofday;
+  exit (Cmd.eval main)

@@ -456,14 +456,34 @@ let run_catching f =
   | O.Conflict msg -> Error (Oracle_conflict msg)
   | Budget.Exceeded reason -> Error (Budget_exceeded (Budget.reason_to_string reason))
 
+(* [run_catching] turns failures into [Error], so a flight record would
+   read "ok" for a failed integration; [recorded] re-surfaces the error as
+   the record's outcome and notes the trace tallies on success. The span
+   wraps the recorder so the finished record carries the op's own
+   trace/span ids (the recorder reads them at finish time). *)
+let recorded ~op f =
+  Obs.Trace.with_span op @@ fun () ->
+  Obs.Recorder.run ~op @@ fun () ->
+  let result = f () in
+  (match result with
+  | Error e -> Obs.Recorder.outcome (Fmt.str "error:%a" pp_error e)
+  | Ok _ -> ());
+  result
+
+let note_trace trace =
+  Obs.Recorder.note "pairs_compared" (Obs.Json.Int trace.pairs_compared);
+  Obs.Recorder.note "clusters" (Obs.Json.Int trace.cluster_count)
+
 let integrate_traced cfg a b =
   Obs.Metrics.incr c_runs;
   if cfg.jobs > 1 then Obs.Metrics.incr c_par_runs;
   let trace = new_trace () in
+  recorded ~op:"integrate" @@ fun () ->
   run_catching (fun () ->
-      let doc = Obs.Trace.with_span "integrate" (fun () -> Materializer.run cfg trace a b) in
+      let doc = Materializer.run cfg trace a b in
       Obs.Metrics.observe h_nodes (float_of_int (P.node_count doc));
       Obs.Metrics.observe h_worlds (P.world_count doc);
+      note_trace trace;
       (doc, trace))
 
 let integrate cfg a b = Result.map fst (integrate_traced cfg a b)
@@ -471,10 +491,12 @@ let integrate cfg a b = Result.map fst (integrate_traced cfg a b)
 let stats cfg a b =
   Obs.Metrics.incr c_runs;
   let trace = new_trace () in
+  recorded ~op:"integrate.stats" @@ fun () ->
   run_catching (fun () ->
-      let m = Obs.Trace.with_span "integrate.stats" (fun () -> Counter.run cfg trace a b) in
+      let m = Counter.run cfg trace a b in
       Obs.Metrics.observe h_nodes m.Count_rep.nodes;
       Obs.Metrics.observe h_worlds m.Count_rep.worlds;
+      note_trace trace;
       { nodes = m.Count_rep.nodes; worlds = m.Count_rep.worlds; trace })
 
 let integrate_incremental cfg ?(world_limit = 1000.) doc source =
@@ -483,8 +505,8 @@ let integrate_incremental cfg ?(world_limit = 1000.) doc source =
   else begin
     Obs.Metrics.incr c_runs;
     let trace = new_trace () in
+    recorded ~op:"integrate.incremental" @@ fun () ->
     run_catching (fun () ->
-        Obs.Trace.with_span "integrate.incremental" @@ fun () ->
         let choices =
           List.concat_map
             (fun (p, forest) ->

@@ -139,16 +139,44 @@ module Json = struct
                  | 'b' -> Buffer.add_char buf '\b'
                  | 'f' -> Buffer.add_char buf '\012'
                  | 'u' ->
-                     if !pos + 4 >= n then fail "truncated \\u escape";
-                     let hex = String.sub s (!pos + 1) 4 in
-                     let code =
-                       try int_of_string ("0x" ^ hex)
-                       with Failure _ -> fail "bad \\u escape"
+                     (* [read_hex] consumes the four digits after the 'u' at
+                        [!pos], leaving [!pos] on the last digit (the shared
+                        [incr pos] below then steps past it). *)
+                     let read_hex () =
+                       if !pos + 4 >= n then fail "truncated \\u escape";
+                       let hex = String.sub s (!pos + 1) 4 in
+                       String.iter
+                         (fun c ->
+                           match c with
+                           | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+                           | _ -> fail (Printf.sprintf "bad \\u escape \\u%s" hex))
+                         hex;
+                       pos := !pos + 4;
+                       int_of_string ("0x" ^ hex)
                      in
-                     (* decode only the ASCII range we ever emit *)
-                     if code < 0x80 then Buffer.add_char buf (Char.chr code)
-                     else Buffer.add_string buf (Printf.sprintf "\\u%s" hex);
-                     pos := !pos + 4
+                     let code = read_hex () in
+                     let scalar =
+                       if code >= 0xD800 && code <= 0xDBFF then
+                         (* a high surrogate is only meaningful with the low
+                            half immediately behind it *)
+                         if !pos + 2 < n && s.[!pos + 1] = '\\' && s.[!pos + 2] = 'u'
+                         then begin
+                           pos := !pos + 2;
+                           let low = read_hex () in
+                           if low < 0xDC00 || low > 0xDFFF then
+                             fail
+                               (Printf.sprintf
+                                  "high surrogate \\u%04x followed by \\u%04x, \
+                                   which is not a low surrogate"
+                                  code low);
+                           0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+                         end
+                         else fail (Printf.sprintf "lone high surrogate \\u%04x" code)
+                       else if code >= 0xDC00 && code <= 0xDFFF then
+                         fail (Printf.sprintf "lone low surrogate \\u%04x" code)
+                       else code
+                     in
+                     Buffer.add_utf_8_uchar buf (Uchar.of_int scalar)
                  | c -> fail (Printf.sprintf "bad escape %C" c));
               incr pos;
               go ()
@@ -248,6 +276,80 @@ module Json = struct
     | _ -> None
 end
 
+module Clock = struct
+  (* The process clock behind events and flight records. lib/obs cannot
+     depend on unix, so the default is [Sys.time] (CPU seconds); the CLI,
+     bench, and tests install [Unix.gettimeofday] (or a fake) at startup.
+     The slot is atomic so a read from a spawned domain is well-defined. *)
+  let state : (unit -> float) Atomic.t = Atomic.make Sys.time
+  let set now = Atomic.set state now
+  let now () = (Atomic.get state) ()
+end
+
+module Quantile = struct
+  (* Streaming quantile estimation over a fixed log-bucketed histogram
+     (DDSketch-style). A positive value lands in bucket
+     floor(ln v / ln gamma); reporting the bucket's geometric midpoint
+     bounds the *relative* error of any quantile by sqrt(gamma) - 1,
+     about 5.1% with alpha = 0.05. Buckets cover gamma^-128 .. gamma^192
+     (roughly 2.7e-6 .. 2.2e8 in whatever unit is observed — picoseconds
+     to days when the unit is milliseconds); values outside clamp to the
+     edge buckets, zero and negative values count in a dedicated zero
+     bucket. Memory is one fixed int array; no allocation per [add].
+
+     Not internally synchronised: the one inside a [Metrics] histogram is
+     guarded by that histogram's mutex, standalone uses (the [report]
+     aggregator) are single-threaded. *)
+  let alpha = 0.05
+  let gamma = (1. +. alpha) /. (1. -. alpha)
+  let log_gamma = Float.log gamma
+  let offset = 128
+  let nbuckets = 320
+
+  type t = { mutable total : int; mutable zeros : int; counts : int array }
+
+  let create () = { total = 0; zeros = 0; counts = Array.make nbuckets 0 }
+
+  let bucket v =
+    let i = offset + int_of_float (Float.floor (Float.log v /. log_gamma)) in
+    if i < 0 then 0 else if i >= nbuckets then nbuckets - 1 else i
+
+  let add t v =
+    t.total <- t.total + 1;
+    if v <= 0. then t.zeros <- t.zeros + 1
+    else begin
+      let i = bucket v in
+      t.counts.(i) <- t.counts.(i) + 1
+    end
+
+  let clear t =
+    t.total <- 0;
+    t.zeros <- 0;
+    Array.fill t.counts 0 nbuckets 0
+
+  let count t = t.total
+
+  let estimate t q =
+    if t.total = 0 then 0.
+    else begin
+      let q = Float.max 0. (Float.min 1. q) in
+      let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int t.total))) in
+      if rank <= t.zeros then 0.
+      else begin
+        let seen = ref t.zeros in
+        let found = ref (-1) in
+        let i = ref 0 in
+        while !found < 0 && !i < nbuckets do
+          seen := !seen + t.counts.(!i);
+          if !seen >= rank then found := !i;
+          incr i
+        done;
+        if !found < 0 then 0. (* unreachable: total = zeros + sum counts *)
+        else Float.exp ((float_of_int (!found - offset) +. 0.5) *. log_gamma)
+      end
+    end
+end
+
 module Metrics = struct
   (* Domain-safety: instrumented code runs inside spawned domains (parallel
      integration and query enumeration), so counters are [Atomic.t] — an
@@ -263,6 +365,7 @@ module Metrics = struct
     mutable sum : float;
     mutable mn : float;
     mutable mx : float;
+    sketch : Quantile.t;
   }
 
   type registry = {
@@ -306,6 +409,7 @@ module Metrics = struct
             sum = 0.;
             mn = Float.infinity;
             mx = Float.neg_infinity;
+            sketch = Quantile.create ();
           }
         in
         Hashtbl.add registry.histograms name h;
@@ -321,13 +425,30 @@ module Metrics = struct
     h.obs <- h.obs + 1;
     h.sum <- h.sum +. v;
     if v < h.mn then h.mn <- v;
-    if v > h.mx then h.mx <- v
+    if v > h.mx then h.mx <- v;
+    Quantile.add h.sketch v
 
-  type hstats = { observations : int; sum : float; min : float; max : float }
+  type hstats = {
+    observations : int;
+    sum : float;
+    min : float;
+    max : float;
+    p50 : float;
+    p90 : float;
+    p99 : float;
+  }
 
   let stats h =
     Mutex.protect h.hlock @@ fun () ->
-    { observations = h.obs; sum = h.sum; min = h.mn; max = h.mx }
+    {
+      observations = h.obs;
+      sum = h.sum;
+      min = h.mn;
+      max = h.mx;
+      p50 = Quantile.estimate h.sketch 0.50;
+      p90 = Quantile.estimate h.sketch 0.90;
+      p99 = Quantile.estimate h.sketch 0.99;
+    }
 
   let mean s = if s.observations = 0 then 0. else s.sum /. float_of_int s.observations
 
@@ -366,23 +487,30 @@ module Metrics = struct
         h.obs <- 0;
         h.sum <- 0.;
         h.mn <- Float.infinity;
-        h.mx <- Float.neg_infinity)
+        h.mx <- Float.neg_infinity;
+        Quantile.clear h.sketch)
       registry.histograms
+
+  (* Renderers sort by metric name: snapshots keep registration order (the
+     catalogue), but rendered output must diff stably across runs whose
+     modules loaded in a different order. *)
+  let by_name l = List.sort (fun (a, _) (b, _) -> String.compare a b) l
 
   let to_text snap =
     let buf = Buffer.create 256 in
     List.iter
       (fun (name, n) -> Buffer.add_string buf (Printf.sprintf "%-40s %d\n" name n))
-      snap.counters;
+      (by_name snap.counters);
     List.iter
       (fun (name, s) ->
         if s.observations = 0 then
           Buffer.add_string buf (Printf.sprintf "%-40s (no observations)\n" name)
         else
           Buffer.add_string buf
-            (Printf.sprintf "%-40s n=%d sum=%g min=%g mean=%g max=%g\n" name
-               s.observations s.sum s.min (mean s) s.max))
-      snap.histograms;
+            (Printf.sprintf
+               "%-40s n=%d sum=%g min=%g mean=%g p50=%g p90=%g p99=%g max=%g\n" name
+               s.observations s.sum s.min (mean s) s.p50 s.p90 s.p99 s.max))
+      (by_name snap.histograms);
     Buffer.contents buf
 
   let json_of_hstats s =
@@ -394,15 +522,21 @@ module Metrics = struct
           ("sum", Json.Float s.sum);
           ("min", Json.Float s.min);
           ("mean", Json.Float (mean s));
+          ("p50", Json.Float s.p50);
+          ("p90", Json.Float s.p90);
+          ("p99", Json.Float s.p99);
           ("max", Json.Float s.max);
         ]
 
   let to_json snap =
     Json.Obj
       [
-        ("counters", Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) snap.counters));
+        ( "counters",
+          Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) (by_name snap.counters)) );
         ( "histograms",
-          Json.Obj (List.map (fun (k, s) -> (k, json_of_hstats s)) snap.histograms) );
+          Json.Obj
+            (List.map (fun (k, s) -> (k, json_of_hstats s)) (by_name snap.histograms))
+        );
       ]
 end
 
@@ -413,7 +547,17 @@ module Trace = struct
 
   type sink = span -> unit
 
-  type frame = { fname : string; fstart : float; mutable rev_children : span list }
+  type frame = {
+    fname : string;
+    fstart : float;
+    fid : int;
+    mutable rev_children : span list;
+  }
+
+  (* Frame ids are minted process-wide so (root id, open-frame id) works as
+     a (trace id, span id) pair for correlating events with spans; 0 is
+     reserved for "no tracing active". *)
+  let next_id = Atomic.make 1
 
   type state = {
     mutable sink : sink option;
@@ -453,7 +597,14 @@ module Trace = struct
     | None -> f () (* the whole cost of disabled tracing: one load + branch *)
     | Some _ ->
         let stack = Domain.DLS.get stack_key in
-        let frame = { fname = name; fstart = st.now (); rev_children = [] } in
+        let frame =
+          {
+            fname = name;
+            fstart = st.now ();
+            fid = Atomic.fetch_and_add next_id 1;
+            rev_children = [];
+          }
+        in
         stack := frame :: !stack;
         let finish () =
           let stop = st.now () in
@@ -482,6 +633,21 @@ module Trace = struct
               | [], None -> ())
         in
         Fun.protect ~finally:finish f
+
+  (* (trace id, span id) of this domain's innermost open span: the trace id
+     is the root frame's id, the span id the innermost frame's. (0, 0) when
+     no span is open on this domain (or tracing is off, since with_span
+     opens no frame then). *)
+  let ids () =
+    match !(Domain.DLS.get stack_key) with
+    | [] -> (0, 0)
+    | top :: _ as stack ->
+        let rec root = function
+          | [ f ] -> f
+          | _ :: tl -> root tl
+          | [] -> top
+        in
+        ((root stack).fid, top.fid)
 
   let collector () =
     (* roots only ever arrive under [sink_lock]; the read side takes the
@@ -520,5 +686,371 @@ module Trace = struct
         ("start_s", Json.Float span.start);
         ("dur_s", Json.Float (duration span));
         ("children", Json.List (List.map to_json span.children));
+      ]
+
+  (* Chrome trace-event JSON ("complete" events, ph "X") loadable by
+     chrome://tracing and Perfetto. Timestamps are microseconds relative to
+     the earliest root so the viewer opens at t=0; each root span (one per
+     collected tree, i.e. per domain that closed an outermost span) gets its
+     own tid row, and the viewer reconstructs nesting from ts/dur. *)
+  let to_chrome roots =
+    let t0 =
+      List.fold_left (fun acc s -> Float.min acc s.start) Float.infinity roots
+    in
+    let t0 = if t0 = Float.infinity then 0. else t0 in
+    let rec events tid acc span =
+      let ev =
+        Json.Obj
+          [
+            ("name", Json.String span.name);
+            ("cat", Json.String "imprecise");
+            ("ph", Json.String "X");
+            ("ts", Json.Float ((span.start -. t0) *. 1e6));
+            ("dur", Json.Float (duration span *. 1e6));
+            ("pid", Json.Int 1);
+            ("tid", Json.Int tid);
+          ]
+      in
+      List.fold_left (events tid) (ev :: acc) span.children
+    in
+    let _, rev_events =
+      List.fold_left
+        (fun (tid, acc) root -> (tid + 1, events tid acc root))
+        (1, []) roots
+    in
+    Json.Obj
+      [
+        ("traceEvents", Json.List (List.rev rev_events));
+        ("displayTimeUnit", Json.String "ms");
+      ]
+end
+
+module Event = struct
+  (* The structured half of the flight recorder: timestamped, named events
+     with JSON fields, kept in a lock-free bounded ring (last [capacity]
+     survive) and optionally streamed to a JSONL sink. Emission is OFF by
+     default — [emit] with no ring enabled is one atomic load and a branch,
+     so instrumented hot paths cost ~nothing until someone is recording. *)
+  type t = {
+    ts : float;
+    name : string;
+    trace_id : int;
+    span_id : int;
+    fields : (string * Json.t) list;
+  }
+
+  let c_emitted = Metrics.counter "obs.events_emitted"
+  let c_dropped = Metrics.counter "obs.events_dropped"
+
+  type ring = {
+    slots : t option Atomic.t array;
+    seq : int Atomic.t; (* events ever emitted into this ring *)
+    sink : (t -> unit) option;
+  }
+
+  let state : ring option Atomic.t = Atomic.make None
+  let sink_lock = Mutex.create ()
+
+  let enabled () = Atomic.get state <> None
+
+  let enable ?(capacity = 4096) ?sink () =
+    if capacity <= 0 then invalid_arg "Obs.Event.enable: capacity must be positive";
+    Atomic.set state
+      (Some
+         {
+           slots = Array.init capacity (fun _ -> Atomic.make None);
+           seq = Atomic.make 0;
+           sink;
+         })
+
+  let disable () = Atomic.set state None
+
+  (* Lock-free: a slot index is claimed with one fetch-and-add on [seq],
+     then the slot pointer is swapped to the new (immutable) record — a
+     concurrent reader sees either the old record or the new one, never a
+     torn mix. An emission beyond capacity overwrites the oldest slot, so
+     drops are exactly max(0, emitted - capacity) and [c_dropped] counts
+     them one-for-one. *)
+  let emit ?(fields = []) name =
+    match Atomic.get state with
+    | None -> ()
+    | Some r ->
+        let trace_id, span_id = Trace.ids () in
+        let ev = { ts = Clock.now (); name; trace_id; span_id; fields } in
+        let i = Atomic.fetch_and_add r.seq 1 in
+        let cap = Array.length r.slots in
+        Atomic.set r.slots.(i mod cap) (Some ev);
+        Metrics.incr c_emitted;
+        if i >= cap then Metrics.incr c_dropped;
+        (match r.sink with
+        | None -> ()
+        | Some f -> Mutex.protect sink_lock (fun () -> f ev))
+
+  let emitted () =
+    match Atomic.get state with None -> 0 | Some r -> Atomic.get r.seq
+
+  (* Oldest-first surviving contents. Quiescent reads (after emitters have
+     joined) see exactly the last min(emitted, capacity) events; a read
+     racing emitters may see a slot's previous occupant instead — each slot
+     is still a whole record. *)
+  let recent () =
+    match Atomic.get state with
+    | None -> []
+    | Some r ->
+        let cap = Array.length r.slots in
+        let n = Atomic.get r.seq in
+        let lo = if n > cap then n - cap else 0 in
+        List.filter_map
+          (fun k -> Atomic.get r.slots.((lo + k) mod cap))
+          (List.init (n - lo) Fun.id)
+
+  let to_json ev =
+    Json.Obj
+      [
+        ("ts", Json.Float ev.ts);
+        ("name", Json.String ev.name);
+        ("trace", Json.Int ev.trace_id);
+        ("span", Json.Int ev.span_id);
+        ("fields", Json.Obj ev.fields);
+      ]
+
+  let of_json j =
+    match j with
+    | Json.Obj _ -> (
+        let num = function
+          | Some (Json.Float f) -> Some f
+          | Some (Json.Int i) -> Some (float_of_int i)
+          | _ -> None
+        in
+        let int = function Some (Json.Int i) -> i | _ -> 0 in
+        match (num (Json.member "ts" j), Json.member "name" j) with
+        | Some ts, Some (Json.String name) ->
+            Ok
+              {
+                ts;
+                name;
+                trace_id = int (Json.member "trace" j);
+                span_id = int (Json.member "span" j);
+                fields =
+                  (match Json.member "fields" j with
+                  | Some (Json.Obj kvs) -> kvs
+                  | _ -> []);
+              }
+        | None, _ -> Error "event is missing a numeric \"ts\""
+        | _, _ -> Error "event is missing a string \"name\"")
+    | _ -> Error "event is not a JSON object"
+
+  let jsonl_sink oc ev =
+    output_string oc (Json.to_string (to_json ev));
+    output_char oc '\n'
+
+  let field name ev = List.assoc_opt name ev.fields
+end
+
+module Recorder = struct
+  (* Per-operation flight records: what ran, for how long, and how it came
+     out. [run] brackets an operation; the body (and anything it calls on
+     the same domain) annotates the in-flight record with [note]/[outcome].
+     Completion feeds the op's latency histogram ("<subsystem>.latency",
+     milliseconds), lands the record in a bounded ring, and — when events
+     are enabled — emits an event named after the op carrying dur_ms,
+     outcome, and the notes. Records over the slow threshold are force-kept
+     in a separate slowest-ops list so a burst of fast chatter cannot evict
+     the outliers an operator came to see. *)
+  type record = {
+    op : string;
+    detail : string;
+    started : float;
+    duration : float; (* seconds *)
+    outcome : string;
+    slow : bool;
+    trace_id : int;
+    span_id : int;
+    fields : (string * Json.t) list;
+  }
+
+  type inflight = {
+    iop : string;
+    idetail : string;
+    istart : float;
+    mutable rev_fields : (string * Json.t) list;
+    mutable ioutcome : string option;
+  }
+
+  (* in-flight stacks are domain-local, like Trace's span stacks *)
+  let inflight_key : inflight list ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref [])
+
+  let slow_keep = 16
+
+  type state = {
+    lock : Mutex.t;
+    mutable slots : record option array;
+    mutable next : int;
+    mutable slow_s : float;
+    mutable slowest : record list; (* duration-descending, <= slow_keep *)
+  }
+
+  let st =
+    {
+      lock = Mutex.create ();
+      slots = Array.make 256 None;
+      next = 0;
+      slow_s = 1.0;
+      slowest = [];
+    }
+
+  let c_ops = Metrics.counter "obs.ops_recorded"
+  let c_slow = Metrics.counter "obs.slow_ops"
+
+  (* Latency histograms are per subsystem (the op name up to the first
+     dot): pquery.rank -> pquery.latency, store.save -> store.latency.
+     The three core ones are registered eagerly so every snapshot carries
+     them even before the first operation. *)
+  let latency_hist op =
+    let prefix =
+      match String.index_opt op '.' with
+      | Some i -> String.sub op 0 i
+      | None -> op
+    in
+    Metrics.histogram (prefix ^ ".latency")
+
+  let _ = Metrics.histogram "pquery.latency"
+  let _ = Metrics.histogram "integrate.latency"
+  let _ = Metrics.histogram "store.latency"
+
+  let configure ?capacity ?slow_s () =
+    Mutex.protect st.lock @@ fun () ->
+    (match capacity with
+    | Some c when c > 0 ->
+        st.slots <- Array.make c None;
+        st.next <- 0
+    | Some _ -> invalid_arg "Obs.Recorder.configure: capacity must be positive"
+    | None -> ());
+    match slow_s with Some s -> st.slow_s <- s | None -> ()
+
+  let slow_threshold () = Mutex.protect st.lock (fun () -> st.slow_s)
+
+  let note key v =
+    match !(Domain.DLS.get inflight_key) with
+    | [] -> ()
+    | fr :: _ -> fr.rev_fields <- (key, v) :: fr.rev_fields
+
+  let outcome s =
+    match !(Domain.DLS.get inflight_key) with
+    | [] -> ()
+    | fr :: _ -> fr.ioutcome <- Some s
+
+  let keep r =
+    Mutex.protect st.lock @@ fun () ->
+    st.slots.(st.next mod Array.length st.slots) <- Some r;
+    st.next <- st.next + 1;
+    if r.slow then begin
+      let rec insert = function
+        | [] -> [ r ]
+        | x :: _ as l when r.duration >= x.duration -> r :: l
+        | x :: tl -> x :: insert tl
+      in
+      st.slowest <- List.filteri (fun i _ -> i < slow_keep) (insert st.slowest)
+    end
+
+  let run ~op ?(detail = "") f =
+    let stack = Domain.DLS.get inflight_key in
+    let fr =
+      {
+        iop = op;
+        idetail = detail;
+        istart = Clock.now ();
+        rev_fields = [];
+        ioutcome = None;
+      }
+    in
+    stack := fr :: !stack;
+    let finish default_outcome =
+      let stop = Clock.now () in
+      let rec pop = function
+        | g :: rest when g == fr -> rest
+        | g :: rest -> g :: pop rest
+        | [] -> []
+      in
+      stack := pop !stack;
+      let duration = stop -. fr.istart in
+      let outcome = Option.value ~default:default_outcome fr.ioutcome in
+      let trace_id, span_id = Trace.ids () in
+      Metrics.observe (latency_hist fr.iop) (duration *. 1000.);
+      Metrics.incr c_ops;
+      let slow = duration >= Mutex.protect st.lock (fun () -> st.slow_s) in
+      if slow then Metrics.incr c_slow;
+      let fields = List.rev fr.rev_fields in
+      let r =
+        {
+          op = fr.iop;
+          detail = fr.idetail;
+          started = fr.istart;
+          duration;
+          outcome;
+          slow;
+          trace_id;
+          span_id;
+          fields;
+        }
+      in
+      keep r;
+      if Event.enabled () then begin
+        let base =
+          ("dur_ms", Json.Float (duration *. 1000.))
+          :: ("outcome", Json.String outcome)
+          ::
+          (if fr.idetail = "" then [] else [ ("detail", Json.String fr.idetail) ])
+        in
+        Event.emit ~fields:(base @ fields) fr.iop;
+        if slow then
+          Event.emit
+            ~fields:
+              [
+                ("op", Json.String fr.iop);
+                ("dur_ms", Json.Float (duration *. 1000.));
+                ("outcome", Json.String outcome);
+              ]
+            "slow_op"
+      end
+    in
+    match f () with
+    | v ->
+        finish "ok";
+        v
+    | exception e ->
+        finish ("error:" ^ Printexc.to_string e);
+        raise e
+
+  (* newest first *)
+  let recent ?n () =
+    let all =
+      Mutex.protect st.lock @@ fun () ->
+      let cap = Array.length st.slots in
+      let total = st.next in
+      let lo = if total > cap then total - cap else 0 in
+      List.filter_map
+        (fun k -> st.slots.((total - 1 - k) mod cap))
+        (List.init (total - lo) Fun.id)
+    in
+    match n with
+    | None -> all
+    | Some n -> List.filteri (fun i _ -> i < n) all
+
+  let slowest () = Mutex.protect st.lock (fun () -> st.slowest)
+
+  let record_to_json r =
+    Json.Obj
+      [
+        ("op", Json.String r.op);
+        ("detail", Json.String r.detail);
+        ("started", Json.Float r.started);
+        ("dur_ms", Json.Float (r.duration *. 1000.));
+        ("outcome", Json.String r.outcome);
+        ("slow", Json.Bool r.slow);
+        ("trace", Json.Int r.trace_id);
+        ("span", Json.Int r.span_id);
+        ("fields", Json.Obj r.fields);
       ]
 end

@@ -1,21 +1,29 @@
 (** Telemetry for the whole stack.
 
-    Three small pieces, stdlib-only so any layer can link them:
+    Stdlib-only so any layer can link it:
 
     - {!Metrics}: named counters and histograms in a registry, with
       snapshot/reset and text/JSON rendering. Counters are always on —
       an increment is one atomic fetch-and-add, so the hot paths simply
       count unconditionally, and they count {e exactly} even from
-      parallel domains.
+      parallel domains. Histograms carry streaming p50/p90/p99 via
+      {!Quantile}.
     - {!Trace}: nested timing spans with an injectable clock and a
       pluggable sink. The default is {e no sink}: [with_span name f] is
       then a single load-and-branch around [f ()], so instrumented code
       costs ~nothing when tracing is off. Span stacks are domain-local.
-    - {!Json}: the minimal JSON both render to, including a parser so
-      snapshot files can be validated without external dependencies.
+      Completed trees export to Chrome trace-event JSON ({!Trace.to_chrome}).
+    - {!Event}: the flight recorder's structured event stream — named,
+      timestamped events in a lock-free bounded ring, optionally mirrored
+      to a JSONL sink. Off by default; emission is then one atomic load.
+    - {!Recorder}: per-operation flight records (op, detail, duration,
+      outcome, annotations) in a bounded ring with a slow-op threshold.
+    - {!Json}: the minimal JSON everything renders to, including a parser
+      so snapshot and event files can be validated without external
+      dependencies.
 
-    See doc/observability.md for the metric-name catalogue and the span
-    hierarchy the rest of the repo emits. *)
+    See doc/observability.md for the metric-name and event-name
+    catalogues and the span hierarchy the rest of the repo emits. *)
 
 module Json : sig
   type t =
@@ -32,12 +40,51 @@ module Json : sig
       [±1e999] (out-of-range numerals, as other JSON emitters do). *)
   val to_string : ?indent:int -> t -> string
 
-  (** [parse s] reads back what {!to_string} writes (standard JSON minus
-      non-ASCII [\u] escapes, which are kept verbatim). *)
+  (** [parse s] reads back what {!to_string} writes. [\uXXXX] escapes
+      decode to UTF-8, surrogate pairs included; a lone or misordered
+      surrogate half is a parse error naming the offending escape. *)
   val parse : string -> (t, string) result
 
   (** [member key v] is the field [key] of an [Obj], if both exist. *)
   val member : string -> t -> t option
+end
+
+module Clock : sig
+  (** The process clock behind {!Event} timestamps and {!Recorder}
+      durations. Defaults to [Sys.time] (CPU seconds — the only stdlib
+      clock); the CLI and bench install [Unix.gettimeofday] at startup,
+      tests may install a fake. Reads from spawned domains are
+      well-defined (the slot is atomic). *)
+
+  val set : (unit -> float) -> unit
+
+  val now : unit -> float
+end
+
+module Quantile : sig
+  (** Streaming quantile estimation over a fixed log-bucketed histogram
+      (DDSketch-style): constant memory, no allocation per [add], and any
+      quantile of the positive observations is reported with relative
+      error ≤ ~5% (bucket boundaries grow geometrically by
+      γ = 1.05/0.95; estimates are bucket geometric midpoints, so the
+      error bound is √γ − 1 ≈ 5.1%). Zero and negative observations
+      count in a dedicated zero bucket and report as [0.].
+
+      Not internally synchronised — the instance inside each
+      {!Metrics.histogram} is protected by that histogram's mutex. *)
+
+  type t
+
+  val create : unit -> t
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  (** [estimate t q] for [q] in [0,1]; [0.] when empty. *)
+  val estimate : t -> float -> float
+
+  val clear : t -> unit
 end
 
 module Metrics : sig
@@ -72,12 +119,22 @@ module Metrics : sig
       separate namespaces. *)
   val histogram : ?registry:registry -> string -> histogram
 
-  (** Guarded by a per-histogram mutex, so the (count, sum, min, max)
-      tuple stays internally consistent under parallel observation. *)
+  (** Guarded by a per-histogram mutex, so the (count, sum, min, max,
+      quantile sketch) state stays internally consistent under parallel
+      observation. *)
   val observe : histogram -> float -> unit
 
-  type hstats = { observations : int; sum : float; min : float; max : float }
-  (** [min]/[max] are [+∞]/[−∞] when [observations = 0]. *)
+  type hstats = {
+    observations : int;
+    sum : float;
+    min : float;
+    max : float;
+    p50 : float;
+    p90 : float;
+    p99 : float;
+  }
+  (** [min]/[max] are [+∞]/[−∞] when [observations = 0]. The quantiles
+      are {!Quantile} estimates (~5% relative error); [0.] when empty. *)
 
   val stats : histogram -> hstats
 
@@ -94,10 +151,12 @@ module Metrics : sig
       included: a registered name is part of the catalogue. *)
   val snapshot : ?registry:registry -> unit -> snapshot
 
-  (** Zero every value; registrations (and the handles already handed
-      out) stay valid. *)
+  (** Zero every value (quantile sketches included); registrations (and
+      the handles already handed out) stay valid. *)
   val reset : ?registry:registry -> unit -> unit
 
+  (** Rendered output is sorted by metric name — deterministic across
+      runs regardless of module-load (registration) order. *)
   val to_text : snapshot -> string
 
   val to_json : snapshot -> Json.t
@@ -138,6 +197,14 @@ module Trace : sig
       mutex, so {!collector} is safe to use from parallel code. *)
   val with_span : string -> (unit -> 'a) -> 'a
 
+  (** [ids ()] is [(trace_id, span_id)] of this domain's innermost open
+      span: the trace id names the root span of the open tree, the span
+      id the innermost frame. [(0, 0)] when no span is open on this
+      domain — in particular whenever tracing is off. {!Event.emit}
+      stamps these onto every event so a JSONL stream joins against the
+      exported trace. *)
+  val ids : unit -> int * int
+
   (** [collector ()] is a sink that accumulates root spans, and the
       function that returns them in completion order. *)
   val collector : unit -> sink * (unit -> span list)
@@ -148,5 +215,124 @@ module Trace : sig
 
   val to_json : span -> Json.t
 
+  (** [to_chrome roots] is the whole collected forest as Chrome
+      trace-event JSON (["traceEvents"] of complete — [ph "X"] — events),
+      loadable by Perfetto / [chrome://tracing]. Timestamps are
+      microseconds relative to the earliest root; each root tree gets its
+      own [tid] row, so spans from spawned domains appear as parallel
+      tracks. *)
+  val to_chrome : span list -> Json.t
+
   val human_duration : float -> string
+end
+
+module Event : sig
+  (** Structured flight-recorder events. Emission is {e off} by default
+      and [emit] is then one atomic load and a branch, so call sites can
+      stay unconditional. [enable] installs a lock-free bounded ring
+      keeping the last [capacity] events (and optionally mirrors every
+      event to a sink, e.g. {!jsonl_sink}); overwritten events are
+      counted {e exactly} by the [obs.events_dropped] counter
+      ([obs.events_emitted] counts all of them). Concurrent emitters
+      never tear a record: a slot swap is one atomic store of an
+      immutable record. *)
+
+  type t = {
+    ts : float;  (** {!Clock.now} at emission *)
+    name : string;  (** e.g. ["budget.trip"]; doc/observability.md has the catalogue *)
+    trace_id : int;  (** {!Trace.ids} fst; 0 when no span was open *)
+    span_id : int;  (** {!Trace.ids} snd; 0 when no span was open *)
+    fields : (string * Json.t) list;
+  }
+
+  val enabled : unit -> bool
+
+  (** [enable ?capacity ?sink ()] starts recording into a fresh ring
+      (default capacity 4096). Raises [Invalid_argument] on
+      non-positive capacity. *)
+  val enable : ?capacity:int -> ?sink:(t -> unit) -> unit -> unit
+
+  val disable : unit -> unit
+
+  (** [emit ?fields name] records one event (no-op when disabled). The
+      sink, if any, runs under an internal mutex. *)
+  val emit : ?fields:(string * Json.t) list -> string -> unit
+
+  (** Events emitted into the current ring since [enable] (0 when
+      disabled) — drops included. *)
+  val emitted : unit -> int
+
+  (** Surviving events, oldest first: exactly the last
+      [min (emitted ()) capacity] events once emitters are quiescent. *)
+  val recent : unit -> t list
+
+  val to_json : t -> Json.t
+
+  (** Inverse of {!to_json} (for the [report] aggregator): requires a
+      numeric ["ts"] and string ["name"]; ids and fields default. *)
+  val of_json : Json.t -> (t, string) result
+
+  (** [jsonl_sink oc] writes one compact JSON object per line. The
+      caller owns (flushes/closes) the channel. *)
+  val jsonl_sink : out_channel -> t -> unit
+
+  (** [field name ev] is the field's value, if present. *)
+  val field : string -> t -> Json.t option
+end
+
+module Recorder : sig
+  (** Per-operation flight records — the "what were the last N queries
+      and why were they slow" layer. [run ~op f] brackets an operation:
+      it times [f] with {!Clock}, lets the body annotate the in-flight
+      record with {!note}/{!outcome} (domain-local, like spans), then
+      lands the completed record in a bounded ring, feeds the op's
+      latency histogram (["<subsystem>.latency"], milliseconds — the op
+      name up to its first ['.']), and, when {!Event} recording is on,
+      emits an event named after the op with [dur_ms]/[outcome]/[detail]
+      plus the notes. Records at or over the slow threshold are
+      additionally kept in a small slowest-ops list that fast chatter
+      cannot evict, counted by [obs.slow_ops] and flagged by a
+      ["slow_op"] event. *)
+
+  type record = {
+    op : string;  (** e.g. ["pquery.rank"] *)
+    detail : string;  (** e.g. the query source *)
+    started : float;
+    duration : float;  (** seconds *)
+    outcome : string;  (** ["ok"], ["error:..."], or a {!outcome} override *)
+    slow : bool;
+    trace_id : int;
+    span_id : int;
+    fields : (string * Json.t) list;
+  }
+
+  (** [run ~op ?detail f] records [f ()]'s execution; exceptions are
+      recorded as [error:<exn>] and re-raised. *)
+  val run : op:string -> ?detail:string -> (unit -> 'a) -> 'a
+
+  (** [note key v] annotates the innermost in-flight record on this
+      domain (no-op outside [run]). Repeated keys all appear, in call
+      order. *)
+  val note : string -> Json.t -> unit
+
+  (** Override the recorded outcome (e.g. an error turned into a result
+      value rather than raised). *)
+  val outcome : string -> unit
+
+  (** [configure ?capacity ?slow_s ()] resizes the ring (clearing it)
+      and/or sets the slow threshold in seconds (default: 256 records,
+      1.0 s). *)
+  val configure : ?capacity:int -> ?slow_s:float -> unit -> unit
+
+  val slow_threshold : unit -> float
+
+  (** Completed records, newest first, at most [n] (default all
+      surviving). *)
+  val recent : ?n:int -> unit -> record list
+
+  (** The slowest records seen (duration descending, bounded), kept
+      independently of the ring. *)
+  val slowest : unit -> record list
+
+  val record_to_json : record -> Json.t
 end

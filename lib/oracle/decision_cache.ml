@@ -72,15 +72,21 @@ let evict_tail t =
       Obs.Metrics.incr c_evict
 
 let find t a b =
-  Mutex.protect t.lock @@ fun () ->
-  match Hashtbl.find_opt t.tbl (a, b) with
-  | Some n ->
-      Obs.Metrics.incr c_hit;
-      touch t n;
-      Some n.value
-  | None ->
-      Obs.Metrics.incr c_miss;
-      None
+  let r =
+    Mutex.protect t.lock @@ fun () ->
+    match Hashtbl.find_opt t.tbl (a, b) with
+    | Some n ->
+        Obs.Metrics.incr c_hit;
+        touch t n;
+        Some n.value
+    | None ->
+        Obs.Metrics.incr c_miss;
+        None
+  in
+  (* gated and outside the cache lock: the event sink has its own mutex *)
+  if Obs.Event.enabled () then
+    Obs.Event.emit ~fields:[ ("hit", Obs.Json.Bool (r <> None)) ] "oracle.cache";
+  r
 
 let add t a b value =
   Mutex.protect t.lock @@ fun () ->

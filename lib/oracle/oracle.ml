@@ -52,17 +52,31 @@ let decide t a b =
   if verdicts = [] then Obs.Metrics.incr c_defaulted;
   let sames = List.filter (fun (_, v) -> v = Same) verdicts in
   let diffs = List.filter (fun (_, v) -> v = Different) verdicts in
-  match sames, diffs with
-  | (s, _) :: _, (d, _) :: _ ->
-      raise
-        (Conflict
-           (Fmt.str "rule %S says the pair matches but rule %S says it cannot" s d))
-  | _ :: _, [] -> Same
-  | [], _ :: _ -> Different
-  | [], [] -> (
-      match List.find_opt (fun (_, v) -> match v with Unsure _ -> true | _ -> false) verdicts with
-      | Some (_, v) -> v
-      | None -> Unsure (t.default a b))
+  let result =
+    match sames, diffs with
+    | (s, _) :: _, (d, _) :: _ ->
+        raise
+          (Conflict
+             (Fmt.str "rule %S says the pair matches but rule %S says it cannot" s d))
+    | _ :: _, [] -> Same
+    | [], _ :: _ -> Different
+    | [], [] -> (
+        match List.find_opt (fun (_, v) -> match v with Unsure _ -> true | _ -> false) verdicts with
+        | Some (_, v) -> v
+        | None -> Unsure (t.default a b))
+  in
+  (* gated: the verdict grid calls [decide] from its innermost loop, so the
+     fields list must not be built when nobody is recording *)
+  if Obs.Event.enabled () then
+    Obs.Event.emit
+      ~fields:
+        [
+          ("verdict", Obs.Json.String (Fmt.str "%a" pp_verdict result));
+          ( "rules",
+            Obs.Json.List (List.map (fun (n, _) -> Obs.Json.String n) verdicts) );
+        ]
+      "oracle.verdict";
+  result
 
 let deep_equal_rule =
   {

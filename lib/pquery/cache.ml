@@ -70,14 +70,22 @@ let set_capacity t capacity =
   done
 
 let find t key =
-  match Hashtbl.find_opt t.tbl key with
-  | Some n ->
-      Obs.Metrics.incr c_hit;
-      touch t n;
-      Some n.value
-  | None ->
-      Obs.Metrics.incr c_miss;
-      None
+  let r =
+    match Hashtbl.find_opt t.tbl key with
+    | Some n ->
+        Obs.Metrics.incr c_hit;
+        touch t n;
+        Some n.value
+    | None ->
+        Obs.Metrics.incr c_miss;
+        None
+  in
+  (* gated: no fields are built unless someone is recording events *)
+  if Obs.Event.enabled () then
+    Obs.Event.emit
+      ~fields:[ ("hit", Obs.Json.Bool (r <> None)); ("key", Obs.Json.String key) ]
+      "pquery.cache";
+  r
 
 let add t key value =
   match Hashtbl.find_opt t.tbl key with

@@ -58,6 +58,9 @@ let trip t reason =
   let reason =
     if Atomic.compare_and_set t.tripped None (Some reason) then begin
       Obs.Metrics.incr (counter_of reason);
+      Obs.Event.emit
+        ~fields:[ ("reason", Obs.Json.String (reason_to_string reason)) ]
+        "budget.trip";
       Atomic.set t.cancelled true;
       reason
     end
@@ -88,6 +91,9 @@ let tick ?(n = 1) t =
 let cancel t =
   if Atomic.compare_and_set t.tripped None (Some Cancelled) then begin
     Obs.Metrics.incr c_cancelled;
+    Obs.Event.emit
+      ~fields:[ ("reason", Obs.Json.String (reason_to_string Cancelled)) ]
+      "budget.cancel";
     Atomic.set t.cancelled true
   end
 

@@ -33,6 +33,17 @@ let ladder ?(on_fallback = fun ~rung:_ _ -> ()) ~degradable rungs =
         | result -> result
         | exception e when degradable e ->
             Obs.Metrics.incr c_degradations;
+            Obs.Event.emit
+              ~fields:
+                [
+                  ("rung", Obs.Json.String rung.name);
+                  ( "to",
+                    Obs.Json.String
+                      (match rest with r :: _ -> r.name | [] -> "") );
+                  ("error", Obs.Json.String (Printexc.to_string e));
+                ]
+              "degrade";
+            Obs.Recorder.note "degraded_from" (Obs.Json.String rung.name);
             on_fallback ~rung:rung.name e;
             go rest)
   in

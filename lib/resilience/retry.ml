@@ -40,6 +40,14 @@ let run ?(sleep = Unix.sleepf) ?(on_retry = fun ~attempt:_ _ -> ()) ~classify p 
     try f ()
     with e when attempt < p.max_attempts && classify e = Transient ->
       Obs.Metrics.incr c_retries;
+      Obs.Event.emit
+        ~fields:
+          [
+            ("attempt", Obs.Json.Int attempt);
+            ("delay_ms", Obs.Json.Float (delay_ms p ~attempt));
+            ("error", Obs.Json.String (Printexc.to_string e));
+          ]
+        "retry";
       on_retry ~attempt e;
       sleep (delay_ms p ~attempt /. 1000.);
       go (attempt + 1)
@@ -47,5 +55,14 @@ let run ?(sleep = Unix.sleepf) ?(on_retry = fun ~attempt:_ _ -> ()) ~classify p 
   try go 1
   with e ->
     (* out of attempts (or permanent): the caller sees the final failure *)
-    if classify e = Transient then Obs.Metrics.incr c_giveups;
+    if classify e = Transient then begin
+      Obs.Metrics.incr c_giveups;
+      Obs.Event.emit
+        ~fields:
+          [
+            ("attempts", Obs.Json.Int p.max_attempts);
+            ("error", Obs.Json.String (Printexc.to_string e));
+          ]
+        "retry.giveup"
+    end;
     raise e

@@ -232,10 +232,15 @@ let save ?(io = Io.real) ?retry ?sleep t ~dir =
   let io = Io.metered io in
   Obs.Metrics.incr c_saves;
   Obs.Trace.with_span "store.save" @@ fun () ->
+  Obs.Recorder.run ~op:"store.save" ~detail:dir @@ fun () ->
   match with_retry ?retry ?sleep (fun () -> save_attempt io t ~dir) with
   | () -> Ok ()
-  | exception Sys_error msg -> Error msg
-  | exception Io.Fault msg -> Error msg
+  | exception Sys_error msg ->
+      Obs.Recorder.outcome ("error:" ^ msg);
+      Error msg
+  | exception Io.Fault msg ->
+      Obs.Recorder.outcome ("error:" ^ msg);
+      Error msg
 
 (* ---- load ------------------------------------------------------------- *)
 
@@ -279,7 +284,16 @@ let load_attempt io ~mode ~quarantine dir =
     let t = create () in
     let outcomes = ref [] (* newest first *) in
     let note name o =
-      if o <> Recovered then Obs.Metrics.incr c_salvage;
+      if o <> Recovered then begin
+        Obs.Metrics.incr c_salvage;
+        Obs.Event.emit
+          ~fields:
+            [
+              ("doc", Obs.Json.String name);
+              ("outcome", Obs.Json.String (Fmt.str "%a" pp_outcome o));
+            ]
+          "store.salvage"
+      end;
       outcomes := (name, o) :: !outcomes
     in
     let noted name = List.exists (fun (n, _) -> n = name) !outcomes in
@@ -405,8 +419,15 @@ let load ?(io = Io.real) ?retry ?sleep ?(mode = Salvage) ?(quarantine = false) d
   let io = Io.metered io in
   Obs.Metrics.incr c_loads;
   Obs.Trace.with_span "store.load" @@ fun () ->
+  Obs.Recorder.run ~op:"store.load" ~detail:dir @@ fun () ->
   match with_retry ?retry ?sleep (fun () -> load_attempt io ~mode ~quarantine dir) with
   | result -> Ok result
-  | exception Abort msg -> Error msg
-  | exception Sys_error msg -> Error msg
-  | exception Io.Fault msg -> Error msg
+  | exception Abort msg ->
+      Obs.Recorder.outcome ("error:" ^ msg);
+      Error msg
+  | exception Sys_error msg ->
+      Obs.Recorder.outcome ("error:" ^ msg);
+      Error msg
+  | exception Io.Fault msg ->
+      Obs.Recorder.outcome ("error:" ^ msg);
+      Error msg

@@ -299,6 +299,340 @@ let test_json_parse_errors () =
       | Error _ -> ())
     [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "1 2"; "\"unterminated" ]
 
+(* [u "0041"] is the six-character JSON escape for U+0041; built from the
+   char code so no tooling between here and the compiler can decode the
+   escape prematurely. [quoted ss] wraps a concatenation in JSON quotes. *)
+let u hex = String.make 1 (Char.chr 0x5c) ^ "u" ^ hex
+
+let quoted ss = {|"|} ^ String.concat "" ss ^ {|"|}
+
+let test_json_unicode_escapes () =
+  let parse s = match Json.parse s with Ok j -> j | Error e -> Alcotest.fail e in
+  check json_testable "BMP escape" (Json.String "A") (parse (quoted [ u "0041" ]));
+  check json_testable "two-byte UTF-8 (e-acute)" (Json.String "\xc3\xa9")
+    (parse (quoted [ u "00e9" ]));
+  check json_testable "three-byte UTF-8 (euro)" (Json.String "\xe2\x82\xac")
+    (parse (quoted [ u "20AC" ]));
+  check json_testable "surrogate pair (emoji)" (Json.String "\xf0\x9f\x98\x80")
+    (parse (quoted [ u "d83d"; u "de00" ]));
+  check json_testable "escape embedded in text" (Json.String "a\xe2\x82\xacb")
+    (parse (quoted [ "a"; u "20ac"; "b" ]));
+  check json_testable "decoded UTF-8 survives a round-trip"
+    (Json.String "\xf0\x9f\x98\x80")
+    (parse (Json.to_string (Json.String "\xf0\x9f\x98\x80")))
+
+let test_json_unicode_escape_errors () =
+  List.iter
+    (fun (label, s) ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted %s: %S" label s
+      | Error _ -> ())
+    [
+      ("a lone high surrogate", quoted [ u "d800" ]);
+      ("a lone low surrogate", quoted [ u "dc00" ]);
+      ("a high surrogate followed by text", quoted [ u "d800"; "abcd" ]);
+      ("a high surrogate followed by a non-surrogate escape",
+       quoted [ u "d800"; u "0041" ]);
+      ("a low surrogate after the pair's low half", quoted [ u "d83d"; u "dc00"; u "dc00" ]);
+      ("truncated hex", quoted [ u "00" ]);
+      ("a non-hex digit", quoted [ u "00g1" ]);
+      ("an underscore where int_of_string would accept it", quoted [ u "0_41" ]);
+    ]
+
+(* ---- quantile sketch ------------------------------------------------------- *)
+
+(* The sketch declares ~5% relative error (doc/observability.md); assert a
+   slightly looser 5.5% so bucket-boundary rounding can't flake. *)
+let within name expected actual =
+  let rel = Float.abs (actual -. expected) /. expected in
+  if rel > 0.055 then
+    Alcotest.failf "%s: estimated %g for true %g (relative error %.3f)" name actual
+      expected rel
+
+let test_quantile_accuracy () =
+  let q = Obs.Quantile.create () in
+  for i = 1 to 10_000 do
+    Obs.Quantile.add q (float_of_int i)
+  done;
+  check Alcotest.int "count" 10_000 (Obs.Quantile.count q);
+  within "p50" 5_000. (Obs.Quantile.estimate q 0.5);
+  within "p90" 9_000. (Obs.Quantile.estimate q 0.9);
+  within "p99" 9_900. (Obs.Quantile.estimate q 0.99);
+  Obs.Quantile.clear q;
+  check Alcotest.int "cleared" 0 (Obs.Quantile.count q);
+  check feq "empty estimate is 0" 0. (Obs.Quantile.estimate q 0.5)
+
+let test_quantile_zeros () =
+  let q = Obs.Quantile.create () in
+  Obs.Quantile.add q 0.;
+  Obs.Quantile.add q (-3.);
+  Obs.Quantile.add q 100.;
+  check Alcotest.int "zero and negative counted" 3 (Obs.Quantile.count q);
+  check feq "p50 lands in the zero bucket" 0. (Obs.Quantile.estimate q 0.5);
+  within "p99 still sees the positive tail" 100. (Obs.Quantile.estimate q 0.99)
+
+let test_histogram_quantiles () =
+  let r = Metrics.registry () in
+  let h = Metrics.histogram ~registry:r "lat" in
+  for i = 1 to 1_000 do
+    Metrics.observe h (float_of_int i)
+  done;
+  let s = Metrics.stats h in
+  within "stats p50" 500. s.Metrics.p50;
+  within "stats p90" 900. s.Metrics.p90;
+  within "stats p99" 990. s.Metrics.p99;
+  Metrics.reset ~registry:r ();
+  let s = Metrics.stats h in
+  check feq "reset clears the sketch" 0. s.Metrics.p99
+
+(* ---- rendered output is sorted -------------------------------------------- *)
+
+let index_of hay needle =
+  let n = String.length needle in
+  let rec go i =
+    if i + n > String.length hay then -1
+    else if String.sub hay i n = needle then i
+    else go (i + 1)
+  in
+  go 0
+
+let test_rendered_output_sorted () =
+  let r = Metrics.registry () in
+  ignore (Metrics.counter ~registry:r "z.registered-first");
+  ignore (Metrics.counter ~registry:r "a.registered-second");
+  Metrics.observe (Metrics.histogram ~registry:r "m.hist") 1.;
+  let snap = Metrics.snapshot ~registry:r () in
+  (* the snapshot itself keeps registration order (asserted elsewhere)... *)
+  let text = Metrics.to_text snap in
+  let za = index_of text "z.registered-first" and az = index_of text "a.registered-second" in
+  if az < 0 || za < 0 then Alcotest.fail "a rendered counter is missing";
+  check Alcotest.bool "...but to_text sorts by name" true (az < za);
+  match Metrics.to_json snap with
+  | Json.Obj kvs ->
+      let keys_of name =
+        match List.assoc_opt name kvs with
+        | Some (Json.Obj fields) -> List.map fst fields
+        | _ -> Alcotest.failf "to_json: %S is not an object" name
+      in
+      let ckeys = keys_of "counters" in
+      check Alcotest.(list string) "to_json counters sorted"
+        (List.sort compare ckeys) ckeys
+  | _ -> Alcotest.fail "to_json: expected an object"
+
+(* ---- events ---------------------------------------------------------------- *)
+
+let c_emitted = Metrics.counter "obs.events_emitted"
+
+let c_dropped = Metrics.counter "obs.events_dropped"
+
+let event_int name ev =
+  match Obs.Event.field name ev with Some (Json.Int i) -> i | _ -> min_int
+
+let test_event_disabled_is_noop () =
+  Obs.Event.disable ();
+  check Alcotest.bool "disabled" false (Obs.Event.enabled ());
+  let e0 = Metrics.count c_emitted in
+  Obs.Event.emit ~fields:[ ("x", Json.Int 1) ] "ghost";
+  check Alcotest.int "no emission while disabled" e0 (Metrics.count c_emitted);
+  check Alcotest.int "emitted () is 0 while disabled" 0 (Obs.Event.emitted ());
+  check Alcotest.int "recent () empty while disabled" 0
+    (List.length (Obs.Event.recent ()))
+
+let test_event_ring_capacity_and_drops () =
+  Obs.Event.enable ~capacity:4 ();
+  Fun.protect ~finally:Obs.Event.disable @@ fun () ->
+  let e0 = Metrics.count c_emitted and d0 = Metrics.count c_dropped in
+  for i = 1 to 6 do
+    Obs.Event.emit ~fields:[ ("i", Json.Int i) ] "test.ev"
+  done;
+  check Alcotest.int "emitted counts every event" 6 (Obs.Event.emitted ());
+  check Alcotest.int "obs.events_emitted delta exact" 6 (Metrics.count c_emitted - e0);
+  check Alcotest.int "obs.events_dropped = emitted - capacity" 2
+    (Metrics.count c_dropped - d0);
+  let recents = Obs.Event.recent () in
+  check Alcotest.int "capacity respected" 4 (List.length recents);
+  check
+    Alcotest.(list int)
+    "survivors are the newest, oldest first" [ 3; 4; 5; 6 ]
+    (List.map (event_int "i") recents);
+  List.iter
+    (fun ev -> check Alcotest.string "name intact" "test.ev" ev.Obs.Event.name)
+    recents
+
+let test_event_json_roundtrip () =
+  let ev =
+    {
+      Obs.Event.ts = 12.5; name = "x.y"; trace_id = 3; span_id = 7;
+      fields = [ ("a", Json.Int 1); ("b", Json.String "two") ];
+    }
+  in
+  (match Obs.Event.of_json (Obs.Event.to_json ev) with
+  | Ok ev' -> check Alcotest.bool "round-trip preserves the record" true (ev = ev')
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun (label, j) ->
+      match Obs.Event.of_json j with
+      | Ok _ -> Alcotest.failf "accepted %s" label
+      | Error _ -> ())
+    [
+      ("a non-object", Json.Int 3);
+      ("a missing ts", Json.Obj [ ("name", Json.String "x") ]);
+      ("a missing name", Json.Obj [ ("ts", Json.Float 1.) ]);
+      ( "a non-string name",
+        Json.Obj [ ("ts", Json.Float 1.); ("name", Json.Int 1) ] );
+    ]
+
+(* 8 domains hammering one ring: the emitted/dropped counters must both be
+   exact, the ring must hold exactly [capacity] survivors, and no survivor
+   may be torn (every record well-formed, fields consistent). *)
+let test_event_ring_domain_stress () =
+  let capacity = 512 in
+  Obs.Event.enable ~capacity ();
+  Fun.protect ~finally:Obs.Event.disable @@ fun () ->
+  let e0 = Metrics.count c_emitted and d0 = Metrics.count c_dropped in
+  let domains = 8 and per_domain = 10_000 in
+  let spawned =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Obs.Event.emit
+                ~fields:[ ("d", Json.Int d); ("i", Json.Int i) ]
+                "stress.ev"
+            done))
+  in
+  List.iter Domain.join spawned;
+  let total = domains * per_domain in
+  check Alcotest.int "emitted () exact across 8 domains" total (Obs.Event.emitted ());
+  check Alcotest.int "obs.events_emitted delta exact" total
+    (Metrics.count c_emitted - e0);
+  check Alcotest.int "obs.events_dropped = total - capacity" (total - capacity)
+    (Metrics.count c_dropped - d0);
+  let recents = Obs.Event.recent () in
+  check Alcotest.int "ring holds exactly capacity survivors" capacity
+    (List.length recents);
+  List.iter
+    (fun ev ->
+      check Alcotest.string "no torn name" "stress.ev" ev.Obs.Event.name;
+      let d = event_int "d" ev and i = event_int "i" ev in
+      if d < 0 || d >= domains || i < 1 || i > per_domain then
+        Alcotest.failf "torn record: d=%d i=%d" d i)
+    recents
+
+(* ---- flight recorder ------------------------------------------------------- *)
+
+let test_recorder_records () =
+  let now, tick = fake_clock () in
+  Obs.Clock.set now;
+  Fun.protect ~finally:(fun () -> Obs.Clock.set Sys.time) @@ fun () ->
+  Obs.Recorder.configure ~capacity:8 ~slow_s:2.0 ();
+  check feq "slow threshold installed" 2.0 (Obs.Recorder.slow_threshold ());
+  let result =
+    Obs.Recorder.run ~op:"test.fast" ~detail:"q1" (fun () ->
+        Obs.Recorder.note "k" (Json.Int 7);
+        tick 1.;
+        "answer")
+  in
+  check Alcotest.string "run is transparent" "answer" result;
+  Obs.Recorder.run ~op:"test.slow" (fun () -> tick 3.);
+  (try Obs.Recorder.run ~op:"test.err" (fun () -> failwith "kaboom")
+   with Failure _ -> ());
+  (match Obs.Recorder.recent ~n:3 () with
+  | [ err; slow; fast ] ->
+      check Alcotest.string "newest first" "test.err" err.Obs.Recorder.op;
+      check Alcotest.bool "exception recorded as error outcome" true
+        (index_of err.Obs.Recorder.outcome "error" = 0);
+      check Alcotest.string "slow op name" "test.slow" slow.Obs.Recorder.op;
+      check feq "slow duration from the fake clock" 3. slow.Obs.Recorder.duration;
+      check Alcotest.bool "slow flagged" true slow.Obs.Recorder.slow;
+      check Alcotest.bool "fast not flagged" false fast.Obs.Recorder.slow;
+      check Alcotest.string "detail kept" "q1" fast.Obs.Recorder.detail;
+      check Alcotest.string "ok outcome" "ok" fast.Obs.Recorder.outcome;
+      (match List.assoc_opt "k" fast.Obs.Recorder.fields with
+      | Some (Json.Int 7) -> ()
+      | _ -> Alcotest.fail "note lost")
+  | rs -> Alcotest.failf "expected 3 records, got %d" (List.length rs));
+  check Alcotest.bool "slowest keeps the outlier" true
+    (List.exists
+       (fun r -> r.Obs.Recorder.op = "test.slow")
+       (Obs.Recorder.slowest ()));
+  (* a slow op must also emit the force-log event when events are on *)
+  Obs.Event.enable ~capacity:64 ();
+  Fun.protect ~finally:Obs.Event.disable @@ fun () ->
+  Obs.Recorder.run ~op:"test.slow2" (fun () -> tick 5.);
+  let names = List.map (fun ev -> ev.Obs.Event.name) (Obs.Event.recent ()) in
+  check Alcotest.bool "op completion event" true (List.mem "test.slow2" names);
+  check Alcotest.bool "slow_op marker event" true (List.mem "slow_op" names)
+
+(* ---- resilience events ----------------------------------------------------- *)
+
+module Pxml = Imprecise.Pxml
+module Pquery = Imprecise.Pquery
+module Budget = Imprecise.Resilience.Budget
+module Degrade = Imprecise.Resilience.Degrade
+
+(* The PR 7 regression: a budget-tripped query must yield exactly one
+   [degrade] event per failed rung, naming it, and the event count must
+   equal the resilience.degradations counter delta. *)
+let test_degrade_emits_events () =
+  (* 2^12 worlds; count() is outside the direct evaluator's class, so the
+     exact and top-k rungs must enumerate — and an 8-world budget trips *)
+  let doc =
+    Pxml.certain
+      [
+        Pxml.elem "r"
+          (List.init 12 (fun i ->
+               Pxml.dist
+                 [
+                   Pxml.choice ~prob:0.5
+                     [ Pxml.Elem ("v", [], [ Pxml.certain [ Pxml.Text (string_of_int i) ] ]) ];
+                   Pxml.choice ~prob:0.5 [];
+                 ]))
+      ]
+  in
+  Obs.Event.enable ~capacity:65536 ();
+  Fun.protect ~finally:Obs.Event.disable @@ fun () ->
+  let c_deg = Metrics.counter "resilience.degradations" in
+  let deg0 = Metrics.count c_deg in
+  let budget = Budget.create ~max_worlds:8 () in
+  let graded = Pquery.rank_graded ~budget doc "count(//r/v)" in
+  (match graded.Degrade.grade with
+  | Degrade.Approximate { rung = "sample"; _ } -> ()
+  | Degrade.Approximate { rung; _ } -> Alcotest.failf "expected the sample rung, got %s" rung
+  | Degrade.Exact -> Alcotest.fail "an 8-world budget cannot rank 4096 worlds exactly");
+  let events = Obs.Event.recent () in
+  let degrades =
+    List.filter (fun ev -> ev.Obs.Event.name = "degrade") events
+  in
+  let rung ev =
+    match Obs.Event.field "rung" ev with Some (Json.String s) -> s | _ -> "?"
+  in
+  check
+    Alcotest.(list string)
+    "exactly one degrade event per failed rung, naming it" [ "exact"; "top_k" ]
+    (List.map rung degrades);
+  check Alcotest.int "degrade events match the degradations counter"
+    (Metrics.count c_deg - deg0)
+    (List.length degrades);
+  check Alcotest.bool "the budget trip emitted its event" true
+    (List.exists (fun ev -> ev.Obs.Event.name = "budget.trip") events);
+  (* the graded record carries the fallbacks as degraded_from notes *)
+  match
+    List.find_opt
+      (fun r -> r.Obs.Recorder.op = "pquery.rank_graded")
+      (Obs.Recorder.recent ())
+  with
+  | None -> Alcotest.fail "no pquery.rank_graded flight record"
+  | Some r ->
+      check Alcotest.string "record outcome degraded" "degraded" r.Obs.Recorder.outcome;
+      let degraded_from =
+        List.filter_map
+          (function "degraded_from", Json.String s -> Some s | _ -> None)
+          r.Obs.Recorder.fields
+      in
+      check
+        Alcotest.(list string)
+        "degraded_from notes in rung order" [ "exact"; "top_k" ] degraded_from
+
 (* ---- tagged store io ------------------------------------------------------ *)
 
 let test_with_tag_scoping () =
@@ -399,6 +733,29 @@ let suite =
       [
         t "round-trip through to_string/parse" test_json_roundtrip;
         t "malformed inputs are rejected" test_json_parse_errors;
+        t "unicode escapes decode to UTF-8" test_json_unicode_escapes;
+        t "malformed surrogate halves are rejected" test_json_unicode_escape_errors;
+      ] );
+    ( "obs.quantile",
+      [
+        t "estimates within the declared error bound" test_quantile_accuracy;
+        t "zeros and negatives report as 0" test_quantile_zeros;
+        t "histogram stats expose p50/p90/p99" test_histogram_quantiles;
+        t "to_text/to_json are sorted by metric name" test_rendered_output_sorted;
+      ] );
+    ( "obs.events",
+      [
+        t "emit is a no-op while disabled" test_event_disabled_is_noop;
+        t "ring capacity and exact drop counting" test_event_ring_capacity_and_drops;
+        t "event json round-trip and rejection" test_event_json_roundtrip;
+        t "8-domain emit stress: exact counters, no torn records"
+          test_event_ring_domain_stress;
+      ] );
+    ( "obs.recorder",
+      [
+        t "records, notes, outcomes, slow flagging" test_recorder_records;
+        t "a budget-tripped query emits one degrade event per rung"
+          test_degrade_emits_events;
       ] );
     ( "obs.io",
       [

@@ -39,7 +39,8 @@ let starts_with ~prefix s =
    instrumentation cannot plausibly be asleep), plus registered-but-possibly
    -zero catalogue entries like the store's. *)
 let required_counters =
-  [ "integrate.pairs_compared"; "oracle.decisions"; "store.bytes_written";
+  [ "integrate.pairs_generated"; "integrate.pairs_compared"; "oracle.decisions";
+    "store.bytes_written";
     "pquery.worlds_enumerated"; "pquery.static_pruned"; "pquery.degraded";
     "resilience.retries"; "resilience.deadline_exceeded"; "obs.events_dropped";
     "obs.ops_recorded" ]
@@ -90,6 +91,22 @@ let check_experiment ~file experiments name =
      and the incremental batch must actually have reused cached verdicts *)
   if name = "integrate_parallel" then positive "integrate.parallel_runs";
   if name = "integrate_incremental" then positive "oracle.cache.hit";
+  (* the blocking experiment must have skipped real work: an index pruned
+     pairs, and across the whole run at least 4x fewer pairs were compared
+     than the grids generated (the 10k/100k sources dominate the tally) *)
+  if name = "integrate_blocking" then begin
+    positive "integrate.pairs_blocked";
+    let count counter =
+      match Obs.Json.member counter counters with
+      | Some (Obs.Json.Int n) -> n
+      | _ -> fail "%s: counter %S is not an integer" ctx counter
+    in
+    let generated = count "integrate.pairs_generated" in
+    let compared = count "integrate.pairs_compared" in
+    if compared * 4 > generated then
+      fail "%s: blocking compared %d of %d generated pairs (< 4x reduction)" ctx
+        compared generated
+  end;
   (* the degradation experiment must actually have degraded an answer and
      tripped its deadline *)
   if name = "pquery_degraded" then begin

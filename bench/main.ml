@@ -616,6 +616,53 @@ let scale () =
     "the Oracle is O(pairs) without blocking; with block keys computed once per\n\
      record, cross-block pairs are ruled out before the Oracle ever runs.\n"
 
+(* ---- extension: pluggable blocking ----------------------------------------------------- *)
+
+let integrate_blocking () =
+  section "Extension - pluggable blocking & candidate indexing (integrate --blocker)";
+  let oracle =
+    Imprecise.Oracle.make
+      [ Imprecise.Oracle.deep_equal_rule; Imprecise.Oracle.key_rule ~tag:"person" ~field:"nm" ]
+  in
+  let run blocker a b =
+    let cfg =
+      Integrate.config ~oracle ~dtd:Data.Addressbook.dtd ~factorize:true ~blocker ()
+    in
+    match Integrate.integrate_traced cfg a b with
+    | Ok (_, trace) -> trace
+    | Error e -> Fmt.failwith "[%s] blocking run failed: %a" !in_experiment Integrate.pp_error e
+  in
+  Printf.printf "%-8s %-20s %12s %12s %12s %10s\n" "persons" "blocker" "generated"
+    "compared" "blocked" "time";
+  List.iter
+    (fun n ->
+      let a, b = Data.Addressbook.larger n (2000 + n) in
+      let presets =
+        (* the quadratic baseline is only feasible at the smallest size *)
+        (if n <= 1_000 then [ ("all", Blocking.All_pairs) ] else [])
+        @ [
+            ("key", Blocking.key ~field:"nm" ());
+            ("sortedneighbourhood", Blocking.sorted_neighbourhood ~field:"nm" ());
+          ]
+        (* the q-gram index verifies Jaccard per posting-list candidate, and
+           this name pool shares most of its bigrams — past ~1k persons the
+           cheap key/window plans are the right tools for this workload *)
+        @ (if n <= 1_000 then [ ("qgram", Blocking.qgram ~field:"nm" ()) ] else [])
+      in
+      List.iter
+        (fun (label, blocker) ->
+          let trace, t = time (fun () -> run blocker a b) in
+          Printf.printf "%-8d %-20s %12s %12s %12s %9.3fs\n" n label
+            (human (float_of_int trace.Integrate.pairs_generated))
+            (human (float_of_int trace.Integrate.pairs_compared))
+            (human (float_of_int trace.Integrate.pairs_blocked))
+            t)
+        presets)
+    [ 1_000; 10_000; 100_000 ];
+  Printf.printf
+    "the grid generates n^2 pairs; every blocker compares a near-linear subset\n\
+     and stays bit-identical to All_pairs (certified by `dune build @block-stress`).\n"
+
 (* ---- extension: parallel integration engine ------------------------------------------- *)
 
 let integrate_parallel () =
@@ -780,6 +827,7 @@ let experiments =
     ("scale", scale);
     ("integrate_parallel", integrate_parallel);
     ("integrate_incremental", integrate_incremental_bench);
+    ("integrate_blocking", integrate_blocking);
     ("ablation", ablation);
     ("perf", perf);
   ]

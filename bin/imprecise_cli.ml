@@ -226,6 +226,57 @@ let resilience_totals () =
     count "resilience.deadline_exceeded",
     count "pquery.degraded" )
 
+(* ---- blocking ---------------------------------------------------------------- *)
+
+let blocker_name_arg =
+  Arg.(
+    value
+    & opt string "all"
+    & info [ "blocker" ] ~docv:"NAME"
+        ~doc:
+          "Candidate-indexing stage run in front of the Oracle: $(b,all) (full grid, \
+           the default), $(b,key) (exact normalized key), $(b,qgram) (inverted q-gram \
+           similarity index) or $(b,sortedneighbourhood) (sorted window). See \
+           doc/integrate.md for the recall guarantees of each.")
+
+let block_field_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "block-field" ] ~docv:"TAG"
+        ~doc:
+          "Blocking key: the text of child element $(docv) (e.g. $(b,nm) or \
+           $(b,title)). Default: the element's whole text content.")
+
+let block_threshold_arg =
+  Arg.(
+    value
+    & opt float 0.3
+    & info [ "block-threshold" ] ~docv:"T"
+        ~doc:
+          "Minimum q-gram Jaccard similarity for a pair to survive $(b,--blocker \
+           qgram), in [0,1]. 0 disables pruning; lower is safer, higher prunes more.")
+
+let block_window_arg =
+  Arg.(
+    value
+    & opt int 7
+    & info [ "block-window" ] ~docv:"W"
+        ~doc:"Window size for $(b,--blocker sortedneighbourhood).")
+
+let block_q_arg =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "block-q" ] ~docv:"Q" ~doc:"Gram length for $(b,--blocker qgram).")
+
+let blocker_term =
+  Term.(
+    const (fun name field threshold window q ->
+        or_die (Blocking.of_string ?field ~q ~threshold ~window name))
+    $ blocker_name_arg $ block_field_arg $ block_threshold_arg $ block_window_arg
+    $ block_q_arg)
+
 let infer_dtd_arg =
   Arg.(
     value & flag
@@ -251,7 +302,8 @@ let report_doc doc =
 (* ---- integrate -------------------------------------------------------------- *)
 
 let integrate_cmd =
-  let run inputs rules dtd infer factorize jobs timeout_ms max_worlds output tele =
+  let run inputs rules dtd infer factorize jobs blocker timeout_ms max_worlds output
+      tele =
     with_telemetry tele @@ fun () ->
     (match inputs with
     | _ :: _ :: _ -> ()
@@ -261,7 +313,7 @@ let integrate_cmd =
     let docs = List.map (fun p -> or_die (load_certain p)) inputs in
     let dtd = resolve_dtd ~infer dtd docs in
     let budget = budget_of timeout_ms max_worlds in
-    match integrate_many ~rules ~dtd ~factorize ~jobs ?budget docs with
+    match integrate_many ~rules ~dtd ~factorize ~blocker ~jobs ?budget docs with
     | Error e ->
         Fmt.epr "imprecise: %a@." Integrate.pp_error e;
         exit 1
@@ -291,24 +343,26 @@ let integrate_cmd =
           reusing one Oracle decision cache across the whole batch.")
     Term.(
       const run $ inputs $ rules_arg $ dtd_arg $ infer_dtd_arg $ factorize $ jobs
-      $ timeout_arg $ max_worlds_arg $ output_arg $ telemetry_term)
+      $ blocker_term $ timeout_arg $ max_worlds_arg $ output_arg $ telemetry_term)
 
 (* ---- stats -------------------------------------------------------------------- *)
 
 let stats_cmd =
-  let run left right rules dtd infer factorize timeout_ms max_worlds tele =
+  let run left right rules dtd infer factorize blocker timeout_ms max_worlds tele =
     with_telemetry tele @@ fun () ->
     let a = or_die (load_certain left) and b = or_die (load_certain right) in
     let dtd = resolve_dtd ~infer dtd [ a; b ] in
     let budget = budget_of timeout_ms max_worlds in
-    match integration_stats ~rules ~dtd ~factorize ?budget a b with
+    match integration_stats ~rules ~dtd ~factorize ~blocker ?budget a b with
     | Error e ->
         Fmt.epr "imprecise: %a@." Integrate.pp_error e;
         exit 1
     | Ok s ->
         Fmt.pr "rules: %s@." rules.Rulesets.name;
+        Fmt.pr "blocker: %s@." (Blocking.describe blocker);
         Fmt.pr "nodes: %.0f@." s.Integrate.nodes;
         Fmt.pr "world combinations: %g@." s.Integrate.worlds;
+        Fmt.pr "pairs generated: %d@." s.Integrate.trace.Integrate.pairs_generated;
         Fmt.pr "pairs compared: %d (blocked: %d)@."
           s.Integrate.trace.Integrate.pairs_compared
           s.Integrate.trace.Integrate.pairs_blocked;
@@ -331,7 +385,7 @@ let stats_cmd =
           what $(b,integrate) can build).")
     Term.(
       const run $ left $ right $ rules_arg $ dtd_arg $ infer_dtd_arg $ factorize
-      $ timeout_arg $ max_worlds_arg $ telemetry_term)
+      $ blocker_term $ timeout_arg $ max_worlds_arg $ telemetry_term)
 
 (* ---- rules ---------------------------------------------------------------------- *)
 

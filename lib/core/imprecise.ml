@@ -14,6 +14,7 @@ module Decision_cache = Imprecise_oracle.Decision_cache
 module Similarity = Imprecise_oracle.Similarity
 module Integrate = Imprecise_integrate.Integrate
 module Matching = Imprecise_integrate.Matching
+module Blocking = Imprecise_integrate.Blocking
 module Pquery = Imprecise_pquery.Pquery
 module Answer = Imprecise_pquery.Answer
 module Quality = Imprecise_quality.Quality
@@ -47,26 +48,27 @@ let parse_xml s =
 
 let parse_xml_exn = Xml.Parser.parse_string_exn
 
-let config_of_rules (rules : Rulesets.t) ~dtd ?factorize ?jobs ?decisions ?budget () =
+let config_of_rules (rules : Rulesets.t) ~dtd ?factorize ?jobs ?blocker ?decisions
+    ?budget () =
   Integrate.config ~oracle:rules.Rulesets.oracle ~reconcile:rules.Rulesets.reconcile ~dtd
-    ?factorize ?jobs ?decisions ?budget ()
+    ?factorize ?jobs ?blocker ?decisions ?budget ()
 
-let integrate ?(rules = Rulesets.full) ?(dtd = Dtd.empty) ?factorize left right =
-  Integrate.integrate (config_of_rules rules ~dtd ?factorize ()) left right
+let integrate ?(rules = Rulesets.full) ?(dtd = Dtd.empty) ?factorize ?blocker left right =
+  Integrate.integrate (config_of_rules rules ~dtd ?factorize ?blocker ()) left right
 
-let integration_stats ?(rules = Rulesets.full) ?(dtd = Dtd.empty) ?factorize ?budget
-    left right =
-  Integrate.stats (config_of_rules rules ~dtd ?factorize ?budget ()) left right
+let integration_stats ?(rules = Rulesets.full) ?(dtd = Dtd.empty) ?factorize ?blocker
+    ?budget left right =
+  Integrate.stats (config_of_rules rules ~dtd ?factorize ?blocker ?budget ()) left right
 
 (* Fold a whole list of sources into one probabilistic document: ordinary
    integration for the first two, incremental integration for the rest. *)
-let integrate_all ?(rules = Rulesets.full) ?(dtd = Dtd.empty) ?factorize ?world_limit
-    sources =
+let integrate_all ?(rules = Rulesets.full) ?(dtd = Dtd.empty) ?factorize ?blocker
+    ?world_limit sources =
   match sources with
   | [] -> Error (Integrate.Root_mismatch ("(no", "sources)"))
   | [ only ] -> Ok (Pxml.doc_of_tree only)
   | first :: second :: rest ->
-      let cfg = config_of_rules rules ~dtd ?factorize () in
+      let cfg = config_of_rules rules ~dtd ?factorize ?blocker () in
       Result.bind (Integrate.integrate cfg first second) (fun doc ->
           List.fold_left
             (fun acc source ->
@@ -79,8 +81,8 @@ let integrate_all ?(rules = Rulesets.full) ?(dtd = Dtd.empty) ?factorize ?world_
    free when source k+1 (or a later world of the same incremental step)
    meets it again. The cache is created fresh here — it must not outlive
    the rule set it memoizes. *)
-let integrate_many ?(rules = Rulesets.full) ?(dtd = Dtd.empty) ?factorize ?world_limit
-    ?jobs ?decisions ?budget sources =
+let integrate_many ?(rules = Rulesets.full) ?(dtd = Dtd.empty) ?factorize ?blocker
+    ?world_limit ?jobs ?decisions ?budget sources =
   match sources with
   | [] -> Error (Integrate.Root_mismatch ("(no", "sources)"))
   | [ only ] -> Ok (Pxml.doc_of_tree only)
@@ -88,7 +90,9 @@ let integrate_many ?(rules = Rulesets.full) ?(dtd = Dtd.empty) ?factorize ?world
       let decisions =
         match decisions with Some c -> c | None -> Decision_cache.create ()
       in
-      let cfg = config_of_rules rules ~dtd ?factorize ?jobs ~decisions ?budget () in
+      let cfg =
+        config_of_rules rules ~dtd ?factorize ?jobs ?blocker ~decisions ?budget ()
+      in
       Result.bind (Integrate.integrate cfg first second) (fun doc ->
           List.fold_left
             (fun acc source ->

@@ -36,6 +36,7 @@ module Decision_cache = Imprecise_oracle.Decision_cache
 module Similarity = Imprecise_oracle.Similarity
 module Integrate = Imprecise_integrate.Integrate
 module Matching = Imprecise_integrate.Matching
+module Blocking = Imprecise_integrate.Blocking
 module Pquery = Imprecise_pquery.Pquery
 module Answer = Imprecise_pquery.Answer
 module Quality = Imprecise_quality.Quality
@@ -85,11 +86,14 @@ val parse_xml_exn : string -> Tree.t
 (** [integrate ?rules ?dtd ?factorize left right] integrates two certain
     documents into a probabilistic one. Defaults: the {!Rulesets.full} rule
     set, no DTD knowledge, the paper-faithful non-factorised
-    representation. *)
+    representation. [blocker] (default {!Blocking.All_pairs}) selects the
+    candidate-indexing stage run in front of the Oracle — see {!Blocking}
+    for the presets and their recall guarantees. *)
 val integrate :
   ?rules:Rulesets.t ->
   ?dtd:Dtd.t ->
   ?factorize:bool ->
+  ?blocker:Blocking.spec ->
   Tree.t ->
   Tree.t ->
   (Pxml.doc, Integrate.error) result
@@ -101,6 +105,7 @@ val integration_stats :
   ?rules:Rulesets.t ->
   ?dtd:Dtd.t ->
   ?factorize:bool ->
+  ?blocker:Blocking.spec ->
   ?budget:Imprecise_resilience.Budget.t ->
   Tree.t ->
   Tree.t ->
@@ -115,6 +120,7 @@ val integrate_all :
   ?rules:Rulesets.t ->
   ?dtd:Dtd.t ->
   ?factorize:bool ->
+  ?blocker:Blocking.spec ->
   ?world_limit:float ->
   Tree.t list ->
   (Pxml.doc, Integrate.error) result
@@ -138,6 +144,7 @@ val integrate_many :
   ?rules:Rulesets.t ->
   ?dtd:Dtd.t ->
   ?factorize:bool ->
+  ?blocker:Blocking.spec ->
   ?world_limit:float ->
   ?jobs:int ->
   ?decisions:Decision_cache.t ->

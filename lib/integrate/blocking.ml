@@ -1,0 +1,222 @@
+module Tree = Imprecise_xml.Tree
+module Similarity = Imprecise_oracle.Similarity
+
+type key_fn = Tree.t -> string option
+
+type spec =
+  | All_pairs
+  | Key of { key : key_fn }
+  | Qgram of { key : key_fn; q : int; threshold : float }
+  | Sorted_neighbourhood of { key : key_fn; window : int }
+
+let name = function
+  | All_pairs -> "all"
+  | Key _ -> "key"
+  | Qgram _ -> "qgram"
+  | Sorted_neighbourhood _ -> "sortedneighbourhood"
+
+let describe = function
+  | All_pairs -> "all (full grid)"
+  | Key _ -> "key (exact normalized key)"
+  | Qgram { q; threshold; _ } -> Fmt.str "qgram (q=%d, threshold=%.2f)" q threshold
+  | Sorted_neighbourhood { window; _ } -> Fmt.str "sortedneighbourhood (window=%d)" window
+
+(* A key that normalises to "" is treated as missing: an element the key
+   function cannot describe must pair with everything (recall safety). *)
+let non_empty s =
+  let s = Similarity.normalize_key s in
+  if s = "" then None else Some s
+
+let text_key t =
+  match Tree.name t with
+  | None -> None
+  | Some _ -> non_empty (Tree.text_content t)
+
+let field_key field t = Option.bind (Tree.field t field) non_empty
+
+let key_of_field = function None -> text_key | Some f -> field_key f
+
+let key ?field () = Key { key = key_of_field field }
+
+let qgram ?field ?(q = 2) ?(threshold = 0.3) () =
+  if q < 1 then invalid_arg "Blocking.qgram: q must be >= 1";
+  if threshold < 0. || threshold > 1. then
+    invalid_arg "Blocking.qgram: threshold must be in [0, 1]";
+  Qgram { key = key_of_field field; q; threshold }
+
+let sorted_neighbourhood ?field ?(window = 7) () =
+  if window < 1 then invalid_arg "Blocking.sorted_neighbourhood: window must be >= 1";
+  Sorted_neighbourhood { key = key_of_field field; window }
+
+let of_string ?field ?(q = 2) ?(threshold = 0.3) ?(window = 7) s =
+  match String.lowercase_ascii s with
+  | "all" | "allpairs" | "all-pairs" -> Ok All_pairs
+  | "key" -> Ok (key ?field ())
+  | "qgram" | "q-gram" -> (
+      try Ok (qgram ?field ~q ~threshold ()) with Invalid_argument m -> Error m)
+  | "sortedneighbourhood" | "sorted-neighbourhood" | "sorted" | "snm" -> (
+      try Ok (sorted_neighbourhood ?field ~window ()) with Invalid_argument m -> Error m)
+  | other ->
+      Error
+        (Fmt.str "unknown blocker %S; expected key, qgram, sortedneighbourhood or all"
+           other)
+
+(* ---- compiled plans ----------------------------------------------------------- *)
+
+(* [rows.(i)] is the ascending list of right indices left child [i] may pair
+   with; [None] means the full grid (the identity plan). Rows are built
+   eagerly, before the candidate grid fans out across domains, and are
+   immutable afterwards — [candidates] is a pure array read, safe to call
+   from any band domain. *)
+type plan = { rows : int list array option }
+
+let identity = { rows = None }
+
+let candidates { rows } = Option.map Array.get rows
+
+(* Merge two ascending duplicate-free lists (tail-recursive: a row can span
+   a 100k-element source). *)
+let merge_sorted a b =
+  let rec go acc a b =
+    match a, b with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | x :: xs, y :: ys ->
+        if x < y then go (x :: acc) xs b
+        else if y < x then go (y :: acc) a ys
+        else go (x :: acc) xs ys
+  in
+  go [] a b
+
+let extract_keys ~tick key elems = Array.map (fun t -> tick (); key t) elems
+
+let missing_of keys =
+  let out = ref [] in
+  for j = Array.length keys - 1 downto 0 do
+    if keys.(j) = None then out := j :: !out
+  done;
+  !out
+
+let all_rights n = List.init n Fun.id
+
+(* Share one row list per distinct left key: rows with the same key are the
+   same list, so a plan over n rows with k distinct keys allocates k rows. *)
+let rows_of_keys ~keys_l ~n_right ~row_of_key =
+  let all = all_rights n_right in
+  let memo = Hashtbl.create 64 in
+  Array.map
+    (function
+      | None -> all
+      | Some k -> (
+          match Hashtbl.find_opt memo k with
+          | Some row -> row
+          | None ->
+              let row = row_of_key k in
+              Hashtbl.add memo k row;
+              row))
+    keys_l
+
+let key_plan ~tick ~key ~left ~right =
+  let keys_l = extract_keys ~tick key left in
+  let keys_r = extract_keys ~tick key right in
+  let n_right = Array.length right in
+  let bucket : (string, int list) Hashtbl.t = Hashtbl.create 64 in
+  for j = n_right - 1 downto 0 do
+    match keys_r.(j) with
+    | None -> ()
+    | Some k ->
+        Hashtbl.replace bucket k (j :: Option.value ~default:[] (Hashtbl.find_opt bucket k))
+  done;
+  let missing_r = missing_of keys_r in
+  let row_of_key k =
+    merge_sorted (Option.value ~default:[] (Hashtbl.find_opt bucket k)) missing_r
+  in
+  { rows = Some (rows_of_keys ~keys_l ~n_right ~row_of_key) }
+
+let qgram_plan ~tick ~key ~q ~threshold ~left ~right =
+  let keys_l = extract_keys ~tick key left in
+  let keys_r = extract_keys ~tick key right in
+  let n_right = Array.length right in
+  (* index only the keyed rights; [keyed_idx] maps index positions back to
+     right indices (both ascending, so query results map back in order) *)
+  let keyed = ref [] in
+  for j = n_right - 1 downto 0 do
+    match keys_r.(j) with None -> () | Some k -> keyed := (j, k) :: !keyed
+  done;
+  let keyed_idx = Array.of_list (List.map fst !keyed) in
+  let keyed_keys = Array.of_list (List.map snd !keyed) in
+  let index = Similarity.Qgram_index.build ~q ~tick keyed_keys in
+  let missing_r = missing_of keys_r in
+  let row_of_key k =
+    let hits = Similarity.Qgram_index.query ~tick index ~threshold k in
+    merge_sorted (List.map (fun p -> keyed_idx.(p)) hits) missing_r
+  in
+  { rows = Some (rows_of_keys ~keys_l ~n_right ~row_of_key) }
+
+(* Sorted neighbourhood: both sides' keyed records are sorted together by
+   key; a left record is a candidate for the rights within [window]
+   positions of it in that order, and — window or not — for every right
+   sharing its exact key (duplicate runs longer than the window must never
+   lose their pairs: that is the recall guarantee). *)
+let sorted_neighbourhood_plan ~tick ~key ~window ~left ~right =
+  let keys_l = extract_keys ~tick key left in
+  let keys_r = extract_keys ~tick key right in
+  let n_right = Array.length right in
+  let entries = ref [] in
+  Array.iteri
+    (fun j -> function None -> () | Some k -> entries := (k, 1, j) :: !entries)
+    keys_r;
+  Array.iteri
+    (fun i -> function None -> () | Some k -> entries := (k, 0, i) :: !entries)
+    keys_l;
+  let arr =
+    Array.of_list
+      (List.sort
+         (fun (ka, sa, ia) (kb, sb, ib) ->
+           match String.compare ka kb with
+           | 0 -> ( match Int.compare sa sb with 0 -> Int.compare ia ib | c -> c)
+           | c -> c)
+         !entries)
+  in
+  let len = Array.length arr in
+  let missing_r = missing_of keys_r in
+  let all = all_rights n_right in
+  let rows = Array.map (fun _ -> all) keys_l in
+  let module IS = Set.Make (Int) in
+  let key_at p = let k, _, _ = arr.(p) in k in
+  Array.iteri
+    (fun p (k, side, i) ->
+      if side = 0 then begin
+        tick ();
+        let set = ref IS.empty in
+        let add p' =
+          let _, side', j = arr.(p') in
+          if side' = 1 then set := IS.add j !set
+        in
+        for p' = max 0 (p - window + 1) to min (len - 1) (p + window - 1) do
+          if p' <> p then add p'
+        done;
+        (* the full equal-key run, even beyond the window *)
+        let p' = ref (p - 1) in
+        while !p' >= 0 && String.equal (key_at !p') k do
+          add !p';
+          decr p'
+        done;
+        p' := p + 1;
+        while !p' < len && String.equal (key_at !p') k do
+          add !p';
+          incr p'
+        done;
+        rows.(i) <- merge_sorted (IS.elements !set) missing_r
+      end)
+    arr;
+  { rows = Some rows }
+
+let plan ?(tick = ignore) spec ~left ~right =
+  match spec with
+  | All_pairs -> identity
+  | Key { key } -> key_plan ~tick ~key ~left ~right
+  | Qgram { key; q; threshold } ->
+      if threshold <= 0. then identity
+      else qgram_plan ~tick ~key ~q ~threshold ~left ~right
+  | Sorted_neighbourhood { key; window } ->
+      sorted_neighbourhood_plan ~tick ~key ~window ~left ~right

@@ -16,7 +16,21 @@ let c_par_runs = Obs.Metrics.counter "integrate.parallel_runs"
 
 let c_pairs = Obs.Metrics.counter "integrate.pairs_compared"
 
+let c_generated = Obs.Metrics.counter "integrate.pairs_generated"
+
 let c_blocked = Obs.Metrics.counter "integrate.pairs_blocked"
+
+(* Per-blocker pruning counters, one per preset so the catalogue is stable;
+   "all" never blocks and stays 0. *)
+let blocker_counters =
+  List.map
+    (fun n -> (n, Obs.Metrics.counter ("integrate.blocked." ^ n)))
+    [ "all"; "key"; "qgram"; "sortedneighbourhood" ]
+
+let c_blocked_by name =
+  match List.assoc_opt name blocker_counters with
+  | Some c -> c
+  | None -> Obs.Metrics.counter ("integrate.blocked." ^ name)
 
 let c_unsure = Obs.Metrics.counter "integrate.unsure_pairs"
 
@@ -37,6 +51,7 @@ type config = {
   value_conflict : Tree.t -> Tree.t -> float;
   reconcile : string -> string -> string -> string option;
   block : Tree.t -> string option;
+  blocker : Blocking.spec;
   max_possibilities : int;
   max_matchings : int;
   jobs : int;
@@ -46,8 +61,9 @@ type config = {
 
 let config ~oracle ?(dtd = Xml.Dtd.empty) ?(factorize = false)
     ?(value_conflict = fun _ _ -> 0.5) ?(reconcile = fun _ _ _ -> None)
-    ?(block = fun _ -> None) ?(max_possibilities = 1_000_000)
-    ?(max_matchings = 1_000_000) ?(jobs = 1) ?decisions ?budget () =
+    ?(block = fun _ -> None) ?(blocker = Blocking.All_pairs)
+    ?(max_possibilities = 1_000_000) ?(max_matchings = 1_000_000) ?(jobs = 1)
+    ?decisions ?budget () =
   if jobs < 1 then invalid_arg "Integrate.config: jobs must be >= 1";
   {
     oracle;
@@ -56,6 +72,7 @@ let config ~oracle ?(dtd = Xml.Dtd.empty) ?(factorize = false)
     value_conflict;
     reconcile;
     block;
+    blocker;
     max_possibilities;
     max_matchings;
     jobs;
@@ -84,6 +101,7 @@ type trace = {
   mutable same_pairs : int;
   mutable cluster_count : int;
   mutable largest_enumeration : int;
+  mutable pairs_generated : int;
   mutable pairs_compared : int;
   mutable pairs_blocked : int;
 }
@@ -94,6 +112,7 @@ let new_trace () =
     same_pairs = 0;
     cluster_count = 0;
     largest_enumeration = 0;
+    pairs_generated = 0;
     pairs_compared = 0;
     pairs_blocked = 0;
   }
@@ -275,19 +294,49 @@ module Engine (R : REP) = struct
         in
         Matching.Verdict v
     in
+    (* 3. Compile the blocker's candidate plan — the pluggable stage in
+       front of the grid. The plan is built here, before any domain fans
+       out, and is immutable afterwards; index construction ticks the same
+       budget as grid cells. *)
+    let plan =
+      match cfg.blocker with
+      | Blocking.All_pairs -> None
+      | spec ->
+          Obs.Trace.with_span "block" (fun () ->
+              Blocking.candidates
+                (Blocking.plan
+                   ~tick:(fun () -> Option.iter Budget.tick cfg.budget)
+                   spec ~left:ga ~right:gb))
+    in
     let graph, tally =
       Obs.Trace.with_span "match" (fun () ->
-          Matching.graph_of_outcomes ?budget:cfg.budget ~jobs:cfg.jobs
-            ~n_left:(Array.length ga) ~n_right:(Array.length gb) outcome)
+          Matching.graph_of_outcomes ?budget:cfg.budget ?candidates:plan
+            ~jobs:cfg.jobs ~n_left:(Array.length ga) ~n_right:(Array.length gb)
+            outcome)
     in
+    trace.pairs_generated <- trace.pairs_generated + tally.Matching.generated;
     trace.pairs_compared <- trace.pairs_compared + tally.Matching.pairs;
     trace.pairs_blocked <- trace.pairs_blocked + tally.Matching.blocked;
     trace.same_pairs <- trace.same_pairs + tally.Matching.same;
     trace.unsure_pairs <- trace.unsure_pairs + tally.Matching.unsure;
+    Obs.Metrics.incr ~by:tally.Matching.generated c_generated;
     Obs.Metrics.incr ~by:tally.Matching.pairs c_pairs;
     Obs.Metrics.incr ~by:tally.Matching.blocked c_blocked;
     Obs.Metrics.incr ~by:tally.Matching.same c_same;
     Obs.Metrics.incr ~by:tally.Matching.unsure c_unsure;
+    let index_blocked = tally.Matching.generated - tally.Matching.pairs in
+    if index_blocked > 0 then begin
+      Obs.Metrics.incr ~by:index_blocked (c_blocked_by (Blocking.name cfg.blocker));
+      Obs.Event.emit
+        ~fields:
+          [
+            ("blocker", Obs.Json.String (Blocking.name cfg.blocker));
+            ("generated", Obs.Json.Int tally.Matching.generated);
+            ("compared", Obs.Json.Int tally.Matching.pairs);
+            ("blocked", Obs.Json.Int index_blocked);
+          ]
+        "integrate.block"
+    end;
     let iso_left, iso_right = Matching.isolated graph in
     let certain_dist =
       match List.map (fun i -> embed ga.(i)) iso_left
@@ -471,6 +520,7 @@ let recorded ~op f =
   result
 
 let note_trace trace =
+  Obs.Recorder.note "pairs_generated" (Obs.Json.Int trace.pairs_generated);
   Obs.Recorder.note "pairs_compared" (Obs.Json.Int trace.pairs_compared);
   Obs.Recorder.note "clusters" (Obs.Json.Int trace.cluster_count)
 

@@ -52,6 +52,14 @@ type config = {
           10⁴-record integrations fast). Children without a key pair with
           everything. Soundness is the blocking function's contract.
           Default: no blocking. *)
+  blocker : Blocking.spec;
+      (** Pluggable candidate-indexing stage ({!Blocking}): compiles a
+          per-grid plan (key buckets, inverted q-gram index, or sorted
+          neighbourhood) so only plausible pairs are {e visited} at all —
+          unlike [block], which still evaluates every cell. Default
+          {!Blocking.All_pairs} (full grid, legacy behaviour). Recall
+          safety relative to the Oracle is the caller's contract, certified
+          for the shipped presets by [dune build @block-stress]. *)
   max_possibilities : int;
       (** materialisation cap for a single probability node; {!integrate}
           fails with [Too_large] beyond it (default 1_000_000) *)
@@ -85,6 +93,7 @@ val config :
   ?value_conflict:(Xml.Tree.t -> Xml.Tree.t -> float) ->
   ?reconcile:(string -> string -> string -> string option) ->
   ?block:(Xml.Tree.t -> string option) ->
+  ?blocker:Blocking.spec ->
   ?max_possibilities:int ->
   ?max_matchings:int ->
   ?jobs:int ->
@@ -117,11 +126,19 @@ type trace = {
   mutable same_pairs : int;  (** pairs forced [Same] *)
   mutable cluster_count : int;
   mutable largest_enumeration : int;  (** matchings in the biggest cluster *)
+  mutable pairs_generated : int;
+      (** every pair of the full candidate grids ([n_left * n_right]
+          summed), whether or not it was visited *)
   mutable pairs_compared : int;
-      (** candidate pairs considered, including tag mismatches and blocked
-          pairs that never reached the Oracle *)
+      (** grid cells actually evaluated, including tag mismatches and
+          rule-level blocked pairs that never reached the Oracle. Equal to
+          [pairs_generated] unless a [blocker] index skipped cells. *)
   mutable pairs_blocked : int;
-      (** pairs ruled out by the blocking key before the Oracle ran *)
+      (** pairs ruled out before the Oracle ran — by the [blocker] index
+          (skipped without evaluation) or by the [block] key (evaluated,
+          then dropped). Invariant:
+          [pairs_generated = pairs_compared + pairs_blocked - rule-level
+          blocks]. *)
 }
 
 (** Exact size measures computed without materialising: [nodes] mirrors

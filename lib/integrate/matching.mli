@@ -53,11 +53,22 @@ val count_matchings : cluster -> int
     before any Oracle call. *)
 type outcome = Verdict of Imprecise_oracle.Oracle.verdict | Blocked
 
-type tally = { pairs : int; blocked : int; same : int; unsure : int }
-(** Per-grid bookkeeping: [pairs] is every cell visited, [blocked] the
-    cells pruned by blocking, [same]/[unsure] the Oracle verdicts of those
-    kinds. Collected privately per domain and summed, so the totals are
-    exact whatever [jobs] is. *)
+type tally = {
+  generated : int;
+  pairs : int;
+  blocked : int;
+  same : int;
+  unsure : int;
+}
+(** Per-grid bookkeeping: [generated] is the full grid size
+    ([n_left * n_right] — every pair that exists), [pairs] the cells
+    actually evaluated ([outcome] called), [blocked] the pairs pruned
+    either by the candidate index (skipped without evaluation) or by a
+    rule-level [Blocked] outcome, [same]/[unsure] the Oracle verdicts of
+    those kinds. Invariants: [generated = pairs + (blocked - rule-level
+    blocks)], and without a candidate index [generated = pairs]. Collected
+    privately per domain and summed, so the totals are exact whatever
+    [jobs] is. *)
 
 val empty_tally : tally
 
@@ -68,6 +79,15 @@ val add_tally : tally -> tally -> tally
     [Verdict Same] ⇒ forced edge, [Verdict Different] or [Blocked] ⇒ no
     edge, [Verdict (Unsure p)] ⇒ edge with probability [p] (clamped away
     from 0 and 1), and returns the tally alongside.
+
+    [candidates] (from {!Blocking.candidates}) restricts each row [i] to
+    the cells [candidates i]: only those are evaluated (and ticked against
+    the budget); the rest of the row is counted as blocked without being
+    visited. The lists must be ascending, duplicate-free right indices in
+    [0, n_right) — ascending order preserves the row-major edge order, so
+    the band sharding below stays bit-identical for every [jobs] with any
+    blocker. [candidates] is called from every band domain, so it must be a
+    pure read (compiled plans are).
 
     [jobs] (default 1) shards the grid into contiguous row bands, one OCaml
     domain per band. Each band buffers its edges and tally privately; the
@@ -87,6 +107,7 @@ val add_tally : tally -> tally -> tally
     siblings stop at their next tick instead of finishing their bands. *)
 val graph_of_outcomes :
   ?budget:Imprecise_resilience.Budget.t ->
+  ?candidates:(int -> int list) ->
   ?jobs:int ->
   n_left:int ->
   n_right:int ->

@@ -104,6 +104,106 @@ let name_similarity a b =
   let e = edit_similarity a b in
   Float.max (token_jaccard a b) (if e >= 0.7 then e else 0.)
 
+(* ---- q-grams and the inverted candidate index ------------------------------- *)
+
+(* Canonical form for blocking keys: lower-cased, tokenised on
+   non-alphanumerics, re-joined with single spaces — so case, punctuation
+   and stray whitespace never split a block. *)
+let normalize_key s = String.concat " " (tokens s)
+
+let qgram_set ?(q = 2) s =
+  if q < 1 then invalid_arg "Similarity.qgrams: q must be >= 1";
+  let s = normalize_key s in
+  let n = String.length s in
+  if n = 0 then S.empty
+  else if n <= q then S.singleton s
+  else begin
+    let out = ref S.empty in
+    for i = 0 to n - q do
+      out := S.add (String.sub s i q) !out
+    done;
+    !out
+  end
+
+let qgrams ?q s = S.elements (qgram_set ?q s)
+
+let qgram_similarity ?q a b =
+  let ga = qgram_set ?q a and gb = qgram_set ?q b in
+  if S.is_empty ga && S.is_empty gb then 1.
+  else
+    let inter = S.cardinal (S.inter ga gb) in
+    let union = S.cardinal ga + S.cardinal gb - inter in
+    float_of_int inter /. float_of_int union
+
+module Qgram_index = struct
+  module Obs = Imprecise_obs.Obs
+
+  let c_builds = Obs.Metrics.counter "oracle.qgram.index_builds"
+
+  let c_lookups = Obs.Metrics.counter "oracle.qgram.lookups"
+
+  type t = {
+    q : int;
+    grams : S.t array;  (* per-entry gram set, for exact re-scoring *)
+    buckets : (string, int list) Hashtbl.t;  (* gram -> entries, ascending *)
+    size : int;
+  }
+
+  let build ?(q = 2) ?(tick = ignore) keys =
+    Obs.Metrics.incr c_builds;
+    let size = Array.length keys in
+    let grams =
+      Array.map
+        (fun k ->
+          tick ();
+          qgram_set ~q k)
+        keys
+    in
+    let buckets = Hashtbl.create (max 16 size) in
+    (* walk entries high-to-low so each posting list comes out ascending *)
+    for i = size - 1 downto 0 do
+      S.iter
+        (fun g ->
+          tick ();
+          let prev = Option.value ~default:[] (Hashtbl.find_opt buckets g) in
+          Hashtbl.replace buckets g (i :: prev))
+        grams.(i)
+    done;
+    { q; grams; buckets; size }
+
+  let size t = t.size
+
+  let similarity_to t i gs =
+    let gi = t.grams.(i) in
+    if S.is_empty gi && S.is_empty gs then 1.
+    else
+      let inter = S.cardinal (S.inter gi gs) in
+      let union = S.cardinal gi + S.cardinal gs - inter in
+      float_of_int inter /. float_of_int union
+
+  let query ?(tick = ignore) t ~threshold key =
+    Obs.Metrics.incr c_lookups;
+    if threshold <= 0. then List.init t.size Fun.id
+    else begin
+      let gs = qgram_set ~q:t.q key in
+      let seen = Hashtbl.create 16 in
+      S.iter
+        (fun g ->
+          match Hashtbl.find_opt t.buckets g with
+          | None -> ()
+          | Some ids ->
+              List.iter
+                (fun i ->
+                  tick ();
+                  Hashtbl.replace seen i ())
+                ids)
+        gs;
+      Hashtbl.fold (fun i () acc -> i :: acc) seen []
+      |> List.filter (fun i -> similarity_to t i gs >= threshold)
+      |> List.sort Int.compare
+    end
+end
+
 let sequel_markers =
   S.of_list
     [ "2"; "3"; "4"; "5"; "ii"; "iii"; "iv"; "v"; "part"; "episode"; "returns" ]

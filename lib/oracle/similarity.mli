@@ -38,3 +38,52 @@ val name_similarity : string -> string -> float
 val title_similarity : string -> string -> float
 
 val lowercase : string -> string
+
+(** {1 q-grams and the inverted candidate index}
+
+    Substrate for the q-gram blocker (see doc/integrate.md): strings are
+    canonicalised with {!normalize_key}, cut into overlapping substrings of
+    length [q], and compared by Jaccard similarity of the gram sets. The
+    inverted index maps grams to the entries containing them, so finding
+    every entry similar to a probe key touches only the posting lists of
+    the probe's own grams — not the whole collection. *)
+
+(** [normalize_key s] is the canonical blocking form of [s]: lower-cased,
+    split on non-alphanumerics, re-joined with single spaces ([""] when no
+    token survives). Case, punctuation and whitespace differences never
+    separate two keys. *)
+val normalize_key : string -> string
+
+(** [qgrams ?q s] is the sorted, de-duplicated list of [q]-grams (default
+    [q = 2]) of [normalize_key s]. The empty (normalised) string has no
+    grams; a string shorter than [q] is its own single gram. Raises
+    [Invalid_argument] if [q < 1]. *)
+val qgrams : ?q:int -> string -> string list
+
+(** [qgram_similarity ?q a b] is the Jaccard similarity of the two gram
+    sets — symmetric, in [0, 1], [1.] when both strings normalise equal
+    (in particular two empty strings). *)
+val qgram_similarity : ?q:int -> string -> string -> float
+
+(** An inverted q-gram index over a fixed array of keys, built once and
+    probed many times. Immutable after {!Qgram_index.build}, so lookups are
+    safe from any domain. *)
+module Qgram_index : sig
+  type t
+
+  (** [build ?q ?tick keys] indexes [keys.(0) .. keys.(n-1)]. [tick]
+      (default: no-op) is called once per key and once per posting written —
+      thread a resilience-budget tick through it so index construction
+      counts against the caller's work budget. *)
+  val build : ?q:int -> ?tick:(unit -> unit) -> string array -> t
+
+  (** Number of indexed entries. *)
+  val size : t -> int
+
+  (** [query ?tick t ~threshold key] is the ascending list of entry indices
+      whose {!qgram_similarity} to [key] is [>= threshold]. Only entries
+      sharing at least one gram with [key] are examined (an entry equal to
+      [key] always shares all of them), except [threshold <= 0.] which
+      returns every entry. [tick] is called once per posting examined. *)
+  val query : ?tick:(unit -> unit) -> t -> threshold:float -> string -> int list
+end

@@ -538,6 +538,146 @@ let test_typical_conditions () =
       check (Alcotest.float 0.) "four possible worlds" 4. s.Integrate.worlds;
       check Alcotest.bool "a few thousand nodes" true (s.Integrate.nodes < 10_000.)
 
+(* ---- blocking: golden pins and counter consistency -------------------------- *)
+
+module Blocking = Imprecise.Blocking
+module Codec = Imprecise.Codec
+
+(* Figure 2 under every blocker preset: the blocking stage must not change
+   the integration outcome — worlds, probabilities and the merged encoding
+   are pinned to the All_pairs baseline. *)
+let test_fig2_pinned_under_blockers () =
+  let integrate blocker =
+    let cfg =
+      Integrate.config ~oracle:(Oracle.make [ Oracle.deep_equal_rule ])
+        ~dtd:Addressbook.dtd ~blocker ()
+    in
+    match Integrate.integrate cfg Addressbook.source_a Addressbook.source_b with
+    | Ok doc -> doc
+    | Error e -> Alcotest.failf "integrate failed: %a" Integrate.pp_error e
+  in
+  let baseline = integrate Blocking.All_pairs in
+  let ref_bytes = Codec.to_string ~indent:2 baseline in
+  check Alcotest.int "baseline: three worlds" 3 (List.length (Worlds.merged baseline));
+  List.iter
+    (fun blocker ->
+      let doc = integrate blocker in
+      check Alcotest.string
+        (Printf.sprintf "fig2 byte-identical under %s" (Blocking.describe blocker))
+        ref_bytes
+        (Codec.to_string ~indent:2 doc))
+    [
+      Blocking.key ~field:"nm" ();
+      Blocking.qgram ~field:"nm" ();
+      Blocking.sorted_neighbourhood ~field:"nm" ();
+    ]
+
+(* §VI "typical conditions" under blocker presets: clusters, verdict
+   tallies and the merged document are pinned to the All_pairs baseline —
+   only the pair accounting may differ. The presets are chosen to be
+   recall-safe for the full rule set: key on year (the year rule calls any
+   year mismatch Different), q-gram on title at a threshold below the
+   title rule's Different cut-off, and a sorted neighbourhood on title
+   (the two undecided pairs have near-identical titles, hence adjacent
+   sort positions). *)
+let test_typical_pinned_under_blockers () =
+  let wl = Workloads.typical () in
+  let a = Workloads.mpeg7_doc wl and b = Workloads.imdb_doc wl in
+  let run blocker =
+    let cfg =
+      Integrate.config ~oracle:Rulesets.full.oracle ~reconcile:Rulesets.full.reconcile
+        ~dtd:wl.dtd ~factorize:true ~blocker ()
+    in
+    match Integrate.integrate_traced cfg a b, Integrate.stats cfg a b with
+    | Ok (doc, trace), Ok s -> (Codec.to_string ~indent:2 doc, trace, s)
+    | Error e, _ | _, Error e -> Alcotest.failf "typical failed: %a" Integrate.pp_error e
+  in
+  let ref_bytes, ref_trace, ref_stats = run Blocking.All_pairs in
+  check Alcotest.int "baseline: two undecided pairs" 2 ref_trace.Integrate.unsure_pairs;
+  check (Alcotest.float 0.) "baseline: four worlds" 4. ref_stats.Integrate.worlds;
+  List.iter
+    (fun blocker ->
+      let name = Blocking.describe blocker in
+      let bytes, trace, s = run blocker in
+      check Alcotest.string (name ^ ": byte-identical document") ref_bytes bytes;
+      check Alcotest.int (name ^ ": same clusters") ref_trace.Integrate.cluster_count
+        trace.Integrate.cluster_count;
+      check Alcotest.int (name ^ ": same forced matches") ref_trace.Integrate.same_pairs
+        trace.Integrate.same_pairs;
+      check Alcotest.int (name ^ ": same undecided pairs") ref_trace.Integrate.unsure_pairs
+        trace.Integrate.unsure_pairs;
+      check (Alcotest.float 1e-6) (name ^ ": same nodes") ref_stats.Integrate.nodes
+        s.Integrate.nodes;
+      check (Alcotest.float 1e-6) (name ^ ": same worlds") ref_stats.Integrate.worlds
+        s.Integrate.worlds;
+      (* the full grid is always accounted, whatever was skipped *)
+      check Alcotest.int (name ^ ": same pairs generated")
+        ref_trace.Integrate.pairs_generated trace.Integrate.pairs_generated)
+    [
+      Blocking.key ~field:"year" ();
+      Blocking.qgram ~field:"title" ~threshold:0.25 ();
+      Blocking.sorted_neighbourhood ~field:"title" ();
+    ]
+
+(* Regression for the pair-accounting fix: generated / compared / blocked
+   must stay consistent whether pruning happens at the rule level
+   ([block], evaluated then dropped), at the index level ([blocker],
+   skipped without evaluation), both, or neither. *)
+let test_blocking_counter_consistency () =
+  let a, b = Addressbook.larger 30 5 in
+  let oracle =
+    Oracle.make [ Oracle.deep_equal_rule; Oracle.key_rule ~tag:"person" ~field:"nm" ]
+  in
+  let name_block t = if Tree.name t = Some "person" then Tree.field t "nm" else None in
+  let run ?block ?blocker () =
+    let cfg =
+      Integrate.config ~oracle ~dtd:Addressbook.dtd ~factorize:true ?block ?blocker ()
+    in
+    match Integrate.stats cfg a b with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "stats failed: %a" Integrate.pp_error e
+  in
+  let tr (s : Integrate.summary) = s.Integrate.trace in
+  let plain = run () in
+  let t0 = tr plain in
+  check Alcotest.int "no index: every generated pair is compared"
+    t0.Integrate.pairs_generated t0.Integrate.pairs_compared;
+  check Alcotest.int "no blocking at all: blocked = 0" 0 t0.Integrate.pairs_blocked;
+  (* rule-level blocking evaluates the cell, then drops it *)
+  let t1 = tr (run ~block:name_block ()) in
+  check Alcotest.int "rule blocks still compare every pair"
+    t1.Integrate.pairs_generated t1.Integrate.pairs_compared;
+  check Alcotest.bool "rule-level blocks counted" true (t1.Integrate.pairs_blocked > 0);
+  check Alcotest.int "same grid either way" t0.Integrate.pairs_generated
+    t1.Integrate.pairs_generated;
+  (* index-level blocking skips the cell without evaluating it *)
+  let key_nm = Blocking.key ~field:"nm" () in
+  let idx = run ~blocker:key_nm () in
+  let t2 = tr idx in
+  check Alcotest.int "index keeps the full grid accounted"
+    t0.Integrate.pairs_generated t2.Integrate.pairs_generated;
+  check Alcotest.bool "index skipped pairs" true
+    (t2.Integrate.pairs_compared < t2.Integrate.pairs_generated);
+  check Alcotest.int "every skipped pair is reported blocked"
+    (t2.Integrate.pairs_generated - t2.Integrate.pairs_compared)
+    t2.Integrate.pairs_blocked;
+  (* both layers: the index removes exactly the pairs the rule would have
+     dropped, so blocked = index skips and no rule-level block fires *)
+  let t3 = tr (run ~block:name_block ~blocker:key_nm ()) in
+  check Alcotest.int "rule finds nothing left to block"
+    (t3.Integrate.pairs_generated - t3.Integrate.pairs_compared)
+    t3.Integrate.pairs_blocked;
+  check Alcotest.int "same comparisons as index alone" t2.Integrate.pairs_compared
+    t3.Integrate.pairs_compared;
+  (* and none of it changed the result *)
+  List.iter
+    (fun (label, s) ->
+      check (Alcotest.float 1e-6) (label ^ ": nodes unchanged") plain.Integrate.nodes
+        s.Integrate.nodes;
+      check (Alcotest.float 1e-6) (label ^ ": worlds unchanged") plain.Integrate.worlds
+        s.Integrate.worlds)
+    [ ("blocker", idx); ("block+blocker", run ~block:name_block ~blocker:key_nm ()) ]
+
 (* ---- mid-fold failure atomicity ------------------------------------------- *)
 
 (* Regression for the batch engine's atomicity contract: a source failing
@@ -633,6 +773,12 @@ let suite =
         t "Table 1 is monotone" test_table1_monotone;
         t "estimator matches materialisation on Figure-5 points" test_stats_mirror_figure5_points;
         t "typical conditions: 2 undecided, 4 worlds" test_typical_conditions;
+      ] );
+    ( "integrate.blocker",
+      [
+        t "Figure 2 pinned under every blocker" test_fig2_pinned_under_blockers;
+        t "typical conditions pinned under blockers" test_typical_pinned_under_blockers;
+        t "generated/compared/blocked consistency" test_blocking_counter_consistency;
       ] );
     ( "integrate.resilience",
       [ t "mid-fold failure is atomic" test_integrate_many_mid_fold_atomicity ] );

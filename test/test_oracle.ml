@@ -77,6 +77,74 @@ let prop_similarity_bounds =
           Similarity.title_similarity;
         ])
 
+(* ---- q-grams and the inverted index ----------------------------------------- *)
+
+let test_normalize_key () =
+  check Alcotest.string "case and whitespace" "jaws 2 the revenge"
+    (Similarity.normalize_key "  Jaws 2:  The REVENGE! ");
+  check Alcotest.string "empty" "" (Similarity.normalize_key "  ... ");
+  check Alcotest.string "idempotent" "a b" (Similarity.normalize_key (Similarity.normalize_key "A  b"))
+
+let test_qgrams () =
+  check Alcotest.(list string) "empty string has no grams" [] (Similarity.qgrams "");
+  check Alcotest.(list string) "whitespace-only has no grams" [] (Similarity.qgrams "  . ");
+  check Alcotest.(list string) "single char shorter than q" [ "a" ] (Similarity.qgrams "a");
+  check Alcotest.(list string) "q longer than string" [ "ab" ] (Similarity.qgrams ~q:5 "ab");
+  check Alcotest.(list string) "bigrams, deduplicated" [ "ab"; "ba" ]
+    (Similarity.qgrams "abab");
+  check Alcotest.(list string) "normalized before slicing" [ "ab" ]
+    (Similarity.qgrams "  AB ");
+  Alcotest.check_raises "q = 0 rejected" (Invalid_argument "Similarity.qgrams: q must be >= 1")
+    (fun () -> ignore (Similarity.qgrams ~q:0 "ab"))
+
+let test_qgram_similarity () =
+  fcheck "both empty" 1. (Similarity.qgram_similarity "" "");
+  fcheck "empty vs nonempty" 0. (Similarity.qgram_similarity "" "abc");
+  fcheck "identical" 1. (Similarity.qgram_similarity "twelve monkeys" "twelve monkeys");
+  fcheck "case/whitespace insensitive" 1.
+    (Similarity.qgram_similarity "Twelve  Monkeys" "twelve monkeys");
+  fcheck "disjoint" 0. (Similarity.qgram_similarity "abc" "xyz");
+  check Alcotest.bool "near titles overlap" true
+    (Similarity.qgram_similarity "twelve monkeys" "12 monkeys" > 0.3);
+  (* single-char tokens: grams shorter than q still compare *)
+  fcheck "single chars equal" 1. (Similarity.qgram_similarity "a" "a");
+  fcheck "single chars differ" 0. (Similarity.qgram_similarity "a" "b")
+
+let prop_qgram_symmetry =
+  QCheck.Test.make ~name:"qgram similarity is symmetric and in [0,1]" ~count:300
+    QCheck.(pair (string_of_size (Gen.int_bound 12)) (string_of_size (Gen.int_bound 12)))
+    (fun (a, b) ->
+      let x = Similarity.qgram_similarity a b and y = Similarity.qgram_similarity b a in
+      x >= 0. && x <= 1. +. 1e-9 && Float.abs (x -. y) < 1e-9)
+
+let test_qgram_index () =
+  let keys = [| "twelve monkeys"; "die hard"; "12 monkeys"; "jaws" |] in
+  let idx = Similarity.Qgram_index.build keys in
+  check Alcotest.int "size" 4 (Similarity.Qgram_index.size idx);
+  (* exact key always survives any threshold <= 1 *)
+  check Alcotest.bool "self hit at threshold 1" true
+    (List.mem 1 (Similarity.Qgram_index.query idx ~threshold:1. "die hard"));
+  (* hits are exactly the entries at or above the threshold, ascending *)
+  let hits = Similarity.Qgram_index.query idx ~threshold:0.3 "twelve monkeys" in
+  check Alcotest.(list int) "similar titles found, ascending" [ 0; 2 ] hits;
+  check Alcotest.(list int) "threshold 0 returns everything" [ 0; 1; 2; 3 ]
+    (Similarity.Qgram_index.query idx ~threshold:0. "zzz");
+  check Alcotest.(list int) "no shared grams, no hits" []
+    (Similarity.Qgram_index.query idx ~threshold:0.1 "zzz");
+  (* the index agrees with the pairwise similarity it is built from *)
+  Array.iter
+    (fun k ->
+      let wanted =
+        List.filter (fun j -> Similarity.qgram_similarity keys.(j) k >= 0.3) [ 0; 1; 2; 3 ]
+      in
+      check Alcotest.(list int) (Fmt.str "index vs pairwise for %S" k) wanted
+        (Similarity.Qgram_index.query idx ~threshold:0.3 k))
+    keys;
+  (* a tick callback sees the work: at least one call per key *)
+  let ticks = ref 0 in
+  let _ = Similarity.Qgram_index.build ~tick:(fun () -> incr ticks) keys in
+  check Alcotest.bool "build ticks" true (!ticks >= Array.length keys)
+
 let prop_levenshtein_triangle =
   QCheck.Test.make ~name:"levenshtein triangle inequality" ~count:200
     QCheck.(triple (string_of_size (Gen.int_bound 8)) (string_of_size (Gen.int_bound 8)) (string_of_size (Gen.int_bound 8)))
@@ -207,6 +275,11 @@ let suite =
         t "token jaccard" test_token_jaccard;
         t "name similarity" test_name_similarity;
         t "title similarity (sequel cap)" test_title_similarity;
+        t "normalize key" test_normalize_key;
+        t "q-grams (edge cases)" test_qgrams;
+        t "q-gram similarity" test_qgram_similarity;
+        t "q-gram inverted index" test_qgram_index;
+        q prop_qgram_symmetry;
         q prop_similarity_bounds;
         q prop_levenshtein_triangle;
       ] );

@@ -51,6 +51,7 @@ let same_trace seed label (a : Integrate.trace) (b : Integrate.trace) =
   let field name va vb =
     if va <> vb then fail seed "%s: %s differs (jobs=1: %d, parallel: %d)" label name va vb
   in
+  field "pairs_generated" a.Integrate.pairs_generated b.Integrate.pairs_generated;
   field "pairs_compared" a.Integrate.pairs_compared b.Integrate.pairs_compared;
   field "pairs_blocked" a.Integrate.pairs_blocked b.Integrate.pairs_blocked;
   field "same_pairs" a.Integrate.same_pairs b.Integrate.same_pairs;

@@ -113,6 +113,28 @@ let check_experiment ~file experiments name =
     positive "pquery.degraded";
     positive "resilience.deadline_exceeded"
   end;
+  (* the planner experiment must have routed most of the widened corpus
+     past enumeration, and the planner itself must have been timed *)
+  if name = "pquery_direct_wide" then begin
+    positive "pquery.path.direct";
+    let count counter =
+      match Obs.Json.member counter counters with
+      | Some (Obs.Json.Int n) -> n
+      | _ -> fail "%s: counter %S is not an integer" ctx counter
+    in
+    if count "pquery.path.direct" <= count "pquery.path.enumerate" then
+      fail "%s: direct routes (%d) do not dominate enumeration fallbacks (%d)" ctx
+        (count "pquery.path.direct")
+        (count "pquery.path.enumerate");
+    let h =
+      match Obs.Json.member "analyze.plan" (member ~ctx "histograms" metrics) with
+      | Some h -> h
+      | None -> fail "%s: histogram \"analyze.plan\" missing" ctx
+    in
+    match Obs.Json.member "n" h with
+    | Some (Obs.Json.Int n) when n > 0 -> ()
+    | _ -> fail "%s: analyze.plan has no observations — planner untimed?" ctx
+  end;
   (* the event ring must never have overflowed during a bench run *)
   (match Obs.Json.member "obs.events_dropped" counters with
   | Some (Obs.Json.Int 0) -> ()

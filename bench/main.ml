@@ -525,6 +525,97 @@ let analyze_prune () =
   Printf.printf "live query %s: %.3fs, %d answers (not pruned)\n" q1 t_live
     (List.length live)
 
+(* ---- extension: static query planner --------------------------------------------------- *)
+
+let pquery_direct_wide () =
+  section "Static planner - routing the widened direct fragment (doc/analysis.md)";
+  (* The §VI document first: integration feeds the usual counters, and the
+     paper's queries plus widened shapes must all route past enumeration. *)
+  let doc = query_document () in
+  Printf.printf "document: %d nodes, %s possible worlds\n" (node_count doc)
+    (human (world_count doc));
+  List.iter
+    (fun q ->
+      let plan = Pquery.plan doc q in
+      Printf.printf "%-9s %s\n"
+        (Analyze.Plan.route_to_string plan.Analyze.Plan.route)
+        q;
+      if plan.Analyze.Plan.route <> Analyze.Plan.Direct then
+        Fmt.failwith "[%s] %s did not route direct" !in_experiment q)
+    [ q1; q2; "/descendant::movie/title"; "//movie/title/text()" ];
+  let direct, t_direct = time (fun () -> rank doc q1) in
+  let enum, t_enum =
+    time (fun () -> rank ~strategy:Pquery.Enumerate_only ~world_limit:1e7 doc q1)
+  in
+  Printf.printf "Q1 planned (direct): %.4fs   forced enumeration: %.3fs   speedup %.0fx\n"
+    t_direct t_enum
+    (t_enum /. Float.max t_direct 1e-9);
+  if not (Answer.equal ~tolerance:1e-9 direct enum) then
+    Fmt.failwith "[%s] direct route disagrees with enumeration on Q1" !in_experiment;
+  (* The fuzz-representative corpus: the differential harness's generator
+     with a pool biased to the widened fragment. Every case runs under Auto
+     with the static-empty prune off so the planner decides the route, and
+     the route the evaluator takes must match the plan. Answer agreement
+     with raw enumeration is certified exhaustively by @fuzz-smoke and
+     @plan-stress; here the first two seeds are re-checked as a spot probe
+     (a full per-case reference would drown pquery.path.enumerate in
+     reference runs and make the routing tally meaningless). *)
+  let widened =
+    [
+      "//a"; "//item/name"; "/descendant::a"; "//item/descendant::b"; "item/name";
+      {|//a[contains(.,"z")]|}; {|//item[name="42"]/b[2]|}; {|//a[b[1]="x"]|};
+      "//a/text()"; {|//a[.="x"]|};
+    ]
+  in
+  let fallbacks = [ "//a[1]"; "count(//a)"; "//a | //b" ] in
+  let c_direct = Obs.Metrics.counter "pquery.path.direct" in
+  let c_enum = Obs.Metrics.counter "pquery.path.enumerate" in
+  let d0 = Obs.Metrics.count c_direct and e0 = Obs.Metrics.count c_enum in
+  let cases = ref 0 and spot_checked = ref 0 and disagreements = ref 0 in
+  for seed = 0 to 29 do
+    let doc = fst (Data.Random_docs.pxml (Data.Prng.make seed) ~depth:2) in
+    if Pxml.world_count doc <= 5000. then
+      List.iter
+        (fun q ->
+          incr cases;
+          let plan = Pquery.plan doc q in
+          let d_before = Obs.Metrics.count c_direct in
+          let auto = rank ~static_check:false doc q in
+          let took_direct = Obs.Metrics.count c_direct > d_before in
+          (match plan.Analyze.Plan.route with
+          | Analyze.Plan.Direct when not took_direct ->
+              Fmt.failwith "[%s] plan routed %s direct but Auto enumerated"
+                !in_experiment q
+          | Analyze.Plan.Enumerate when took_direct ->
+              Fmt.failwith "[%s] plan routed %s to enumeration but Auto went direct"
+                !in_experiment q
+          | _ -> ());
+          if seed < 2 then begin
+            incr spot_checked;
+            let reference =
+              rank ~strategy:Pquery.Enumerate_only ~static_check:false doc q
+            in
+            if not (Answer.equal ~tolerance:1e-9 auto reference) then
+              incr disagreements
+          end)
+        (widened @ fallbacks)
+  done;
+  let routed_direct = Obs.Metrics.count c_direct - d0 in
+  let routed_enum = Obs.Metrics.count c_enum - e0 in
+  Printf.printf
+    "corpus: %d (document, query) cases — routed direct: %d, enumeration fallbacks: \
+     %d (incl. %d reference runs), disagreements vs raw enumeration: %d/%d spot-checked\n"
+    !cases routed_direct routed_enum !spot_checked !disagreements !spot_checked;
+  if !disagreements > 0 then
+    Fmt.failwith "[%s] %d Auto answers disagree with enumeration" !in_experiment
+      !disagreements;
+  if routed_direct <= routed_enum then
+    Fmt.failwith "[%s] direct routes (%d) do not dominate fallbacks (%d)" !in_experiment
+      routed_direct routed_enum;
+  Printf.printf
+    "(the planner proves the route from the path summary alone; P-codes on the\n\
+     fallbacks and the analyze.plan histogram land in the snapshot)\n"
+
 (* ---- extension: title-threshold sensitivity ------------------------------------------- *)
 
 let threshold () =
@@ -818,6 +909,7 @@ let experiments =
     ("pquery_cached", pquery_cached);
     ("pquery_degraded", pquery_degraded);
     ("analyze_prune", analyze_prune);
+    ("pquery_direct_wide", pquery_direct_wide);
     ("quality", quality);
     ("feedback", feedback);
     ("reduction", reduction);

@@ -679,7 +679,7 @@ let validate_cmd =
     Term.(const run $ path $ dtd_arg $ format_arg $ telemetry_term)
 
 let check_cmd =
-  let run path queries dtd format tele =
+  let run path queries dtd plan format tele =
     with_telemetry tele @@ fun () ->
     if path = None && queries = [] then begin
       Fmt.epr "imprecise: nothing to check: give a DOC.xml and/or --query@.";
@@ -699,9 +699,54 @@ let check_cmd =
     let query_diags =
       List.concat_map (fun q -> Analyze.Query_check.check_string ?summary q) queries
     in
-    let diags = doc_diags @ query_diags in
-    render_diags format diags;
-    (if format = `Text && diags = [] then
+    (* --plan: the static planner's verdict per query. Syntax errors are
+       already reported by check_string above, so unparseable queries are
+       simply skipped here; P-code fallback reasons join the diagnostics
+       (severity info, so they never affect the exit code). *)
+    let plans =
+      if not plan then []
+      else
+        let summary = Option.value summary ~default:Analyze.Summary.empty in
+        List.filter_map
+          (fun q ->
+            match Xpath.Parser.parse q with
+            | Error _ -> None
+            | Ok e -> Some (q, Analyze.Plan.plan ~summary ~source:q e))
+          queries
+    in
+    let diags =
+      doc_diags @ query_diags
+      @ List.concat_map (fun (_, (p : Analyze.Plan.t)) -> p.Analyze.Plan.reasons) plans
+    in
+    (match format with
+    | `Json ->
+        let base =
+          match Diag.list_to_json diags with
+          | Obs.Json.Obj fields -> fields
+          | j -> [ ("diagnostics", j) ]
+        in
+        let fields =
+          if not plan then base
+          else
+            base
+            @ [
+                ( "plans",
+                  Obs.Json.List
+                    (List.map
+                       (fun (q, p) ->
+                         Obs.Json.Obj
+                           [
+                             ("query", Obs.Json.String q);
+                             ("plan", Analyze.Plan.to_json p);
+                           ])
+                       plans) );
+              ]
+        in
+        print_endline (Obs.Json.to_string ~indent:2 (Obs.Json.Obj fields))
+    | `Text ->
+        render_diags `Text diags;
+        List.iter (fun (q, p) -> Fmt.pr "plan %s:@.  %a@." q Analyze.Plan.pp p) plans);
+    (if format = `Text && diags = [] && plans = [] then
        Fmt.pr "clean: no findings in %d document(s), %d query(ies)@."
          (if path = None then 0 else 1)
          (List.length queries));
@@ -717,13 +762,24 @@ let check_cmd =
              additionally checked against its path summary: a provably empty result is \
              an error.")
   in
+  let plan =
+    Arg.(
+      value & flag
+      & info [ "plan" ]
+          ~doc:
+            "Also print the static query plan for each --query: the chosen route \
+             (direct/enumerate), cost and cardinality bounds, discharged proof \
+             obligations, and P-code fallback reasons (doc/analysis.md). With a \
+             document the plan is computed against its path summary; without one, \
+             against the empty summary.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Static analysis: lint a probabilistic document and/or analyse queries \
           against its path summary, without enumerating any worlds. Reports stable \
           diagnostic codes (doc/analysis.md); the exit code is the worst severity.")
-    Term.(const run $ path $ queries $ dtd_arg $ format_arg $ telemetry_term)
+    Term.(const run $ path $ queries $ dtd_arg $ plan $ format_arg $ telemetry_term)
 
 (* ---- doctor ------------------------------------------------------------------------ *)
 

@@ -1,0 +1,142 @@
+module Ast = Imprecise_xpath.Ast
+module Json = Imprecise_obs.Obs.Json
+
+type interval = { lo : float; hi : float }
+
+type t = {
+  answers : interval;
+  per_world : interval;
+  worlds : float;
+  tracked : bool;
+}
+
+(* Every proper prefix of [p] followed by [p] itself: the chain of card
+   entries whose product bounds the per-world element count at [p]. *)
+let chain p =
+  let rec go acc rev = function
+    | [] -> List.rev acc
+    | x :: rest -> go ((List.rev rev @ [ x ]) :: acc) (x :: rev) rest
+  in
+  go [] [] p
+
+let card_product s pick p =
+  List.fold_left
+    (fun acc q ->
+      match Summary.find s q with
+      | Some (e : Summary.entry) -> acc *. float_of_int (pick e.Summary.card)
+      | None -> 0.)
+    1. (chain p)
+
+let entry_stat s p f ~default =
+  match Summary.find s p with Some e -> f e | None -> default
+
+(* Upper bound on distinct amalgamated answer values contributed by this
+   shape across all worlds together: every selected node in every world is
+   a projection of one representation instance, and an element instance
+   emits at most one string value per world of its own subtree (its value
+   is determined by the choices made inside it), so it contributes at most
+   [subtree_worlds] distinct values. Text and attribute values are literal
+   strings, fixed per instance. *)
+let amalgamated_bound s (st : Query_check.state) =
+  match st with
+  | Query_check.El p ->
+      entry_stat s p
+        (fun e ->
+          float_of_int e.Summary.instances *. Float.max 1. e.Summary.subtree_worlds)
+        ~default:0.
+  | Query_check.At (p, _) ->
+      entry_stat s p (fun e -> float_of_int e.Summary.instances) ~default:0.
+  | Query_check.Tx p -> entry_stat s p (fun e -> float_of_int e.Summary.texts) ~default:0.
+
+(* Nodes a single world can select at this shape: interval arithmetic over
+   the per-path cardinality chain, capped by the representation count
+   (which also bounds any one world). *)
+let per_world_hi s (st : Query_check.state) =
+  match st with
+  | Query_check.El p | Query_check.At (p, _) ->
+      Float.min
+        (card_product s (fun c -> c.Summary.cmax) p)
+        (entry_stat s p (fun e -> float_of_int e.Summary.instances) ~default:0.)
+  | Query_check.Tx p -> entry_stat s p (fun e -> float_of_int e.Summary.texts) ~default:0.
+
+let per_world_lo s (st : Query_check.state) =
+  match st with
+  | Query_check.El p -> card_product s (fun c -> c.Summary.cmin) p
+  | Query_check.Tx _ | Query_check.At _ -> 0.
+
+(* Lower bounds are only claimed for queries the abstract interpretation
+   tracks exactly: plain downward location paths without predicates select
+   precisely the elements whose label path matches, so a certain path
+   guarantees answers in every world. Anything with predicates, upward
+   axes or computation may filter everything out. *)
+let guaranteed_shape (e : Ast.expr) =
+  match e with
+  | Ast.Path { steps; _ } ->
+      List.for_all
+        (fun ((_, s) : bool * Ast.step) ->
+          s.Ast.predicates = []
+          &&
+          match s.Ast.axis with
+          | Ast.Child | Ast.Descendant | Ast.Descendant_or_self | Ast.Self
+          | Ast.Attribute ->
+              true
+          | _ -> false)
+        steps
+  | _ -> false
+
+let analyze (s : Summary.t) (e : Ast.expr) : t =
+  let worlds =
+    entry_stat s [] (fun en -> en.Summary.subtree_worlds) ~default:1.
+  in
+  match Query_check.nodeset_states s (Some [ Query_check.El [] ]) e with
+  | Some states ->
+      let sum f = List.fold_left (fun acc st -> acc +. f s st) 0. states in
+      let exact = guaranteed_shape e in
+      let pw_lo =
+        if exact then
+          List.fold_left
+            (fun acc st ->
+              match st with
+              | Query_check.El p
+                when entry_stat s p (fun en -> en.Summary.certain) ~default:false ->
+                  acc +. per_world_lo s st
+              | _ -> acc)
+            0. states
+        else 0.
+      in
+      let pw_hi = sum per_world_hi in
+      (* each world contributes at most pw_hi values, so the cross-world
+         distinct count is also capped by worlds * pw_hi *)
+      let am_hi = Float.min (sum amalgamated_bound) (worlds *. pw_hi) in
+      {
+        answers = { lo = (if pw_lo >= 1. then 1. else 0.); hi = am_hi };
+        per_world = { lo = pw_lo; hi = pw_hi };
+        worlds;
+        tracked = true;
+      }
+  | None ->
+      (* Not a node-set (or untrackable): one value per world, so the
+         amalgamated answer count is bounded by the world count. *)
+      {
+        answers = { lo = 0.; hi = worlds };
+        per_world = { lo = 0.; hi = 1. };
+        worlds;
+        tracked = false;
+      }
+
+let interval_to_json { lo; hi } =
+  Json.Obj [ ("lo", Json.Float lo); ("hi", Json.Float hi) ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("answers", interval_to_json t.answers);
+      ("per_world", interval_to_json t.per_world);
+      ("worlds", Json.Float t.worlds);
+      ("tracked", Json.Bool t.tracked);
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf "answers=[%g,%g] per_world=[%g,%g] worlds<=%g%s"
+    t.answers.lo t.answers.hi t.per_world.lo t.per_world.hi t.worlds
+    (if t.tracked then "" else " (untracked)")

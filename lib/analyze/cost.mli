@@ -1,0 +1,47 @@
+(** Static cost and cardinality bounds for a query against a path summary.
+
+    [analyze] abstractly interprets the query over the summary the way
+    {!Query_check} does, then applies interval arithmetic over the
+    DataGuide's per-path cardinality/certainty bounds to the resulting
+    shape set.
+
+    Soundness contract (fuzz-certified in [test/test_differential.ml]):
+
+    - [worlds] is an upper bound on the possible-world enumerations any
+      evaluation of any query over a summarised document can perform
+      (the counter [pquery.worlds_enumerated] never exceeds it for one
+      query) — it is the document's raw choice-combination count,
+      zero-probability choices included.
+    - [answers.hi] bounds the number of distinct values in the
+      amalgamated ranked answer: every selected node in every world is a
+      projection of one representation instance, and an element instance
+      emits at most one string value per world of its own subtree, so
+      summing [instances * subtree_worlds] per element shape (texts and
+      attributes are fixed strings: plain [instances]) covers all worlds
+      together; the total is additionally capped by
+      [worlds * per_world.hi].
+    - [per_world.hi] bounds the node-set size any single world can
+      produce; [per_world.lo] (and [answers.lo]) are only non-zero for
+      plain downward predicate-free paths over certain entries, where the
+      abstract shapes are exact.
+
+    Bounds saturate to [infinity] rather than overflow; lower bounds are
+    conservative (0 means "unknown", never "proved empty" — that is
+    {!Query_check.statically_empty}'s job). *)
+
+type interval = { lo : float; hi : float }
+
+type t = {
+  answers : interval;  (** distinct values in the amalgamated answer *)
+  per_world : interval;  (** node-set size within any single world *)
+  worlds : float;  (** worlds an enumeration fallback may walk *)
+  tracked : bool;
+      (** whether the shape analysis tracked the result (false: the query
+          is not a node-set expression, and only [worlds] is informative) *)
+}
+
+val analyze : Summary.t -> Imprecise_xpath.Ast.expr -> t
+
+val to_json : t -> Imprecise_obs.Obs.Json.t
+
+val pp : Format.formatter -> t -> unit

@@ -59,15 +59,25 @@ let to_text d =
 
 let pp ppf d = Format.pp_print_string ppf (to_text d)
 
+(* Every located diagnostic carries an "offset" key so consumers can rely
+   on the shape: Q-codes have real character offsets (from parse_located),
+   D/R/P-codes carry null. *)
 let location_to_json = function
   | Nowhere -> Json.Null
   | Doc_path components ->
       Json.Obj
-        [ ("kind", Json.String "doc"); ("path", Json.String (path_to_string components)) ]
+        [
+          ("kind", Json.String "doc");
+          ("path", Json.String (path_to_string components));
+          ("offset", Json.Null);
+        ]
   | Query_at { source; offset } ->
       Json.Obj
-        ([ ("kind", Json.String "query"); ("source", Json.String source) ]
-        @ match offset with None -> [] | Some o -> [ ("offset", Json.Int o) ])
+        [
+          ("kind", Json.String "query");
+          ("source", Json.String source);
+          ("offset", (match offset with None -> Json.Null | Some o -> Json.Int o));
+        ]
 
 let to_json d =
   Json.Obj

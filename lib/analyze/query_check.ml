@@ -135,14 +135,34 @@ and pred_always_false s st (pred : Ast.expr) : bool =
 
 (* [boolean_value] of [e] is false for every concrete node of shape [st]. *)
 and expr_always_false s st (e : Ast.expr) : bool =
+  let provably_empty e =
+    match nodeset_states s (Some [ st ]) e with Some [] -> true | _ -> false
+  in
   match e with
   | Ast.Literal str -> String.length str = 0
   | Ast.Number f -> f = 0. || Float.is_nan f
   | Ast.Binop (Ast.And, a, b) -> expr_always_false s st a || expr_always_false s st b
   | Ast.Binop (Ast.Or, a, b) -> expr_always_false s st a && expr_always_false s st b
   | Ast.Call ("false", []) -> true
-  | e -> (
-      match nodeset_states s (Some [ st ]) e with Some [] -> true | _ -> false)
+  (* Boolean-coercion contexts around a statically empty node-set: the
+     coercion of [] is false, so the whole predicate is. *)
+  | Ast.Call ("boolean", [ a ]) -> expr_always_false s st a
+  | Ast.Call ("exists", [ a ]) -> provably_empty a
+  | Ast.Quantified (Ast.Some_q, _, dom, _) ->
+      (* [some $x in ∅ satisfies _] is false; [every] over ∅ is true, so it
+         must not prune. *)
+      provably_empty dom
+  | Ast.Binop ((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), a, b) ->
+      (* Comparing an empty node-set is existential — false — except when
+         the other side is a boolean (coercion compares against false), so
+         only node-set and string/number-constant operands qualify. *)
+      let comparable = function
+        | Ast.Literal _ | Ast.Number _ | Ast.Path _ | Ast.Union _ | Ast.Filter _ ->
+            true
+        | _ -> false
+      in
+      (provably_empty a && comparable b) || (provably_empty b && comparable a)
+  | e -> provably_empty e
 
 let statically_empty ~summary e =
   match nodeset_states summary (Some [ El [] ]) e with Some [] -> true | _ -> false

@@ -25,6 +25,22 @@
     answers. [Pquery.rank] relies on this to skip world enumeration
     (see [doc/analysis.md]). *)
 
+(** Abstract item shapes. [El []] is the synthetic document node the
+    evaluator places above each world root; [Tx p] a text child of an
+    element at path [p]; [At (p, n)] an attribute [n] of an element at
+    [p]. Only shapes recorded in the summary are ever constructed. *)
+type state = El of string list | Tx of string list | At of string list * string
+
+(** [nodeset_states s ctx e] is [Some states] when [e] is a node-set
+    expression whose items provably take one of [states]' shapes in every
+    possible world, [None] when [e] is not a node-set or cannot be
+    tracked. [ctx] is the abstract context-item set ([None] = unknown);
+    top-level queries start from [Some [El []]]. [Some []] proves concrete
+    emptiness in every world. The cost model ({!Cost}) sums per-shape
+    cardinality bounds over this result. *)
+val nodeset_states :
+  Summary.t -> state list option -> Imprecise_xpath.Ast.expr -> state list option
+
 (** [statically_empty ~summary e] is [true] only when [e] is a node-set
     expression whose result is provably empty in every possible world of
     every document covered by [summary]. Conservative: [false] means

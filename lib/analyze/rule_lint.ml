@@ -1,0 +1,60 @@
+module Oracle = Imprecise_oracle.Oracle
+
+let verdict_equal (a : Oracle.verdict option) (b : Oracle.verdict option) =
+  match (a, b) with
+  | None, None -> true
+  | Some Oracle.Same, Some Oracle.Same -> true
+  | Some Oracle.Different, Some Oracle.Different -> true
+  | Some (Oracle.Unsure x), Some (Oracle.Unsure y) -> Float.equal x y
+  | _ -> false
+
+let pp_verdict_opt ppf = function
+  | None -> Format.pp_print_string ppf "abstain"
+  | Some v -> Oracle.pp_verdict ppf v
+
+let check ~probes oracle =
+  let rules = Oracle.rules oracle in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  (* R004: a rule must not care which source a record came from — the
+     candidate grid visits each pair once, in an arbitrary orientation. *)
+  List.iter
+    (fun (r : Oracle.rule) ->
+      match
+        List.find_opt
+          (fun (a, b) -> not (verdict_equal (r.Oracle.judge a b) (r.Oracle.judge b a)))
+          probes
+      with
+      | None -> ()
+      | Some (a, b) ->
+          emit
+            (Diag.makef ~code:"R004" ~severity:Diag.Warning
+               "rule %S is not symmetric under argument swap: %a forward vs %a \
+                swapped on a probe pair"
+               r.Oracle.name pp_verdict_opt (r.Oracle.judge a b) pp_verdict_opt
+               (r.Oracle.judge b a)))
+    rules;
+  (* R003: a rule that never fires alone — on every probe pair it judges,
+     an earlier rule already fires — adds nothing the earlier rules do not
+     already decide, and is likely shadowed dead weight (or the probe set
+     is too weak to exercise it, which deserves the same look). *)
+  let arr = Array.of_list rules in
+  Array.iteri
+    (fun i (r : Oracle.rule) ->
+      if i > 0 then begin
+        let fires = List.filter (fun (a, b) -> r.Oracle.judge a b <> None) probes in
+        let earlier_fires (a, b) =
+          let rec go j =
+            j < i && (arr.(j).Oracle.judge a b <> None || go (j + 1))
+          in
+          go 0
+        in
+        if fires <> [] && List.for_all earlier_fires fires then
+          emit
+            (Diag.makef ~code:"R003" ~severity:Diag.Warning
+               "rule %S is unreachable on the probe set: an earlier rule fires on \
+                every pair (%d) that reaches it"
+               r.Oracle.name (List.length fires))
+      end)
+    arr;
+  List.rev !diags

@@ -1,0 +1,25 @@
+(** Static analysis of Oracle rule sets against a probe corpus.
+
+    Rules are opaque judge functions, so the lint is behavioural: it
+    exercises each rule over representative probe pairs and reports
+    structural defects as diagnostics (catalogue in [doc/analysis.md]):
+
+    - [R003] (warning): a rule is unreachable — it fires on at least one
+      probe pair, but on every pair it fires an {e earlier} rule fires
+      too, so it never decides first (shadowing);
+    - [R004] (warning): a rule is not symmetric under argument swap —
+      [judge a b] and [judge b a] disagree on a probe pair. The candidate
+      grid visits each pair once in arbitrary orientation, so an
+      asymmetric rule makes integration order-dependent.
+
+    The bundled {!Imprecise_oracle.Similarity} measures are symmetric, so
+    the [Rulesets] presets pass; the [@lint] alias audits them on every
+    run ([test/lint_main.ml]). *)
+
+(** [check ~probes oracle] lints [oracle]'s rules over [probes] (ordered
+    pairs of same-tagged elements, e.g. the lint harness's Figure 2 /
+    Table 1 record pairs). An empty probe list reports nothing. *)
+val check :
+  probes:(Imprecise_xml.Tree.t * Imprecise_xml.Tree.t) list ->
+  Imprecise_oracle.Oracle.t ->
+  Diag.t list

@@ -11,6 +11,8 @@ type entry = {
   has_text : bool;
   attrs : string list;
   instances : int;
+  texts : int;
+  subtree_worlds : float;
 }
 
 module PathMap = Map.Make (struct
@@ -32,6 +34,8 @@ type elem_acc = {
   mutable instances : int;
   mutable has_text : bool;
   mutable attrs : SSet.t;
+  mutable texts : int;
+  mutable worlds : float;  (* max instance subtree world count *)
 }
 
 type card_acc = {
@@ -93,7 +97,9 @@ let of_dists (root_dists : Pxml.dist list) : t =
     match Hashtbl.find_opt elems path with
     | Some a -> a
     | None ->
-        let a = { instances = 0; has_text = false; attrs = SSet.empty } in
+        let a =
+          { instances = 0; has_text = false; attrs = SSet.empty; texts = 0; worlds = 0. }
+        in
         Hashtbl.add elems path a;
         a
   in
@@ -101,7 +107,7 @@ let of_dists (root_dists : Pxml.dist list) : t =
      [dists]. Possibilities are walked regardless of probability — even a
      zero-probability subtree is recorded, keeping the summary a sound
      over-approximation of every world. *)
-  let rec visit_instance path attrs dists =
+  let rec visit_instance path attrs dists : float =
     let acc = elem_acc path in
     acc.instances <- acc.instances + 1;
     if dists_have_text dists then acc.has_text <- true;
@@ -117,19 +123,34 @@ let of_dists (root_dists : Pxml.dist list) : t =
             c.recorded_in <- c.recorded_in + 1
         | None -> Hashtbl.add cards child { cmin = mn; cmax = mx; recorded_in = 1 })
       bounds;
-    List.iter
-      (fun (d : Pxml.dist) ->
-        List.iter
-          (fun (c : Pxml.choice) ->
-            List.iter
-              (function
-                | Pxml.Elem (name, a, ds) -> visit_instance (path @ [ name ]) a ds
-                | Pxml.Text _ -> ())
-              c.Pxml.nodes)
-          d.Pxml.choices)
-      dists
+    (* Recurse and compute this instance's subtree world count with
+       exactly [Pxml.world_count]'s recursion (same fold order, so the
+       floats are bit-identical to what the direct evaluator checks its
+       local limit against): product across content dists of the
+       per-dist sum over choices of the product of node counts. *)
+    let wc =
+      List.fold_left
+        (fun w (d : Pxml.dist) ->
+          w
+          *. List.fold_left
+               (fun s (c : Pxml.choice) ->
+                 s
+                 +. List.fold_left
+                      (fun p n ->
+                        match n with
+                        | Pxml.Elem (name, a, ds) ->
+                            p *. visit_instance (path @ [ name ]) a ds
+                        | Pxml.Text _ ->
+                            acc.texts <- acc.texts + 1;
+                            p)
+                      1. c.Pxml.nodes)
+               0. d.Pxml.choices)
+        1. dists
+    in
+    if wc > acc.worlds then acc.worlds <- wc;
+    wc
   in
-  visit_instance [] [] root_dists;
+  ignore (visit_instance [] [] root_dists);
   (* A label absent from some parent instances can have zero occurrences
      under those parents, so its lower bound drops to 0. *)
   Hashtbl.iter
@@ -170,6 +191,8 @@ let of_dists (root_dists : Pxml.dist list) : t =
           has_text = a.has_text;
           attrs = SSet.elements a.attrs;
           instances = a.instances;
+          texts = a.texts;
+          subtree_worlds = a.worlds;
         }
         map)
     elems PathMap.empty
@@ -200,6 +223,8 @@ let merge a b =
                 has_text = ea.has_text || eb.has_text;
                 attrs = union_sorted ea.attrs eb.attrs;
                 instances = ea.instances + eb.instances;
+                texts = ea.texts + eb.texts;
+                subtree_worlds = Float.max ea.subtree_worlds eb.subtree_worlds;
               }
         | Some e, None | None, Some e ->
             (* Present on one side only: if the parent exists on both sides,
@@ -272,6 +297,8 @@ let to_json t =
         ("has_text", Json.Bool e.has_text);
         ("attrs", Json.List (List.map (fun a -> Json.String a) e.attrs));
         ("instances", Json.Int e.instances);
+        ("texts", Json.Int e.texts);
+        ("subtree_worlds", Json.Float e.subtree_worlds);
       ]
   in
   Json.Obj

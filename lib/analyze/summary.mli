@@ -33,6 +33,18 @@ type entry = {
   has_text : bool;  (** may have text children in some world *)
   attrs : string list;  (** attribute names seen on elements at this path, sorted *)
   instances : int;  (** element instances at this path in the representation *)
+  texts : int;
+      (** text-node occurrences in the representation directly under
+          elements at this path — an upper bound on distinct text values
+          any world (or all worlds together) can exhibit there *)
+  subtree_worlds : float;
+      (** max over instances at this path of that instance's subtree world
+          count (raw choice combinations, zero-probability choices
+          included) — computed with [Pxml.world_count]'s exact recursion,
+          so comparisons against the direct evaluator's local world limit
+          agree bit-for-bit. At the document path [[]] this is the whole
+          document's world count, an upper bound on worlds any enumeration
+          can walk. *)
 }
 
 type t
@@ -73,6 +85,8 @@ val paths : t -> path list
 
 (** [descendant_paths t p] is every recorded path strictly below [p]. *)
 val descendant_paths : t -> path -> path list
+
+val path_to_string : path -> string
 
 val pp : Format.formatter -> t -> unit
 

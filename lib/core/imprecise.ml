@@ -41,6 +41,9 @@ module Analyze = struct
   module Summary = Imprecise_analyze.Summary
   module Query_check = Imprecise_analyze.Query_check
   module Doc_lint = Imprecise_analyze.Doc_lint
+  module Cost = Imprecise_analyze.Cost
+  module Plan = Imprecise_analyze.Plan
+  module Rule_lint = Imprecise_analyze.Rule_lint
 end
 
 let parse_xml s =

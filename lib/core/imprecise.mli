@@ -76,6 +76,9 @@ module Analyze : sig
   module Summary = Imprecise_analyze.Summary
   module Query_check = Imprecise_analyze.Query_check
   module Doc_lint = Imprecise_analyze.Doc_lint
+  module Cost = Imprecise_analyze.Cost
+  module Plan = Imprecise_analyze.Plan
+  module Rule_lint = Imprecise_analyze.Rule_lint
 end
 
 (** [parse_xml s] parses a document, with the error rendered as a string. *)

@@ -10,120 +10,26 @@ let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
 
 (* ---- query decomposition ------------------------------------------------ *)
 
-(* A predicate may not depend on anything outside the binder's subtree:
-   reject positional predicates and absolute paths syntactically. *)
-let rec expr_is_local (e : Ast.expr) =
-  match e with
-  | Ast.Literal _ | Ast.Number _ | Ast.Var _ -> true
-  | Ast.Path { absolute; steps } ->
-      (not absolute) && List.for_all (fun (_, s) -> step_is_local s) steps
-  | Ast.Filter (p, preds, steps) ->
-      expr_is_local p
-      && List.for_all expr_is_local preds
-      && List.for_all (fun (_, s) -> step_is_local s) steps
-  | Ast.Binop (_, a, b) -> expr_is_local a && expr_is_local b
-  | Ast.Neg a -> expr_is_local a
-  | Ast.Union (a, b) -> expr_is_local a && expr_is_local b
-  | Ast.Call (("position" | "last"), _) -> false
-  | Ast.Call (_, args) -> List.for_all expr_is_local args
-  | Ast.Quantified (_, _, dom, cond) -> expr_is_local dom && expr_is_local cond
-  | Ast.For (_, dom, where, body) ->
-      expr_is_local dom
-      && (match where with None -> true | Some w -> expr_is_local w)
-      && expr_is_local body
-  | Ast.Let (_, value, body) -> expr_is_local value && expr_is_local body
-  | Ast.If (c, t, e) -> expr_is_local c && expr_is_local t && expr_is_local e
-  | Ast.Element_ctor (_, content) -> List.for_all expr_is_local content
-  | Ast.Text_ctor e -> expr_is_local e
+module Fragment = Imprecise_xpath.Fragment
 
-and step_is_local (s : Ast.step) =
-  (match s.Ast.axis with
-  | Ast.Parent | Ast.Ancestor | Ast.Ancestor_or_self | Ast.Following_sibling
-  | Ast.Preceding_sibling ->
-      false (* may escape the binder's subtree *)
-  | Ast.Child | Ast.Descendant | Ast.Descendant_or_self | Ast.Self | Ast.Attribute -> true)
-  && List.for_all pred_is_local s.Ast.predicates
-
-and pred_is_local p =
-  match p with
-  | Ast.Number _ -> false (* positional *)
-  | e -> expr_is_local e
-
-type plan = {
+type plan = Fragment.shape = {
   prefix : (bool * Ast.node_test) list;
       (** structural steps before the binder; bool = descendant separator *)
   binder : bool * Ast.node_test;  (** the binder step's separator and test *)
   local : Ast.expr;  (** evaluated inside each occurrence's local worlds *)
 }
 
+(* The syntactic admission test lives in Imprecise_xpath.Fragment — one
+   definition shared with the static planner, so a route prediction of
+   `Direct can only be defeated by the data-dependent checks below (which
+   the planner also mirrors, against the path summary). *)
 let plan_of_expr (e : Ast.expr) : plan =
-  match e with
-  | Ast.Path { absolute = true; steps = (_ :: _ as steps) } ->
-      let with_preds i (_, s) = if s.Ast.predicates <> [] then Some i else None in
-      let binder_idx =
-        match List.filteri (fun i s -> with_preds i s <> None) steps with
-        | [] -> List.length steps - 1
-        | _ ->
-            let rec first i = function
-              | [] -> assert false
-              | (_, s) :: rest -> if s.Ast.predicates <> [] then i else first (i + 1) rest
-            in
-            first 0 steps
-      in
-      let prefix_steps = List.filteri (fun i _ -> i < binder_idx) steps in
-      let binder_sep, binder_step = List.nth steps binder_idx in
-      let rest = List.filteri (fun i _ -> i > binder_idx) steps in
-      let prefix =
-        List.map
-          (fun (sep, s) ->
-            if s.Ast.axis <> Ast.Child then
-              unsupported "non-child axis before the binder step";
-            if s.Ast.predicates <> [] then unsupported "predicate before the binder step";
-            (match s.Ast.test with
-            | Ast.Name _ | Ast.Wildcard -> ()
-            | _ -> unsupported "text()/node() test before the binder step");
-            (sep, s.Ast.test))
-          prefix_steps
-      in
-      if binder_step.Ast.axis <> Ast.Child then unsupported "binder step must use the child axis";
-      (match binder_step.Ast.test with
-      | Ast.Name _ | Ast.Wildcard -> ()
-      | _ -> unsupported "binder step must test an element name");
-      List.iter
-        (fun p -> if not (pred_is_local p) then unsupported "non-local predicate")
-        binder_step.Ast.predicates;
-      List.iter
-        (fun (_, s) -> if not (step_is_local s) then unsupported "non-local value step")
-        rest;
-      let local =
-        Ast.Path
-          {
-            absolute = false;
-            steps =
-              ( false,
-                {
-                  Ast.axis = Ast.Self;
-                  test = Ast.Any_node;
-                  predicates = binder_step.Ast.predicates;
-                } )
-              :: rest;
-          }
-      in
-      { prefix; binder = (binder_sep, binder_step.Ast.test); local }
-  | _ -> unsupported "query must be an absolute location path"
+  match Fragment.classify e with
+  | Ok shape -> shape
+  | Error { Fragment.code; detail } -> unsupported "%s: %s" code detail
 
 let supported e =
   match plan_of_expr e with _ -> true | exception Unsupported _ -> false
-
-(* ---- step automaton over the skeleton ----------------------------------- *)
-
-(* State k means: prefix steps 0..k-1 are matched along the element chain;
-   state [n_prefix] means the next matching element is an occurrence. *)
-let test_matches test tag =
-  match test with
-  | Ast.Name n -> String.equal n tag
-  | Ast.Wildcard -> true
-  | Ast.Text_node | Ast.Any_node -> false
 
 (* ---- emission trees ------------------------------------------------------ *)
 
@@ -162,7 +68,8 @@ let local_distribution ~local_limit local_expr (node : Pxml.node) : (string * fl
     Pxml.world_count { Pxml.choices = [ { Pxml.prob = 1.; nodes = [ node ] } ] }
   in
   if count > local_limit then
-    unsupported "occurrence subtree has %g local worlds (limit %g)" count local_limit;
+    unsupported "P006: occurrence subtree has %g local worlds (limit %g)" count
+      local_limit;
   let tbl = Hashtbl.create 8 in
   Seq.iter
     (fun (q, tree) ->
@@ -181,25 +88,9 @@ let local_distribution ~local_limit local_expr (node : Pxml.node) : (string * fl
   Hashtbl.fold (fun v p acc -> (v, p) :: acc) tbl []
 
 let build_etree ~local_limit (plan : plan) (doc : Pxml.doc) : etree =
-  let n_prefix = List.length plan.prefix in
   let occ_memo = Phys.table () in
-  let steps = Array.of_list (plan.prefix @ [ plan.binder ]) in
-  (* Advance the automaton over an element with tag [tag]: returns the new
-     state set and whether this element is an occurrence. *)
-  let advance states tag =
-    let next = Hashtbl.create 4 in
-    let occurrence = ref false in
-    List.iter
-      (fun k ->
-        let sep, test = steps.(k) in
-        if test_matches test tag then begin
-          if k = n_prefix then occurrence := true
-          else Hashtbl.replace next (k + 1) ()
-        end;
-        if sep then Hashtbl.replace next k ())
-      states;
-    (Hashtbl.fold (fun k () acc -> k :: acc) next [], !occurrence)
-  in
+  let automaton = Fragment.automaton plan in
+  let advance states tag = Fragment.advance automaton states tag in
   let rec walk_dist states inside (d : Pxml.dist) : etree =
     Edist
       (List.map
@@ -212,7 +103,8 @@ let build_etree ~local_limit (plan : plan) (doc : Pxml.doc) : etree =
     | Pxml.Elem (tag, _, content) ->
         let states', occurrence = advance states tag in
         if occurrence then begin
-          if inside then unsupported "nested occurrences of the binder element";
+          if inside then
+            unsupported "P005: nested occurrences of the binder element";
           (* Check for nested occurrences below, then summarise locally. *)
           List.iter (fun d -> ignore (walk_dist states' true d)) content;
           let dist =
@@ -228,8 +120,8 @@ let build_etree ~local_limit (plan : plan) (doc : Pxml.doc) : etree =
         else if states' = [] then None
         else Some (Eelem (List.map (walk_dist states' inside) content))
   in
-  (* The initial state set: state 0 (about to match the first step). *)
-  walk_dist [ 0 ] false doc
+  (* The initial state set: at the document node, about to match step 0. *)
+  walk_dist Fragment.start false doc
 
 module SS = Set.Make (String)
 
@@ -251,7 +143,7 @@ let rec noemit v = function
           acc +. (p *. List.fold_left (fun a t -> a *. noemit v t) 1. ts))
         0. cs
 
-let rank_expr ?(local_limit = 4096.) doc expr =
+let rank_expr ?(local_limit = Fragment.default_local_limit) doc expr =
   let plan = plan_of_expr expr in
   let etree = build_etree ~local_limit plan doc in
   let values = values_of_etree etree in

@@ -2,17 +2,27 @@
 
     Exploits the independence structure of the layered model: distinct
     probability nodes choose independently, sibling possibilities are
-    mutually exclusive. For the supported query class the result is
-    {e exact} (property-tested against {!Naive}):
+    mutually exclusive. The supported query class is the widened direct
+    fragment defined once in {!Imprecise_xpath.Fragment} (the static
+    planner {!Imprecise_analyze.Plan} consumes the same definition, so
+    its route prediction is exact). For queries in the fragment the
+    result is {e exact} (property-tested against {!Naive}):
 
-    - the query is an absolute location path;
-    - the steps before the {e binder} (the first step carrying predicates,
-      or the last step if none do) use the child axis with name/wildcard
-      tests and no predicates;
-    - predicates and the remaining steps only inspect the binder element's
-      subtree (no positional predicates, no absolute paths inside
-      predicates);
-    - binder elements are not nested within each other in any world.
+    - the query is a location path (absolute or relative — evaluation
+      starts at the document node either way);
+    - the steps before the {e binder} use the child or descendant axis
+      with name/wildcard tests and no predicates ([descendant::t] is
+      folded into a [//] separator);
+    - predicates and the remaining steps only inspect the binder
+      element's subtree: downward axes, [contains]/string functions,
+      quantified expressions, and positional predicates {e below} the
+      binder (per-source-item, hence subtree-local) are all admitted; a
+      positional test on the binder step itself shifts the binder one
+      step up when possible, and upward axes or absolute paths inside
+      predicates are rejected ([P001]–[P004], see [doc/analysis.md]);
+    - binder elements are not nested within each other in any world
+      ([P005]), and each occurrence subtree stays under [local_limit]
+      local worlds ([P006]).
 
     This covers the paper's demo queries, e.g.
     [//movie[.//genre="Horror"]/title] and

@@ -30,6 +30,10 @@ let c_degraded = Obs.Metrics.counter "pquery.degraded"
    per-query worlds delta without a by-name lookup on the hot path *)
 let c_worlds_enumerated = Obs.Metrics.counter "pquery.worlds_enumerated"
 
+(* planning latency, in milliseconds (spans only reach an installed trace
+   sink; the histogram is what bench snapshots can gate on) *)
+let h_plan = Obs.Metrics.histogram "analyze.plan"
+
 let compile = Eval.compile_exn
 
 let truncate top_k answers =
@@ -39,12 +43,22 @@ let truncate top_k answers =
    soundness contract (see doc/analysis.md) guarantees zero answers in
    every possible world, so the amalgamated ranking is []. The summary is
    one linear walk of the representation — nothing compared to world
-   enumeration, and usually worth it even against the direct evaluator. *)
-let statically_empty doc expr =
+   enumeration, and usually worth it even against the direct evaluator —
+   and is shared with the planner below. *)
+let statically_empty summary expr =
   Obs.Trace.with_span "analyze.check" @@ fun () ->
-  Imprecise_analyze.Query_check.statically_empty
-    ~summary:(Imprecise_analyze.Summary.of_doc doc)
-    expr
+  Imprecise_analyze.Query_check.statically_empty ~summary expr
+
+(* The static planner (doc/analysis.md): route + cost bounds + proof
+   obligations / fallback reasons, from the summary alone. *)
+let plan_of ~summary ?source expr =
+  let t0 = Obs.Clock.now () in
+  let p =
+    Obs.Trace.with_span "analyze.plan" @@ fun () ->
+    Imprecise_analyze.Plan.plan ~summary ?source expr
+  in
+  Obs.Metrics.observe h_plan ((Obs.Clock.now () -. t0) *. 1000.);
+  p
 
 let rank_compiled ?budget ?(strategy = Auto) ?(static_check = true) ?world_limit
     ?(jobs = 1) ?top_k ?top_k_tolerance doc query =
@@ -56,13 +70,25 @@ let rank_compiled ?budget ?(strategy = Auto) ?(static_check = true) ?world_limit
   | _ -> ());
   Option.iter Budget.check budget;
   let expr = Eval.compiled_ast query in
-  if static_check && statically_empty doc expr then begin
+  (* One summary serves both static passes; skipped entirely when neither
+     the prune nor the planner will run. *)
+  let summary =
+    if static_check || strategy = Auto then
+      Some
+        (Obs.Trace.with_span "analyze.summary" (fun () ->
+             Imprecise_analyze.Summary.of_doc doc))
+    else None
+  in
+  if
+    static_check
+    && match summary with Some s -> statically_empty s expr | None -> false
+  then begin
     Obs.Metrics.incr c_static_pruned;
     Obs.Recorder.note "path" (Obs.Json.String "static_pruned");
     []
   end
   else
-  let enumerate () =
+  let enumerate ~jobs () =
     Obs.Metrics.incr c_enumerate;
     Obs.Recorder.note "path" (Obs.Json.String "enumerate");
     Obs.Trace.with_span "enumerate" @@ fun () ->
@@ -89,17 +115,46 @@ let rank_compiled ?budget ?(strategy = Auto) ?(static_check = true) ?world_limit
   in
   let answers =
     match strategy with
-    | Enumerate_only -> enumerate ()
+    | Enumerate_only -> enumerate ~jobs ()
     | Direct_only -> (
         try direct ()
         with Direct.Unsupported msg ->
           Obs.Metrics.incr c_unsupported;
           raise (Cannot_answer msg))
     | Auto -> (
-        try direct ()
-        with Direct.Unsupported _ ->
-          Obs.Metrics.incr c_unsupported;
-          enumerate ())
+        let plan =
+          plan_of
+            ~summary:(Option.get summary) (* always built for Auto *)
+            ~source:(Eval.compiled_source query)
+            expr
+        in
+        Obs.Recorder.note "plan" (Imprecise_analyze.Plan.to_json plan);
+        if Obs.Event.enabled () then
+          Obs.Event.emit
+            ~fields:
+              [
+                ("query", Obs.Json.String (Eval.compiled_source query));
+                ("plan", Imprecise_analyze.Plan.to_json plan);
+              ]
+            "pquery.plan";
+        match plan.Imprecise_analyze.Plan.route with
+        | Imprecise_analyze.Plan.Direct -> (
+            try direct ()
+            with Direct.Unsupported _ ->
+              (* unreachable by construction — the planner and evaluator
+                 share one fragment definition — but never let a planner
+                 defect lose an answer *)
+              Obs.Metrics.incr c_unsupported;
+              enumerate ~jobs ())
+        | Imprecise_analyze.Plan.Enumerate ->
+            if plan.Imprecise_analyze.Plan.reasons <> [] then
+              Obs.Metrics.incr c_unsupported;
+            (* pre-size enumeration shards from the cost bound, unless the
+               caller pinned a parallelism degree *)
+            let jobs =
+              if jobs = 1 then max 1 plan.Imprecise_analyze.Plan.shards else jobs
+            in
+            enumerate ~jobs ())
     | Sample { n; seed } ->
         if n <= 0 then raise (Cannot_answer "sample size must be positive");
         Obs.Metrics.incr c_sample;
@@ -246,11 +301,14 @@ let rank_cached ?budget ?(strategy = Auto) ?world_limit ?jobs ?top_k ?top_k_tole
       Cache.add Cache.global key answers;
       answers
 
-let used_strategy doc query =
+let plan doc query =
   let expr = Imprecise_xpath.Parser.parse_exn query in
-  match Direct.rank_expr doc expr with
-  | _ -> `Direct
-  | exception Direct.Unsupported _ -> `Enumerate
+  plan_of ~summary:(Imprecise_analyze.Summary.of_doc doc) ~source:query expr
+
+let used_strategy doc query =
+  match (plan doc query).Imprecise_analyze.Plan.route with
+  | Imprecise_analyze.Plan.Direct -> `Direct
+  | Imprecise_analyze.Plan.Enumerate -> `Enumerate
 
 type explanation = {
   prob : float;

@@ -17,7 +17,10 @@ module Pxml = Imprecise_pxml.Pxml
 module Eval = Imprecise_xpath.Eval
 
 type strategy =
-  | Auto  (** direct when possible, else enumeration *)
+  | Auto
+      (** consult the static planner ({!plan}): direct when it proves the
+          query inside the tractable fragment, else enumeration pre-sized
+          from the cost bounds *)
   | Direct_only
   | Enumerate_only
   | Sample of { n : int; seed : int }
@@ -135,8 +138,21 @@ val rank_cached :
   string ->
   Answer.t list
 
+(** [plan doc query] is the static plan {!rank} with [Auto] consults: the
+    route, cost/cardinality bounds, discharged proof obligations or
+    [P00n] fallback reasons, and the enumeration shard hint (see
+    {!Imprecise_analyze.Plan}). Exposed for [imprecise check --plan] and
+    the certification harnesses; [rank] computes it internally (span
+    [analyze.plan], histogram [analyze.plan] in ms, event [pquery.plan],
+    flight-record note ["plan"]). *)
+val plan : Pxml.doc -> string -> Imprecise_analyze.Plan.t
+
 (** [used_strategy doc query] reports which evaluator {!rank} with [Auto]
-    would use ([`Direct] or [`Enumerate]). *)
+    would use ([`Direct] or [`Enumerate]). This is the planner's route
+    prediction — exact, certified by the differential fuzz harness: the
+    planner and the direct evaluator share one fragment definition
+    ([Imprecise_xpath.Fragment]) and decide the data-dependent checks
+    identically (summary automaton vs document walk). *)
 val used_strategy : Pxml.doc -> string -> [ `Direct | `Enumerate ]
 
 (** {1 Explanations}

@@ -71,6 +71,8 @@ and path = {
 
 val axis_to_string : axis -> string
 
+val step_to_string : step -> string
+
 val pp : Format.formatter -> expr -> unit
 
 val to_string : expr -> string

@@ -1,0 +1,211 @@
+(* The tractable query fragment shared by the direct evaluator
+   (Imprecise_pquery.Direct) and the static planner (Imprecise_analyze.Plan).
+
+   Both sides need the same decomposition of a query into
+
+     structural prefix steps -> binder step -> local expression
+
+   and the same step automaton over element labels: the evaluator walks the
+   p-document with it, the planner walks the path summary. Keeping one
+   definition here is what makes the planner's route prediction exact — a
+   query is in the fragment iff [classify] says so, and the only remaining
+   rejections are the data-dependent ones (nested occurrences, local world
+   limit), which the planner decides from the summary with the same
+   automaton. *)
+
+type shape = {
+  prefix : (bool * Ast.node_test) list;
+      (** structural steps before the binder; bool = descendant separator *)
+  binder : bool * Ast.node_test;  (** the binder step's separator and test *)
+  local : Ast.expr;  (** evaluated inside each occurrence's local worlds *)
+}
+
+type reject = { code : string; detail : string }
+
+exception Rejected of reject
+
+let rejectf code fmt =
+  Format.kasprintf (fun detail -> raise (Rejected { code; detail })) fmt
+
+let default_local_limit = 4096.
+
+(* ---- locality ----------------------------------------------------------- *)
+
+(* An expression is local when evaluating it inside an occurrence's isolated
+   subtree gives the same result as evaluating it in the full document:
+   every step stays inside the subtree and every position()/last() reference
+   is relative to a candidate list drawn from inside the subtree. [pos]
+   tracks whether positional references are allowed at the current level:
+   the evaluator applies step predicates per source item against that item's
+   own candidate list, so positions nested under a step (or filter) inside
+   the subtree are exact, while positions at the binder step's own level
+   would refer to the binder's siblings — which the rewrite collapses. *)
+let rec expr_local ~pos (e : Ast.expr) =
+  match e with
+  | Ast.Literal _ | Ast.Number _ | Ast.Var _ -> true
+  | Ast.Path { absolute; steps } ->
+      (not absolute) && List.for_all (fun (_, s) -> step_local s) steps
+  | Ast.Filter (p, preds, steps) ->
+      expr_local ~pos p
+      && List.for_all pred_local preds
+      && List.for_all (fun (_, s) -> step_local s) steps
+  | Ast.Binop (_, a, b) -> expr_local ~pos a && expr_local ~pos b
+  | Ast.Neg a -> expr_local ~pos a
+  | Ast.Union (a, b) -> expr_local ~pos a && expr_local ~pos b
+  | Ast.Call (("position" | "last"), _) -> pos
+  | Ast.Call (_, args) -> List.for_all (expr_local ~pos) args
+  | Ast.Quantified (_, _, dom, cond) ->
+      expr_local ~pos dom && expr_local ~pos:false cond
+  | Ast.For (_, dom, where, body) ->
+      expr_local ~pos dom
+      && (match where with None -> true | Some w -> expr_local ~pos:false w)
+      && expr_local ~pos:false body
+  | Ast.Let (_, value, body) -> expr_local ~pos value && expr_local ~pos body
+  | Ast.If (c, t, e) -> expr_local ~pos c && expr_local ~pos t && expr_local ~pos e
+  | Ast.Element_ctor (_, content) -> List.for_all (expr_local ~pos) content
+  | Ast.Text_ctor e -> expr_local ~pos e
+
+and step_local (s : Ast.step) =
+  (match s.Ast.axis with
+  | Ast.Parent | Ast.Ancestor | Ast.Ancestor_or_self | Ast.Following_sibling
+  | Ast.Preceding_sibling ->
+      false (* may escape the binder's subtree *)
+  | Ast.Child | Ast.Descendant | Ast.Descendant_or_self | Ast.Self | Ast.Attribute ->
+      true)
+  && List.for_all pred_local s.Ast.predicates
+
+and pred_local p =
+  match p with
+  | Ast.Number _ -> true (* positional, but per source node inside the subtree *)
+  | e -> expr_local ~pos:true e
+
+(* Predicates attached directly to the binder step: their position context is
+   the binder's slot among its document siblings, which the self::node()
+   rewrite cannot see. *)
+let binder_pred_local p =
+  match p with Ast.Number _ -> false | e -> expr_local ~pos:false e
+
+(* ---- classification ----------------------------------------------------- *)
+
+(* A step the automaton can encode: child or descendant axis, element test.
+   [descendant::t] from a context set equals [//t] (children of
+   descendant-or-self are exactly the strict descendants), so both collapse
+   to a (separator, test) pair. *)
+let structural (s : Ast.step) =
+  (match s.Ast.axis with Ast.Child | Ast.Descendant -> true | _ -> false)
+  && match s.Ast.test with Ast.Name _ | Ast.Wildcard -> true | _ -> false
+
+let convert (sep, (s : Ast.step)) = (sep || s.Ast.axis = Ast.Descendant, s.Ast.test)
+
+let classify_steps steps =
+  let arr = Array.of_list steps in
+  let n = Array.length arr in
+  let is_struct i = structural (snd arr.(i)) in
+  (* first step that cannot join the structural skeleton as-is *)
+  let first_stop =
+    let rec go i =
+      if i >= n then None
+      else if (not (is_struct i)) || (snd arr.(i)).Ast.predicates <> [] then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let rest_from i = Array.to_list (Array.sub arr i (n - i)) in
+  let finish binder_idx binder_preds rest =
+    List.iter
+      (fun (_, s) ->
+        if not (step_local s) then
+          rejectf "P004" "value step %s may escape the binder's subtree"
+            (Ast.step_to_string s))
+      rest;
+    let prefix = List.map convert (Array.to_list (Array.sub arr 0 binder_idx)) in
+    let binder = convert arr.(binder_idx) in
+    let local =
+      Ast.Path
+        {
+          absolute = false;
+          steps =
+            ( false,
+              { Ast.axis = Ast.Self; test = Ast.Any_node; predicates = binder_preds } )
+            :: rest;
+        }
+    in
+    { prefix; binder; local }
+  in
+  match first_stop with
+  | None -> finish (n - 1) [] []
+  | Some k ->
+      let sk = snd arr.(k) in
+      if is_struct k then
+        (* stopped on predicates: bind here when they survive the rewrite,
+           else bind one step earlier so they become nested (per-parent,
+           hence local) — possible only when an earlier step exists *)
+        let preds = sk.Ast.predicates in
+        if List.for_all binder_pred_local preds then finish k preds (rest_from (k + 1))
+        else if k >= 1 && List.for_all pred_local preds then
+          finish (k - 1) [] (rest_from k)
+        else
+          rejectf "P004"
+            "predicate%s on step %s depend%s on context outside the binder's subtree"
+            (if List.length preds > 1 then "s" else "")
+            (Ast.step_to_string sk)
+            (if List.length preds > 1 then "" else "s")
+      else if k >= 1 then finish (k - 1) [] (rest_from k)
+      else (
+        match sk.Ast.axis with
+        | Ast.Child | Ast.Descendant ->
+            rejectf "P003" "leading step %s does not bind an element"
+              (Ast.step_to_string sk)
+        | a ->
+            rejectf "P002" "unsupported axis %s:: on the leading step"
+              (Ast.axis_to_string a))
+
+let classify (e : Ast.expr) : (shape, reject) result =
+  match e with
+  (* a relative top-level path starts at the document node, exactly like an
+     absolute one — the evaluator's initial context item is the root *)
+  | Ast.Path { absolute = _; steps = _ :: _ as steps } -> (
+      try Ok (classify_steps steps) with Rejected r -> Error r)
+  | Ast.Path { steps = []; _ } ->
+      Error { code = "P001"; detail = "empty location path" }
+  | _ -> Error { code = "P001"; detail = "query is not a location path" }
+
+(* ---- the step automaton over element labels ----------------------------- *)
+
+type automaton = { steps : (bool * Ast.node_test) array; n_prefix : int }
+
+let automaton (shape : shape) =
+  {
+    steps = Array.of_list (shape.prefix @ [ shape.binder ]);
+    n_prefix = List.length shape.prefix;
+  }
+
+(* State k means: steps 0..k-1 are matched along the element chain; matching
+   step [n_prefix] makes the element an occurrence of the binder. *)
+let start = [ 0 ]
+
+let test_matches test tag =
+  match test with
+  | Ast.Name n -> String.equal n tag
+  | Ast.Wildcard -> true
+  | Ast.Text_node | Ast.Any_node -> false
+
+let advance a states tag =
+  let next = Hashtbl.create 4 in
+  let occurrence = ref false in
+  List.iter
+    (fun k ->
+      let sep, test = a.steps.(k) in
+      if test_matches test tag then
+        if k = a.n_prefix then occurrence := true else Hashtbl.replace next (k + 1) ();
+      if sep then Hashtbl.replace next k ())
+    states;
+  (Hashtbl.fold (fun k () acc -> k :: acc) next [], !occurrence)
+
+let occurrence_path a labels =
+  let rec go states = function
+    | [] -> false
+    | [ last ] -> snd (advance a states last)
+    | l :: rest -> go (fst (advance a states l)) rest
+  in
+  go start labels

@@ -1,0 +1,69 @@
+(** The tractable query fragment shared by the direct probabilistic
+    evaluator and the static query planner.
+
+    [classify] decomposes a query into {e structural prefix steps}, a
+    {e binder} step and a {e local} expression, or rejects it with a stable
+    reason code. Both the evaluator ([Imprecise_pquery.Direct]) and the
+    planner ([Imprecise_analyze.Plan]) consume this one definition, which
+    is what makes the planner's route prediction exact: the remaining
+    rejections are data-dependent (nested binder occurrences, local world
+    limit) and both sides decide them with the same {!automaton} — the
+    evaluator over the p-document, the planner over its path summary.
+
+    The fragment (paper demo queries and well beyond):
+    - the query is a top-level location path (absolute or relative — the
+      evaluator's initial context item is the document node either way);
+    - skeleton steps use the child or descendant axis with name/wildcard
+      tests ([descendant::t] is folded into a [//t] separator);
+    - the binder is the first predicated step when its predicates survive
+      the subtree rewrite, otherwise the step before it; trailing value
+      steps ([text()], [@attr], further paths) move into the local
+      expression;
+    - local predicates and value steps stay inside the binder's subtree:
+      no upward/sideways axes, no absolute paths, and positional
+      references only where they are relative to a candidate list drawn
+      from inside the subtree.
+
+    Reason codes (catalogue in [doc/analysis.md]): [P001] not a location
+    path; [P002] unsupported leading axis; [P003] leading step binds no
+    element; [P004] non-local predicate or value step. The data-dependent
+    [P005] (occurrences can nest) and [P006] (local world limit) are
+    issued by the planner, and correspond to the evaluator's runtime
+    [Unsupported] rejections. *)
+
+type shape = {
+  prefix : (bool * Ast.node_test) list;
+      (** structural steps before the binder; bool = descendant separator *)
+  binder : bool * Ast.node_test;  (** the binder step's separator and test *)
+  local : Ast.expr;  (** evaluated inside each occurrence's local worlds *)
+}
+
+type reject = { code : string; detail : string }
+
+val classify : Ast.expr -> (shape, reject) result
+
+(** Default bound on per-occurrence local world enumeration (shared by the
+    evaluator and the planner so their admission decisions agree). *)
+val default_local_limit : float
+
+(** {1 The step automaton}
+
+    State [k] means steps [0..k-1] are matched along the element chain from
+    the document node; an element matching step [n_prefix] is an
+    {e occurrence} of the binder. *)
+
+type automaton
+
+val automaton : shape -> automaton
+
+(** The initial state set, at the document node. *)
+val start : int list
+
+(** [advance a states tag] steps the automaton over an element labelled
+    [tag]: the successor state set, and whether this element is an
+    occurrence. *)
+val advance : automaton -> int list -> string -> int list * bool
+
+(** [occurrence_path a labels] — is an element at this root-to-node label
+    path an occurrence? (Folds {!advance} from {!start}.) *)
+val occurrence_path : automaton -> string list -> bool

@@ -7,6 +7,7 @@ module Diag = Imprecise.Analyze.Diag
 module Summary = Imprecise.Analyze.Summary
 module Query_check = Imprecise.Analyze.Query_check
 module Doc_lint = Imprecise.Analyze.Doc_lint
+module Rule_lint = Imprecise.Analyze.Rule_lint
 module Oracle = Imprecise.Oracle
 module Rulesets = Imprecise.Rulesets
 module Workloads = Imprecise.Data.Workloads
@@ -120,13 +121,17 @@ let rulesets () =
       (fun a -> List.map (fun b -> (a, b)) (Tree.child_elements Addressbook.source_b))
       (Tree.child_elements Addressbook.source_a)
   in
+  (* R003/R004 probe corpus: every bundled cross-source pair, in both
+     orientations implicitly (Rule_lint swaps the arguments itself). *)
+  let probes = movie_pairs @ person_pairs in
   List.iter
     (fun (p : Rulesets.t) ->
       report
         (Printf.sprintf "rulesets: preset %S" p.Rulesets.name)
         (preset_names p
         @ preset_conflicts p movie_pairs
-        @ preset_conflicts p person_pairs))
+        @ preset_conflicts p person_pairs
+        @ Rule_lint.check ~probes p.Rulesets.oracle))
     presets
 
 let () =

@@ -1,0 +1,128 @@
+(* Planner certification stress: the static planner's route prediction and
+   cost bounds, checked against what actually happens on random documents.
+
+   For every (seed, query) case:
+   - route agreement: Plan says `Direct exactly when the direct evaluator
+     admits the query on this document (the two share one fragment
+     definition, so any disagreement is a bug, not an approximation);
+   - world bound: cost.worlds dominates the document's true world count;
+   - answer bound: on enumerable documents, the amalgamated answer count
+     never exceeds cost.answers.hi (when tracked), and a lower bound of 1
+     guarantees a non-empty answer;
+   - direct answers agree with enumeration to 1e-9 wherever both run.
+
+   Runs under the usual `dune runtest`, and alone via
+   `dune build @plan-stress` (case count overridable through PLAN_CASES). *)
+
+module Pxml = Imprecise.Pxml
+module Pquery = Imprecise.Pquery
+module Answer = Imprecise.Answer
+module Prng = Imprecise.Data.Prng
+module Random_docs = Imprecise.Data.Random_docs
+module Cost = Imprecise.Analyze.Cost
+module Plan = Imprecise.Analyze.Plan
+module Diag = Imprecise.Analyze.Diag
+
+(* Pool biased toward the widened fragment's edges: descendant axes,
+   relative paths, positional predicates on and below the binder, trailing
+   value steps, and deliberate rejections (P001/P004). *)
+let queries =
+  [|
+    "//a";
+    "//item";
+    "//*";
+    "/descendant::a";
+    "//item/descendant::b";
+    "item/name";
+    "//a/b";
+    "//a//c";
+    "//a[b]";
+    {|//a[.="x"]|};
+    {|//item[name="42"]/b[2]|};
+    {|//a[b[1]="x"]|};
+    {|//a[contains(.,"z")]|};
+    {|//name[.="hello" or .="y"]|};
+    "//a/text()";
+    {|descendant::item[contains(name,"4")]|};
+    "//a[1]";
+    "//a/..";
+    "count(//a)";
+    "//a | //b";
+  |]
+
+let cases =
+  match Sys.getenv_opt "PLAN_CASES" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 400)
+  | None -> 400
+
+let failures = ref 0
+
+let fail seed query fmt =
+  incr failures;
+  Fmt.epr "FAIL (reproduce: seed %d, query %s)@.  " seed query;
+  Fmt.epr (fmt ^^ "@.")
+
+let agree = Answer.equal ~tolerance:1e-9
+
+let check_case i =
+  let seed = i in
+  let query = queries.(i mod Array.length queries) in
+  let depth = if i mod 3 = 0 then 3 else 2 in
+  let doc = fst (Random_docs.pxml (Prng.make seed) ~depth) in
+  let world_count = Pxml.world_count doc in
+  let plan = Pquery.plan doc query in
+  (* world bound: subsumes the true world count on every document *)
+  if plan.Plan.cost.Cost.worlds +. 1e-9 < world_count then
+    fail seed query "world bound %g below true world count %g"
+      plan.Plan.cost.Cost.worlds world_count;
+  (* route agreement, decided without enumerating anything *)
+  let direct =
+    match Pquery.rank ~strategy:Pquery.Direct_only ~static_check:false doc query with
+    | answers -> Some answers
+    | exception Pquery.Cannot_answer _ -> None
+  in
+  (match (plan.Plan.route, direct) with
+  | Plan.Direct, None ->
+      fail seed query "planner routed direct but the direct evaluator refused"
+  | Plan.Enumerate, Some _ ->
+      fail seed query "planner routed enumerate (%s) but direct succeeded"
+        (String.concat "; "
+           (List.map (fun (d : Diag.t) -> d.Diag.code) plan.Plan.reasons))
+  | Plan.Direct, Some _ | Plan.Enumerate, None -> ());
+  (* an enumerate route must explain itself; a direct route must prove *)
+  (match plan.Plan.route with
+  | Plan.Enumerate ->
+      if plan.Plan.reasons = [] then fail seed query "enumerate route with no P-code"
+  | Plan.Direct ->
+      if plan.Plan.obligations = [] then
+        fail seed query "direct route with no discharged obligations");
+  if world_count <= 5000. then begin
+    let reference =
+      Pquery.rank ~strategy:Pquery.Enumerate_only ~static_check:false doc query
+    in
+    (* amalgamated answer bound *)
+    if
+      plan.Plan.cost.Cost.tracked
+      && float_of_int (List.length reference) > plan.Plan.cost.Cost.answers.Cost.hi
+    then
+      fail seed query "answer bound violated: %d answers > hi %g"
+        (List.length reference) plan.Plan.cost.Cost.answers.Cost.hi;
+    (* a claimed lower bound guarantees an answer in every world *)
+    if
+      plan.Plan.cost.Cost.tracked
+      && plan.Plan.cost.Cost.answers.Cost.lo >= 1.
+      && reference = []
+    then fail seed query "answers.lo >= 1 but enumeration found nothing";
+    match direct with
+    | Some d when not (agree d reference) ->
+        fail seed query "direct disagrees with enumeration"
+    | _ -> ()
+  end
+
+let () =
+  for i = 0 to cases - 1 do
+    check_case i
+  done;
+  Fmt.pr "plan-stress: %d cases over %d query shapes, %d disagreements@." cases
+    (Array.length queries) !failures;
+  if !failures > 0 then exit 1

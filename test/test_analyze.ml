@@ -8,6 +8,10 @@ module Diag = Imprecise.Analyze.Diag
 module Summary = Imprecise.Analyze.Summary
 module Query_check = Imprecise.Analyze.Query_check
 module Doc_lint = Imprecise.Analyze.Doc_lint
+module Cost = Imprecise.Analyze.Cost
+module Plan = Imprecise.Analyze.Plan
+module Rule_lint = Imprecise.Analyze.Rule_lint
+module Oracle = Imprecise.Oracle
 module Obs = Imprecise.Obs
 
 let check = Alcotest.check
@@ -206,6 +210,13 @@ let test_statically_empty_positive () =
       "//person[.//email]/nm";
       "//email | //person/fax";
       "/addressbook/person/nm/parent::tel" (* nm's parent is person *);
+      (* boolean coercions of a provably empty node-set (Q001 widening):
+         existential comparisons and explicit boolean() / exists() /
+         some-quantifier wrappers are all false over the empty set *)
+      "//person[boolean(.//email)]";
+      "//person[exists(.//email)]";
+      {|//person[.//email = "x"]/nm|};
+      {|//person[some $e in .//email satisfies $e = "x"]|};
     ]
 
 let test_statically_empty_negative () =
@@ -221,6 +232,13 @@ let test_statically_empty_negative () =
       "count(//email)" (* atomic result: one value per world, never empty *);
       "some $t in //tel satisfies $t = \"1111\"";
       "//person[$x]" (* unbound var raises at eval; must not be pruned *);
+      (* boolean-coercion widening must stay conservative: not(∅) is true,
+         count(∅)=0 compares equal to 0, and comparing a node-set against a
+         boolean coerces the node-set first (∅ != true() is true) *)
+      "//person[not(.//email)]";
+      "//person[count(.//email) = 0]";
+      "//person[.//email != true()]";
+      "//person[every $e in .//email satisfies $e = \"x\"]" (* every over ∅ *);
     ]
 
 let test_check_codes () =
@@ -323,6 +341,165 @@ let test_lint_locations () =
         path
   | _ -> Alcotest.fail "D005 with a Doc_path expected"
 
+(* ---- static query planner ------------------------------------------------ *)
+
+let plan_q ?(s = summary) q =
+  match Imprecise.Xpath.Parser.parse q with
+  | Ok e -> Plan.plan ~summary:s ~source:q e
+  | Error m -> Alcotest.failf "parse %s: %s" q m
+
+let check_cost name (p : Plan.t) ~worlds ~answers_lo ~answers_hi ~pw_lo ~pw_hi =
+  let f = Alcotest.float 0. in
+  check f (name ^ ": worlds") worlds p.Plan.cost.Cost.worlds;
+  check f (name ^ ": answers.lo") answers_lo p.Plan.cost.Cost.answers.Cost.lo;
+  check f (name ^ ": answers.hi") answers_hi p.Plan.cost.Cost.answers.Cost.hi;
+  check f (name ^ ": per_world.lo") pw_lo p.Plan.cost.Cost.per_world.Cost.lo;
+  check f (name ^ ": per_world.hi") pw_hi p.Plan.cost.Cost.per_world.Cost.hi
+
+(* Golden pins for Figure 2: route and bound values are part of the
+   planner's contract, not incidental output. *)
+let test_plan_fig2 () =
+  let p = plan_q "//person/tel" in
+  check Alcotest.bool "route direct" true (p.Plan.route = Plan.Direct);
+  check Alcotest.int "shards" 1 p.Plan.shards;
+  check Alcotest.int "no fallback reasons" 0 (List.length p.Plan.reasons);
+  check Alcotest.bool "obligations discharged" true (p.Plan.obligations <> []);
+  (* 3 worlds; 4 tel instances across the representation; every world has
+     1 or 2 tels and at least one (tel is certain under every person) *)
+  check_cost "//person/tel" p ~worlds:3. ~answers_lo:1. ~answers_hi:4. ~pw_lo:1.
+    ~pw_hi:2.;
+  (* widened admissions route direct too *)
+  List.iter
+    (fun q ->
+      let p = plan_q q in
+      check Alcotest.bool (q ^ " routes direct") true (p.Plan.route = Plan.Direct))
+    [
+      "/descendant::person/tel";
+      "//person[contains(nm,\"Jo\")]/tel";
+      "//person/tel[1]";
+      "//person/nm/text()";
+      "addressbook/person/tel";
+    ];
+  (* positional test on the binder itself stays out: P004, enumerate *)
+  let p = plan_q "//person[1]/tel" in
+  check Alcotest.bool "P004 route" true (p.Plan.route = Plan.Enumerate);
+  check (Alcotest.list Alcotest.string) "P004 reason" [ "P004" ] (codes p.Plan.reasons);
+  (* non-paths fall back with P001 and the untracked world-bound cost *)
+  let p = plan_q "count(//person)" in
+  check Alcotest.bool "P001 route" true (p.Plan.route = Plan.Enumerate);
+  check (Alcotest.list Alcotest.string) "P001 reason" [ "P001" ] (codes p.Plan.reasons);
+  check Alcotest.bool "P001 untracked" false p.Plan.cost.Cost.tracked
+
+(* The §VI movie demo document, reduced: one movie, uncertain genre. *)
+let movies_doc =
+  let leaf tag v = Pxml.elem tag [ Pxml.certain [ Pxml.text v ] ] in
+  Pxml.certain
+    [
+      Pxml.elem "movies"
+        [
+          Pxml.certain
+            [
+              Pxml.elem "movie"
+                [
+                  Pxml.certain [ leaf "title" "Jaws" ];
+                  Pxml.dist
+                    [
+                      Pxml.choice ~prob:0.8 [ leaf "genre" "Horror" ];
+                      Pxml.choice ~prob:0.2 [ leaf "genre" "Thriller" ];
+                    ];
+                ];
+            ];
+        ];
+    ]
+
+let test_plan_section_vi () =
+  let s = Summary.of_doc movies_doc in
+  let p = plan_q ~s {|//movie[.//genre="Horror"]/title|} in
+  check Alcotest.bool "Q1 direct" true (p.Plan.route = Plan.Direct);
+  (* 2 worlds; 1 title in the representation; the predicate voids any
+     lower bound *)
+  check_cost "Q1" p ~worlds:2. ~answers_lo:0. ~answers_hi:1. ~pw_lo:0. ~pw_hi:1.;
+  let p = plan_q ~s {|//movie[some $d in .//director satisfies contains($d,"John")]/title|} in
+  check Alcotest.bool "Q2 direct" true (p.Plan.route = Plan.Direct);
+  let p = plan_q ~s "//movie/genre" in
+  check Alcotest.bool "genre direct" true (p.Plan.route = Plan.Direct);
+  (* both genre instances are distinct representation nodes, one per world *)
+  check_cost "//movie/genre" p ~worlds:2. ~answers_lo:1. ~answers_hi:2. ~pw_lo:1.
+    ~pw_hi:1.
+
+let test_plan_nested_binder () =
+  (* //a occurrences nest: the planner must prove P005 and enumerate,
+     exactly as Direct would have refused dynamically. *)
+  let s = Summary.of_tree (parse "<r><a><a/></a></r>") in
+  let p = plan_q ~s "//a" in
+  check Alcotest.bool "P005 route" true (p.Plan.route = Plan.Enumerate);
+  check (Alcotest.list Alcotest.string) "P005 reason" [ "P005" ] (codes p.Plan.reasons)
+
+(* ---- rule-set lint ------------------------------------------------------- *)
+
+let test_rule_lint () =
+  let a = parse "<m><t>Jaws</t></m>" and b = parse "<m><t>Jaws 2</t></m>" in
+  let probes = [ (a, b) ] in
+  let fires_always =
+    { Oracle.name = "always"; judge = (fun _ _ -> Some (Oracle.Unsure 0.5)) }
+  in
+  let shadowed =
+    { Oracle.name = "shadowed"; judge = (fun _ _ -> Some Oracle.Same) }
+  in
+  (* R003: "shadowed" fires on the probe, but "always" already fired *)
+  let diags = Rule_lint.check ~probes (Oracle.make [ fires_always; shadowed ]) in
+  check Alcotest.bool "R003 fires" true (has_code "R003" diags);
+  (* R004: a rule that inspects only its first argument is asymmetric *)
+  let asym =
+    { Oracle.name = "asym"; judge = (fun x _ -> if x == a then Some Oracle.Same else None) }
+  in
+  let diags = Rule_lint.check ~probes (Oracle.make [ asym ]) in
+  check Alcotest.bool "R004 fires" true (has_code "R004" diags);
+  (* clean: a symmetric rule that fires alone *)
+  check (Alcotest.list Alcotest.string) "clean ruleset" []
+    (codes (Rule_lint.check ~probes (Oracle.make [ Oracle.deep_equal_rule; asym ])
+           |> List.filter (fun (d : Diag.t) -> d.Diag.code = "R003")));
+  check (Alcotest.list Alcotest.string) "symmetric rule ok" []
+    (codes (Rule_lint.check ~probes (Oracle.make [ fires_always ])));
+  (* never-firing rules are not "unreachable": the probe set just missed
+     them, and R003 must not cry wolf *)
+  let never = { Oracle.name = "never"; judge = (fun _ _ -> None) } in
+  check (Alcotest.list Alcotest.string) "abstainer ok" []
+    (codes (Rule_lint.check ~probes (Oracle.make [ fires_always; never ])))
+
+(* ---- diagnostic JSON offset uniformity ----------------------------------- *)
+
+let offset_of (d : Diag.t) =
+  match Diag.to_json d with
+  | Obs.Json.Obj fields -> (
+      match List.assoc "location" fields with
+      | Obs.Json.Obj lf -> List.assoc_opt "offset" lf
+      | _ -> None)
+  | _ -> None
+
+let test_offset_shape () =
+  (* every located diagnostic carries an "offset" key: a real character
+     offset for Q-codes, null for D/R/P-codes *)
+  let q0 =
+    Diag.make
+      ~location:(Diag.Query_at { source = "//a["; offset = Some 4 })
+      ~code:"Q000" ~severity:Diag.Error "syntax"
+  in
+  let d5 = Diag.make ~location:(Diag.Doc_path [ "r" ]) ~code:"D005" ~severity:Diag.Warning "w" in
+  let p4 =
+    Diag.make
+      ~location:(Diag.Query_at { source = "//a[1]"; offset = None })
+      ~code:"P004" ~severity:Diag.Info "i"
+  in
+  check Alcotest.bool "Q000 offset is an int" true (offset_of q0 = Some (Obs.Json.Int 4));
+  check Alcotest.bool "D005 offset is null" true (offset_of d5 = Some Obs.Json.Null);
+  check Alcotest.bool "P004 offset is null" true (offset_of p4 = Some Obs.Json.Null);
+  (* planner reasons inherit the shape *)
+  let p = plan_q "//person[1]/tel" in
+  match p.Plan.reasons with
+  | [ r ] -> check Alcotest.bool "P-code reason offset null" true (offset_of r = Some Obs.Json.Null)
+  | _ -> Alcotest.fail "expected one reason"
+
 let suite =
   [
     ( "analyze.diag",
@@ -357,4 +534,14 @@ let suite =
         Alcotest.test_case "every code fires" `Quick test_lint_findings;
         Alcotest.test_case "locations" `Quick test_lint_locations;
       ] );
+    ( "analyze.plan",
+      [
+        Alcotest.test_case "fig2 golden plans" `Quick test_plan_fig2;
+        Alcotest.test_case "section VI golden plans" `Quick test_plan_section_vi;
+        Alcotest.test_case "nested binder falls back (P005)" `Quick
+          test_plan_nested_binder;
+        Alcotest.test_case "json offset uniformity" `Quick test_offset_shape;
+      ] );
+    ( "analyze.rule_lint",
+      [ Alcotest.test_case "R003/R004" `Quick test_rule_lint ] );
   ]

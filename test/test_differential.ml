@@ -28,6 +28,8 @@ module Prng = Imprecise.Data.Prng
 module Random_docs = Imprecise.Data.Random_docs
 module Summary = Imprecise.Analyze.Summary
 module Query_check = Imprecise.Analyze.Query_check
+module Cost = Imprecise.Analyze.Cost
+module Plan = Imprecise.Analyze.Plan
 
 (* The pool leans on the generator's alphabet (tags a b c item name, words
    x y zz hello 42) so matches are likely. count(...) and some...satisfies
@@ -54,6 +56,15 @@ let queries =
     "count(//a)";
     "count(//item | //name)";
     {|some $x in //name satisfies $x = "y"|};
+    (* widened direct fragment (PR 9): descendant axes, contains, relative
+       paths, positional predicates below the binder, trailing text() *)
+    "/descendant::a";
+    "//item/descendant::b";
+    {|descendant::item[contains(name,"4")]|};
+    {|//a[b[1]="x"]|};
+    {|//item[name="42"]/b[2]|};
+    "//a/text()";
+    "item/name";
   |]
 
 let single_valued q =
@@ -86,9 +97,12 @@ let check_case i =
   else begin
     (* the reference is the raw semantics: the static prune stays off so it
        can act as ground truth for the analyzer itself *)
+    let c_worlds = Obs.Metrics.counter "pquery.worlds_enumerated" in
+    let worlds_before = Obs.Metrics.count c_worlds in
     let reference =
       Pquery.rank ~strategy:Pquery.Enumerate_only ~static_check:false doc query
     in
+    let observed_worlds = Obs.Metrics.count c_worlds - worlds_before in
     (* static analysis soundness: flagged empty ⇒ zero enumerated answers *)
     (match Imprecise.Xpath.Parser.parse query with
     | Error e -> fail seed query "query pool entry does not parse: %s" e
@@ -124,13 +138,35 @@ let check_case i =
     if float_of_int enumerated <> world_count then
       fail seed query "world_count %g but enumerate yielded %d worlds" world_count
         enumerated;
-    (* direct evaluator, where the query is in its class *)
-    (match Pquery.rank ~strategy:Pquery.Direct_only doc query with
-    | direct ->
-        if not (agree direct reference) then
-          fail seed query "direct disagrees:@.%s@.vs enumeration:@.%s" (pp_answers direct)
-            (pp_answers reference)
-    | exception Pquery.Cannot_answer _ -> ());
+    (* direct evaluator, where the query is in its class; the prune stays
+       off so a statically-empty query cannot short-circuit past Direct
+       (the route certification below needs to know what Direct itself did) *)
+    let direct_ok =
+      match Pquery.rank ~strategy:Pquery.Direct_only ~static_check:false doc query with
+      | direct ->
+          if not (agree direct reference) then
+            fail seed query "direct disagrees:@.%s@.vs enumeration:@.%s"
+              (pp_answers direct) (pp_answers reference);
+          true
+      | exception Pquery.Cannot_answer _ -> false
+    in
+    (* static planner certification: the route prediction must agree with
+       what the direct evaluator actually did, and the cost model's world
+       bound must dominate what enumeration observed *)
+    let plan = Pquery.plan doc query in
+    (match (plan.Plan.route, direct_ok) with
+    | Plan.Direct, false ->
+        fail seed query "planner routed direct but the direct evaluator refused"
+    | Plan.Enumerate, true ->
+        fail seed query "planner routed enumerate (%s) but direct succeeded"
+          (String.concat "; "
+             (List.map
+                (fun (d : Imprecise.Analyze.Diag.t) -> d.Imprecise.Analyze.Diag.code)
+                plan.Plan.reasons))
+    | Plan.Direct, true | Plan.Enumerate, false -> ());
+    if plan.Plan.cost.Cost.worlds +. 1e-9 < float_of_int observed_worlds then
+      fail seed query "cost bound violated: predicted <= %g worlds, enumeration observed %d"
+        plan.Plan.cost.Cost.worlds observed_worlds;
     (* parallel enumeration: 2 domains always, 4 on a subsample *)
     let jobs_list = if i mod 7 = 0 then [ 2; 4 ] else [ 2 ] in
     List.iter

@@ -97,10 +97,20 @@ let test_supported () =
   check Alcotest.bool "paper Q1" true (supported {|//movie[.//genre="Horror"]/title|});
   check Alcotest.bool "paper Q2" true
     (supported {|//movie[some $d in .//director satisfies contains($d,"John")]/title|});
-  check Alcotest.bool "relative path" false (supported "movie/title");
+  (* widened fragment (PR 9): relative paths, descendant axes, nested
+     positional predicates, trailing text() steps *)
+  check Alcotest.bool "relative path" true (supported "movie/title");
+  check Alcotest.bool "descendant axis" true (supported "/descendant::movie/title");
+  check Alcotest.bool "nested positional" true (supported "//movie/title[1]");
+  check Alcotest.bool "trailing text()" true (supported "//movie/title/text()");
+  check Alcotest.bool "contains in predicate" true
+    (supported {|//movie[contains(title,"x")]/title|});
+  (* still rejected: non-paths, positional tests on the binder itself,
+     upward axes and absolute paths inside predicates *)
   check Alcotest.bool "non-path" false (supported "1 + 2");
-  check Alcotest.bool "positional predicate" false (supported "//movie[2]/title");
-  check Alcotest.bool "position() call" false (supported "//movie[position()=1]/title");
+  check Alcotest.bool "leading positional predicate" false (supported "//movie[2]/title");
+  check Alcotest.bool "leading position() call" false
+    (supported "//movie[position()=1]/title");
   check Alcotest.bool "absolute path in predicate" false (supported "//movie[//x]/title");
   check Alcotest.bool "parent in predicate" false (supported "//movie[../x]/title")
 

@@ -135,6 +135,29 @@ let check_experiment ~file experiments name =
     | Some (Obs.Json.Int n) when n > 0 -> ()
     | _ -> fail "%s: analyze.plan has no observations — planner untimed?" ctx
   end;
+  (* the binary-store experiment must actually have written binary frames,
+     and decoding them must beat parsing the equivalent XML by >= 2x at the
+     median (the whole point of the v3 format) *)
+  if name = "store_binary_roundtrip" then begin
+    positive "store.binary_bytes";
+    let p50 hname =
+      let h =
+        match Obs.Json.member hname (member ~ctx "histograms" metrics) with
+        | Some h -> h
+        | None -> fail "%s: histogram %S missing" ctx hname
+      in
+      match Obs.Json.member "p50" h with
+      | Some (Obs.Json.Float p) when p > 0. -> p
+      | Some (Obs.Json.Int p) when p > 0 -> float_of_int p
+      | _ -> fail "%s: %s has no positive p50 — decode untimed?" ctx hname
+    in
+    let xml = p50 "store.parse_xml" and bin = p50 "store.parse_binary" in
+    if bin *. 2. > xml then
+      fail "%s: binary decode p50 %.3fms not 2x faster than xml parse p50 %.3fms"
+        ctx bin xml
+  end;
+  (* the interning experiment must actually have found sharing *)
+  if name = "intern_dedup" then positive "pxml.intern.hit";
   (* the event ring must never have overflowed during a bench run *)
   (match Obs.Json.member "obs.events_dropped" counters with
   | Some (Obs.Json.Int 0) -> ()

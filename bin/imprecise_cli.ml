@@ -784,7 +784,7 @@ let check_cmd =
 (* ---- doctor ------------------------------------------------------------------------ *)
 
 let doctor_cmd =
-  let run dir strict repair retries tele =
+  let run dir strict repair migrate retries tele =
     with_telemetry tele @@ fun () ->
     let mode = if strict then Store.Strict else Store.Salvage in
     let retry =
@@ -804,7 +804,26 @@ let doctor_cmd =
         (* clean means the commit record itself checked out, not just that
            every file the load happened to find was readable *)
         let clean = Store.recovered_all report && report.Store.manifest = `Ok in
-        if clean then exit 0
+        if migrate then begin
+          (* with --repair the quarantining load above already set the
+             directory straight, and the binary save below re-commits the
+             recovered documents — that save IS the repair, in v3 form *)
+          if not (clean || repair) then begin
+            Fmt.epr
+              "imprecise: refusing to migrate a damaged store (run doctor --repair \
+               first)@.";
+            exit 1
+          end;
+          match Store.save ?retry ~format:Store.Binary s ~dir with
+          | Ok () ->
+              Fmt.pr "migrated %d document(s) to the compact binary format (v3)@."
+                (Store.size s);
+              exit 0
+          | Error msg ->
+              Fmt.epr "imprecise: migrate failed: %s@." msg;
+              exit 1
+        end
+        else if clean then exit 0
         else if repair then begin
           match Store.save ?retry s ~dir with
           | Ok () ->
@@ -833,6 +852,18 @@ let doctor_cmd =
              verified manifest again — also upgrading a legacy or corrupt-manifest \
              directory. Without this flag doctor only reads.")
   in
+  let migrate =
+    Arg.(
+      value & flag
+      & info [ "migrate" ]
+          ~doc:
+            "Re-save a clean store in the compact binary format (v3): every document \
+             becomes a checksummed $(b,.ipx) frame with deep-equal subtrees stored \
+             once, committed by the usual staged manifest. Loads auto-detect the \
+             format, so reads need no flag and old XML stores keep working. Refuses \
+             to run on a damaged store unless combined with $(b,--repair), which \
+             quarantines the damage first and migrates what was recovered.")
+  in
   let retries =
     Arg.(
       value & opt int 1
@@ -849,8 +880,9 @@ let doctor_cmd =
          "Check a store directory: verify every document against the checksummed \
           manifest and print a per-document recovery report. Exits 0 only if the \
           manifest is present and verified and every document was recovered (or \
-          $(b,--repair) restored that state).")
-    Term.(const run $ dir $ strict $ repair $ retries $ telemetry_term)
+          $(b,--repair) restored that state). $(b,--migrate) converts a clean store \
+          to the compact binary format.")
+    Term.(const run $ dir $ strict $ repair $ migrate $ retries $ telemetry_term)
 
 (* ---- demo -------------------------------------------------------------------------- *)
 

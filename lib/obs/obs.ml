@@ -89,10 +89,12 @@ module Json = struct
 
   exception Bad of string
 
-  (* Recursive-descent parser for the subset above (no \uXXXX surrogate
-     pairs; escapes are decoded to their bytes). Enough to validate and read
-     back what [to_string] writes — which is what the bench smoke-check and
-     snapshot tooling need. *)
+  (* Recursive-descent parser for the subset above. Escapes are decoded to
+     their bytes; \uXXXX escapes — including surrogate pairs, which decode
+     to the astral-plane scalar they encode — become UTF-8. Enough to
+     validate and read back what [to_string] writes (and what other
+     emitters write about non-ASCII labels) — which is what the bench
+     smoke-check and snapshot tooling need. *)
   let parse s =
     let n = String.length s in
     let pos = ref 0 in

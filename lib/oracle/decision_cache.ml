@@ -1,4 +1,5 @@
 module Xml = Imprecise_xml
+module Intern = Imprecise_pxml.Intern
 module Obs = Imprecise_obs.Obs
 
 let c_hit = Obs.Metrics.counter "oracle.cache.hit"
@@ -10,11 +11,25 @@ let c_evict = Obs.Metrics.counter "oracle.cache.evict"
 (* Same LRU shape as Pquery.Cache (hash table into an intrusive recency
    list, every operation O(1)), but keyed by the subtree pair itself and
    guarded by a mutex: the integration engine consults one cache from all
-   the domains deciding the verdict grid. Structural hashing/equality are
-   fine here — Tree.t is pure data, and hash collisions resolve through
-   equality. *)
+   the domains deciding the verdict grid.
+
+   Keys are INTERNED subtrees (Intern.tree), so a lookup is O(1) in the
+   size of the trees: the key hash is the intern pool's cached structural
+   hash (one bounded memo probe, no traversal — structural hashing here
+   used to walk the whole subtree pair on every lookup), and key equality
+   is two pointer checks (deep-equal trees intern to the same pointer).
+   Re-interning the probe trees is itself O(1) once they have been seen:
+   the pool memoizes by physical identity. *)
 
 type key = Xml.Tree.t * Xml.Tree.t
+
+module Ktbl = Hashtbl.Make (struct
+  type t = key
+
+  let equal (a1, b1) (a2, b2) = a1 == a2 && b1 == b2
+
+  let hash (a, b) = (Intern.tree_hash a * 31) lxor Intern.tree_hash b
+end)
 
 type node = {
   key : key;
@@ -25,7 +40,7 @@ type node = {
 
 type t = {
   lock : Mutex.t;
-  tbl : (key, node) Hashtbl.t;
+  tbl : node Ktbl.t;
   mutable head : node option;
   mutable tail : node option;
   mutable capacity : int;
@@ -33,15 +48,15 @@ type t = {
 
 let create ?(capacity = 4096) () =
   if capacity <= 0 then invalid_arg "Decision_cache.create: capacity must be positive";
-  { lock = Mutex.create (); tbl = Hashtbl.create 64; head = None; tail = None; capacity }
+  { lock = Mutex.create (); tbl = Ktbl.create 64; head = None; tail = None; capacity }
 
 let capacity t = t.capacity
 
-let length t = Mutex.protect t.lock @@ fun () -> Hashtbl.length t.tbl
+let length t = Mutex.protect t.lock @@ fun () -> Ktbl.length t.tbl
 
 let clear t =
   Mutex.protect t.lock @@ fun () ->
-  Hashtbl.reset t.tbl;
+  Ktbl.reset t.tbl;
   t.head <- None;
   t.tail <- None
 
@@ -68,13 +83,14 @@ let evict_tail t =
   | None -> ()
   | Some n ->
       unlink t n;
-      Hashtbl.remove t.tbl n.key;
+      Ktbl.remove t.tbl n.key;
       Obs.Metrics.incr c_evict
 
 let find t a b =
+  let a = Intern.tree a and b = Intern.tree b in
   let r =
     Mutex.protect t.lock @@ fun () ->
-    match Hashtbl.find_opt t.tbl (a, b) with
+    match Ktbl.find_opt t.tbl (a, b) with
     | Some n ->
         Obs.Metrics.incr c_hit;
         touch t n;
@@ -89,16 +105,17 @@ let find t a b =
   r
 
 let add t a b value =
+  let a = Intern.tree a and b = Intern.tree b in
   Mutex.protect t.lock @@ fun () ->
   let key = (a, b) in
-  match Hashtbl.find_opt t.tbl key with
+  match Ktbl.find_opt t.tbl key with
   | Some n ->
       n.value <- value;
       touch t n
   | None ->
-      if Hashtbl.length t.tbl >= t.capacity then evict_tail t;
+      if Ktbl.length t.tbl >= t.capacity then evict_tail t;
       let n = { key; value; prev = None; next = None } in
-      Hashtbl.add t.tbl key n;
+      Ktbl.add t.tbl key n;
       push_front t n
 
 (* The lock is NOT held across [Oracle.decide]: a slow rule set would

@@ -7,6 +7,11 @@
     the {e pair of subtrees themselves} (structural equality), so any
     repeat is answered without consulting the rules again.
 
+    Keys are hash-consed through {!Imprecise_pxml.Intern}: the key hash is
+    the intern pool's cached structural hash and key equality is a pointer
+    check, so a lookup — hit or miss — is O(1) in the size of the subtrees
+    rather than a full traversal per probe.
+
     Soundness contract: the Oracle's rules and default must be pure
     functions of the two subtrees. Rules that close over external state
     would make a cached verdict stale; nothing in this module can detect

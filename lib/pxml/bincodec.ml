@@ -1,0 +1,416 @@
+(* The compact binary codec. See bincodec.mli for the format specification
+   (doc/store.md carries the same spec for operators). *)
+
+module Tree = Imprecise_xml.Tree
+
+let magic = "IPXB"
+
+let version = 1
+
+type payload = Certain of Tree.t | Probabilistic of Pxml.doc
+
+(* ---- CRC-32 (IEEE/zlib polynomial, same as Store.Manifest) ------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let crc = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let i =
+        Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      crc := Int32.logxor table.(i) (Int32.shift_right_logical !crc 8))
+    s;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+(* ---- primitive writers ------------------------------------------------- *)
+
+let put_varint buf n =
+  if n < 0 then invalid_arg "Bincodec: negative varint";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let put_u32le buf (v : int32) =
+  for i = 0 to 3 do
+    Buffer.add_char buf
+      (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v (8 * i)) 0xFFl)))
+  done
+
+(* Probabilities travel as their IEEE-754 bits, little-endian: the decode
+   is bit-for-bit the encode, with no text formatting in between. *)
+let put_float buf f =
+  let bits = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+  done
+
+(* ---- primitive readers ------------------------------------------------- *)
+
+exception Bad of string
+
+type reader = { s : string; mutable pos : int; limit : int }
+
+let fail r msg = raise (Bad (Fmt.str "%s at offset %d" msg r.pos))
+
+let byte r =
+  if r.pos >= r.limit then fail r "truncated payload";
+  let c = Char.code r.s.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let get_varint r =
+  let rec go shift acc =
+    if shift > 62 then fail r "varint too wide";
+    let b = byte r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let get_u32le r =
+  let b () = Int32.of_int (byte r) in
+  let v0 = b () in
+  let v1 = b () in
+  let v2 = b () in
+  let v3 = b () in
+  Int32.logor v0
+    (Int32.logor
+       (Int32.shift_left v1 8)
+       (Int32.logor (Int32.shift_left v2 16) (Int32.shift_left v3 24)))
+
+let get_float r =
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits := Int64.logor !bits (Int64.shift_left (Int64.of_int (byte r)) (8 * i))
+  done;
+  Int64.float_of_bits !bits
+
+let get_bytes r n =
+  if n < 0 || r.pos + n > r.limit then fail r "truncated payload";
+  let s = String.sub r.s r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+(* ---- shared-value streams ----------------------------------------------
+
+   Every sharable production (string, tree node, pxml node, probability
+   node) is written as [varint k]: [k = 0] introduces a definition whose
+   body follows and which is appended to that production's table once
+   complete (post-order), [k > 0] is a back-reference to [table[k-1]].
+   Encoding interns the value first, so deep-equal subtrees are written
+   once and referenced ever after; decoding rebuilds the same sharing
+   physically. *)
+
+module Etbl (T : sig
+  type t
+end) =
+struct
+  module H = Hashtbl.Make (struct
+    type t = T.t
+
+    let equal = ( == )
+
+    let hash = Hashtbl.hash
+  end)
+
+  type t = { tbl : int H.t; mutable next : int }
+
+  let create () = { tbl = H.create 64; next = 0 }
+
+  let find t v = H.find_opt t.tbl v
+
+  let define t v =
+    H.replace t.tbl v t.next;
+    t.next <- t.next + 1
+end
+
+module Dtbl = struct
+  type 'a t = { mutable items : 'a array; mutable n : int }
+
+  let create () = { items = [||]; n = 0 }
+
+  let append t v =
+    if t.n >= Array.length t.items then begin
+      let size = max 64 (2 * Array.length t.items) in
+      let items = Array.make size v in
+      Array.blit t.items 0 items 0 t.n;
+      t.items <- items
+    end;
+    t.items.(t.n) <- v;
+    t.n <- t.n + 1
+
+  let get r t k = if k < 0 || k >= t.n then fail r "dangling back-reference" else t.items.(k)
+end
+
+(* ---- encoding ---------------------------------------------------------- *)
+
+module Stbl = Etbl (struct
+  type t = string
+end)
+
+module Ttbl = Etbl (struct
+  type t = Tree.t
+end)
+
+module Ntbl = Etbl (struct
+  type t = Pxml.node
+end)
+
+module Dstbl = Etbl (struct
+  type t = Pxml.dist
+end)
+
+type encoder = {
+  buf : Buffer.t;
+  strings : Stbl.t;
+  trees : Ttbl.t;
+  nodes : Ntbl.t;
+  dists : Dstbl.t;
+}
+
+(* Strings are shared by an == probe over interned values; a string missed
+   by the probe (same bytes, different allocation) is merely written twice,
+   never decoded differently. *)
+let put_string e s =
+  match Stbl.find e.strings s with
+  | Some k -> put_varint e.buf (k + 1)
+  | None ->
+      put_varint e.buf 0;
+      put_varint e.buf (String.length s);
+      Buffer.add_string e.buf s;
+      Stbl.define e.strings s
+
+let put_attrs e attrs =
+  put_varint e.buf (List.length attrs);
+  List.iter
+    (fun (k, v) ->
+      put_string e k;
+      put_string e v)
+    attrs
+
+let rec put_tree e t =
+  match Ttbl.find e.trees t with
+  | Some k -> put_varint e.buf (k + 1)
+  | None ->
+      put_varint e.buf 0;
+      (match t with
+      | Tree.Text s ->
+          Buffer.add_char e.buf '\000';
+          put_string e s
+      | Tree.Element (name, attrs, children) ->
+          Buffer.add_char e.buf '\001';
+          put_string e name;
+          put_attrs e attrs;
+          put_varint e.buf (List.length children);
+          List.iter (put_tree e) children);
+      Ttbl.define e.trees t
+
+let rec put_node e (n : Pxml.node) =
+  match Ntbl.find e.nodes n with
+  | Some k -> put_varint e.buf (k + 1)
+  | None ->
+      put_varint e.buf 0;
+      (match n with
+      | Pxml.Text s ->
+          Buffer.add_char e.buf '\000';
+          put_string e s
+      | Pxml.Elem (tag, attrs, content) ->
+          Buffer.add_char e.buf '\001';
+          put_string e tag;
+          put_attrs e attrs;
+          put_varint e.buf (List.length content);
+          List.iter (put_dist e) content);
+      Ntbl.define e.nodes n
+
+and put_dist e (d : Pxml.dist) =
+  match Dstbl.find e.dists d with
+  | Some k -> put_varint e.buf (k + 1)
+  | None ->
+      put_varint e.buf 0;
+      put_varint e.buf (List.length d.choices);
+      List.iter
+        (fun (c : Pxml.choice) ->
+          put_float e.buf c.prob;
+          put_varint e.buf (List.length c.nodes);
+          List.iter (put_node e) c.nodes)
+        d.choices;
+      Dstbl.define e.dists d
+
+let encoder () =
+  {
+    buf = Buffer.create 1024;
+    strings = Stbl.create ();
+    trees = Ttbl.create ();
+    nodes = Ntbl.create ();
+    dists = Dstbl.create ();
+  }
+
+let frame ~kind payload =
+  let buf = Buffer.create (String.length payload + 16) in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr version);
+  Buffer.add_char buf (Char.chr kind);
+  put_varint buf (String.length payload);
+  put_u32le buf (crc32 payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let tree_to_string t =
+  let e = encoder () in
+  put_tree e (Intern.tree t);
+  frame ~kind:0 (Buffer.contents e.buf)
+
+let doc_to_string d =
+  let e = encoder () in
+  put_dist e (Intern.doc d);
+  frame ~kind:1 (Buffer.contents e.buf)
+
+let to_string = function
+  | Certain t -> tree_to_string t
+  | Probabilistic d -> doc_to_string d
+
+(* ---- decoding ---------------------------------------------------------- *)
+
+type decoder = {
+  r : reader;
+  dstrings : string Dtbl.t;
+  dtrees : Tree.t Dtbl.t;
+  dnodes : Pxml.node Dtbl.t;
+  ddists : Pxml.dist Dtbl.t;
+}
+
+let get_string d =
+  let k = get_varint d.r in
+  if k > 0 then Dtbl.get d.r d.dstrings (k - 1)
+  else begin
+    let len = get_varint d.r in
+    let s = get_bytes d.r len in
+    Dtbl.append d.dstrings s;
+    s
+  end
+
+let get_attrs d =
+  let n = get_varint d.r in
+  List.init n (fun _ ->
+      let k = get_string d in
+      let v = get_string d in
+      (k, v))
+
+let rec get_tree d =
+  let k = get_varint d.r in
+  if k > 0 then Dtbl.get d.r d.dtrees (k - 1)
+  else begin
+    let t =
+      match byte d.r with
+      | 0 -> Tree.Text (get_string d)
+      | 1 ->
+          let name = get_string d in
+          let attrs = get_attrs d in
+          let n = get_varint d.r in
+          Tree.Element (name, attrs, List.init n (fun _ -> get_tree d))
+      | k -> fail d.r (Fmt.str "unknown tree-node kind %d" k)
+    in
+    Dtbl.append d.dtrees t;
+    t
+  end
+
+let rec get_node d : Pxml.node =
+  let k = get_varint d.r in
+  if k > 0 then Dtbl.get d.r d.dnodes (k - 1)
+  else begin
+    let n =
+      match byte d.r with
+      | 0 -> Pxml.Text (get_string d)
+      | 1 ->
+          let tag = get_string d in
+          let attrs = get_attrs d in
+          let n = get_varint d.r in
+          Pxml.Elem (tag, attrs, List.init n (fun _ -> get_dist d))
+      | k -> fail d.r (Fmt.str "unknown node kind %d" k)
+    in
+    Dtbl.append d.dnodes n;
+    n
+  end
+
+and get_dist d : Pxml.dist =
+  let k = get_varint d.r in
+  if k > 0 then Dtbl.get d.r d.ddists (k - 1)
+  else begin
+    let n = get_varint d.r in
+    if n = 0 then fail d.r "probability node with no possibilities";
+    let choices =
+      List.init n (fun _ ->
+          let prob = get_float d.r in
+          let n = get_varint d.r in
+          { Pxml.prob; nodes = List.init n (fun _ -> get_node d) })
+    in
+    (* the structural invariants (probabilities in range, sums within
+       epsilon of 1) are enforced exactly as the XML codec enforces them *)
+    let dist = try Pxml.dist choices with Pxml.Invalid msg -> fail d.r msg in
+    Dtbl.append d.ddists dist;
+    dist
+  end
+
+let of_string s =
+  let n = String.length s in
+  try
+    if n < 6 || String.sub s 0 4 <> magic then Error "bad magic: not a binary document"
+    else if Char.code s.[4] <> version then
+      Error (Fmt.str "unsupported binary format version %d" (Char.code s.[4]))
+    else begin
+      let kind = Char.code s.[5] in
+      let r = { s; pos = 6; limit = n } in
+      let len = get_varint r in
+      let crc = get_u32le r in
+      if n - r.pos <> len then
+        Error
+          (Fmt.str "payload length mismatch: frame declares %d bytes, found %d" len
+             (n - r.pos))
+      else begin
+        let payload_start = r.pos in
+        let payload = String.sub s payload_start len in
+        if crc32 payload <> crc then
+          Error "payload fails its CRC-32 (torn write or bit corruption)"
+        else begin
+          let d =
+            {
+              r;
+              dstrings = Dtbl.create ();
+              dtrees = Dtbl.create ();
+              dnodes = Dtbl.create ();
+              ddists = Dtbl.create ();
+            }
+          in
+          let v =
+            match kind with
+            | 0 -> Certain (get_tree d)
+            | 1 -> Probabilistic (get_dist d)
+            | k -> fail r (Fmt.str "unknown document kind %d" k)
+          in
+          if r.pos <> r.limit then Error "trailing bytes after document"
+          else Ok v
+        end
+      end
+    end
+  with Bad msg -> Error msg
+
+let is_binary s = String.length s >= 4 && String.sub s 0 4 = magic

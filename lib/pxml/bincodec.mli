@@ -1,0 +1,54 @@
+(** Compact binary codec for probabilistic documents — the v3 store format.
+
+    A binary document is one self-describing {e frame}:
+
+    {v
+      "IPXB"              4-byte magic
+      version             1 byte      (currently 1)
+      kind                1 byte      (0 = certain tree, 1 = probabilistic doc)
+      payload length      LEB128 varint
+      payload CRC-32      4 bytes, little-endian (IEEE polynomial)
+      payload             <length> bytes
+    v}
+
+    The payload encodes the document with {e shared subtrees}: every
+    sharable production (string, XML node, probability node) is prefixed by
+    a varint [k] — [k = 0] introduces a definition (body follows, appended
+    post-order to that production's table), [k > 0] is a back-reference to
+    definition [k-1]. Encoding interns the document first ({!Intern.doc}),
+    so deep-equal subtrees are written once; decoding rebuilds the same
+    sharing physically. Probabilities travel as their IEEE-754 bits
+    (little-endian), so the round-trip is bit-exact — no text formatting is
+    involved.
+
+    Decoding verifies magic, version, declared length, and CRC-32 before
+    building anything, and re-validates the structural invariants
+    (probability sums) as the XML codec does; any mismatch is an [Error],
+    never an exception, so the store can quarantine a torn or corrupted
+    file instead of crashing. *)
+
+module Tree = Imprecise_xml.Tree
+
+type payload = Certain of Tree.t | Probabilistic of Pxml.doc
+
+val version : int
+
+(** [to_string p] is the framed binary encoding of [p]. The input is
+    interned as a side effect. *)
+val to_string : payload -> string
+
+val tree_to_string : Tree.t -> string
+
+val doc_to_string : Pxml.doc -> string
+
+(** [of_string s] decodes a frame produced by {!to_string}. Errors (bad
+    magic, unsupported version, length mismatch, checksum failure,
+    truncation, malformed payload) are returned, not raised. *)
+val of_string : string -> (payload, string) result
+
+(** [is_binary s] is [true] iff [s] starts with the binary magic — use to
+    dispatch between the XML and binary parsers. *)
+val is_binary : string -> bool
+
+(** CRC-32 (IEEE) of a string, exposed for tests. *)
+val crc32 : string -> int32

@@ -4,7 +4,23 @@ let prob_tag = "p:prob"
 
 let poss_tag = "p:poss"
 
-let float_to_attr f = Fmt.str "%.17g" f
+(* Shortest representation that parses back to the SAME bits. "%.17g" is
+   always exact for finite doubles but ugly (0.1 +. 0.2 prints as
+   0.30000000000000004); "%.12g" is what a human wrote in most inputs. Try
+   short first, verified by a bitwise round-trip, and keep the hex-float
+   form as a belt-and-braces fallback for anything both decimal forms
+   would drift on. *)
+let float_to_attr f =
+  let exact s =
+    match float_of_string_opt s with
+    | Some g -> Int64.bits_of_float g = Int64.bits_of_float f
+    | None -> false
+  in
+  let short = Fmt.str "%.12g" f in
+  if exact short then short
+  else
+    let full = Fmt.str "%.17g" f in
+    if exact full then full else Fmt.str "%h" f
 
 let rec encode (d : Pxml.doc) : Xml.Tree.t =
   Xml.Tree.Element (prob_tag, [], List.map encode_choice d.choices)

@@ -9,6 +9,12 @@
 (** Reserved element names. Data documents must not use them. *)
 val prob_tag : string
 
+(** [float_to_attr f] is the shortest decimal (or, as a last resort,
+    hexadecimal) representation of [f] that [float_of_string] parses back
+    to the {e same bits} — probabilities survive the XML round-trip
+    bit-for-bit. Exposed for the codec-stress property tests. *)
+val float_to_attr : float -> string
+
 val poss_tag : string
 
 val encode : Pxml.doc -> Imprecise_xml.Tree.t

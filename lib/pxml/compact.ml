@@ -95,3 +95,28 @@ and prune_unlikely_dist threshold (d : Pxml.dist) : Pxml.dist =
   }
 
 let prune_unlikely ~threshold d = compact (prune_unlikely_dist threshold d)
+
+(* Budgeted reduction: escalate the prune threshold geometrically until the
+   document fits. Threshold 1.0 is the floor of the search space — at that
+   point every probability node keeps only its argmax possibility (one
+   world), which is the smallest document [prune_unlikely] can produce, so
+   the loop always terminates even on unsatisfiable budgets. *)
+let prune_to_budget ?node_budget ?world_budget (d : Pxml.doc) : Pxml.doc =
+  let within (d : Pxml.doc) =
+    (match node_budget with
+    | Some b -> Pxml.node_count d <= b
+    | None -> true)
+    &&
+    match world_budget with
+    | Some b -> ( match Pxml.world_count_int d with Some w -> w <= b | None -> false)
+    | None -> true
+  in
+  let d = compact d in
+  if within d then d
+  else
+    let rec go threshold d =
+      let d' = prune_unlikely ~threshold d in
+      if within d' || threshold >= 1. then d'
+      else go (Float.min 1. (threshold *. 4.)) d'
+    in
+    go 1e-6 d

@@ -37,3 +37,14 @@ val prune_threshold : float
     {!compact} is applied. A probability node always keeps at least its
     most likely possibility. *)
 val prune_unlikely : threshold:float -> Pxml.doc -> Pxml.doc
+
+(** [prune_to_budget ?node_budget ?world_budget d] is the budgeted form:
+    lossless {!compact} first, then {!prune_unlikely} with a geometrically
+    escalating threshold (from [1e-6], ×4 per round) until the document has
+    at most [node_budget] representation nodes ({!Pxml.node_count}) and at
+    most [world_budget] possible worlds ({!Pxml.world_count_int};
+    overflowing counts as over budget). Always terminates: at threshold 1
+    every probability node keeps only its most likely possibility. This is
+    what keeps stores bounded under repeated [integrate_many] folds — and it
+    is exactly the lossy reduction the paper warns not to push too far. *)
+val prune_to_budget : ?node_budget:int -> ?world_budget:int -> Pxml.doc -> Pxml.doc

@@ -1,0 +1,70 @@
+(** Hash-consing of deep-equal subtrees.
+
+    Integration folds re-create deep-equal subtrees endlessly: the same
+    person element appears in both sources, in every world of the merged
+    document, and again when a third source is folded in. Interning maps
+    every structurally-equal subtree to one canonical, shared value, so
+
+    - structural equality on interned values starts with a {e pointer
+      check} ({!Pxml.equal_node} and {!Imprecise_xml.Tree.deep_equal} both
+      fast-path on physical equality);
+    - hashing an interned subtree is O(1) — the hash was computed once,
+      bottom-up, when the subtree entered the pool (this is what makes
+      {!Imprecise_oracle.Decision_cache} lookups cheap); and
+    - the binary codec ({!Bincodec}) writes each distinct subtree once,
+      emitting back-references for every other occurrence.
+
+    Pools are weak: the canonical representatives are pointed to only
+    weakly, so interning never pins memory — a subtree dropped by every
+    client is collected as usual. A bounded physical memo makes re-interning
+    an already-interned (or already-seen) value O(1) without traversal.
+
+    All functions are thread-safe (one internal mutex) and
+    semantics-preserving to the last bit: probabilities are compared
+    bitwise, never with an epsilon, so an interned document is
+    indistinguishable from its original under every query.
+
+    Counters: [pxml.intern.hit] (a value was already known — physical memo
+    or pool), [pxml.intern.miss] (a new distinct structure entered a
+    pool). *)
+
+module Tree = Imprecise_xml.Tree
+
+(** {1 Plain XML trees} *)
+
+(** [tree t] is the canonical representative of [t]: structurally equal
+    inputs return physically equal outputs. *)
+val tree : Tree.t -> Tree.t
+
+(** [tree_hash t] is the full structural hash of [t]'s canonical form,
+    interning it first if needed. O(1) on a tree already interned (or
+    already hashed) — no traversal. *)
+val tree_hash : Tree.t -> int
+
+(** [tree_interned t] is [true] iff [t] is (physically) a canonical
+    representative. *)
+val tree_interned : Tree.t -> bool
+
+(** {1 Probabilistic documents} *)
+
+(** [doc d] interns a whole probabilistic document: every deep-equal
+    subtree — node, possibility, probability node — is shared. *)
+val doc : Pxml.doc -> Pxml.doc
+
+val node : Pxml.node -> Pxml.node
+
+(** Structural hash of the canonical form, O(1) once interned. *)
+val doc_hash : Pxml.doc -> int
+
+(** {1 Accounting} *)
+
+type stats = { trees : int; nodes : int; dists : int; choices : int }
+
+(** Live (not yet collected) canonical values per pool. *)
+val stats : unit -> stats
+
+(** [distinct_nodes d] is the number of {e physically} distinct
+    representation nodes reachable from [d] — on an interned document, the
+    deduplicated size: what a shared encoding writes, against
+    {!Pxml.node_count} which counts every occurrence. *)
+val distinct_nodes : Pxml.doc -> int

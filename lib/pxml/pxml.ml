@@ -159,17 +159,23 @@ let world_count_int d =
   let n = dist d in
   if !overflow then None else Some n
 
+(* Physical-equality fast paths: on interned (hash-consed) values deep
+   equality is a pointer check; on everything else they only add one
+   comparison. *)
 let rec equal_node a b =
+  a == b
+  ||
   match a, b with
   | Text x, Text y -> x = y
   | Elem (t1, a1, c1), Elem (t2, a2, c2) ->
       t1 = t2 && a1 = a2 && List.equal equal_dist c1 c2
   | Text _, Elem _ | Elem _, Text _ -> false
 
-and equal_dist a b = List.equal equal_choice a.choices b.choices
+and equal_dist a b = a == b || List.equal equal_choice a.choices b.choices
 
 and equal_choice a b =
-  Float.abs (a.prob -. b.prob) <= epsilon && List.equal equal_node a.nodes b.nodes
+  a == b
+  || Float.abs (a.prob -. b.prob) <= epsilon && List.equal equal_node a.nodes b.nodes
 
 let equal = equal_dist
 

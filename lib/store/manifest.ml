@@ -6,11 +6,19 @@ type t = entry list
 
 let filename = "MANIFEST"
 
+(* Version 3 = version 2 entries, except files may be compact binary
+   ([.ipx]) as well as XML. The v3 header is only written when a binary
+   file is actually present, so pre-binary readers keep reading any store
+   they could have written. *)
+let header_v3 = "imprecise-manifest 3"
+
 let header = "imprecise-manifest 2"
 
 (* version-1 manifests (no file field; documents lived at <name>.xml) are
    still readable *)
 let header_v1 = "imprecise-manifest 1"
+
+let binary_file file = Filename.check_suffix file ".ipx"
 
 let crc_table =
   lazy
@@ -48,7 +56,8 @@ let entry_line e =
 
 let to_string entries =
   let block = String.concat "" (List.map (fun e -> entry_line e ^ "\n") entries) in
-  Fmt.str "%s\n%send %d %08lx\n" header block (List.length entries) (crc32 block)
+  let h = if List.exists (fun e -> binary_file e.file) entries then header_v3 else header in
+  Fmt.str "%s\n%send %d %08lx\n" h block (List.length entries) (crc32 block)
 
 let parse_crc s = if String.length s = 8 then Int32.of_string_opt ("0x" ^ s) else None
 
@@ -71,7 +80,7 @@ let parse_entry ~v1 line =
 let of_string s =
   let ( let* ) = Result.bind in
   match String.split_on_char '\n' s with
-  | h :: rest when h = header || h = header_v1 ->
+  | h :: rest when h = header || h = header_v1 || h = header_v3 ->
       let v1 = h = header_v1 in
       let block = Buffer.create 256 in
       let rec go acc = function

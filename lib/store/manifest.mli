@@ -18,9 +18,13 @@
     end <entry-count> <crc32-hex of the entry block>
     v}
     Version-1 manifests (four fields, documents at [<name>.xml]) are still
-    readable. A torn write cannot pass for a complete manifest: truncation
-    loses the [end] line or breaks its count/checksum, and {!of_string}
-    rejects it. *)
+    readable. Version 3 has the same entry syntax but its files may be
+    compact binary ([.ipx], see {!Imprecise_pxml.Bincodec}) as well as XML;
+    {!to_string} only emits the version-3 header when a binary file is
+    actually listed, so stores without binary documents stay readable by
+    pre-binary builds. A torn write cannot pass for a complete manifest:
+    truncation loses the [end] line or breaks its count/checksum, and
+    {!of_string} rejects it. *)
 
 type kind = Certain | Probabilistic
 

@@ -2,6 +2,7 @@ module Xml = Imprecise_xml
 module Tree = Xml.Tree
 module Pxml = Imprecise_pxml.Pxml
 module Codec = Imprecise_pxml.Codec
+module Bincodec = Imprecise_pxml.Bincodec
 module Io = Io
 module Manifest = Manifest
 module Obs = Imprecise_obs.Obs
@@ -11,6 +12,8 @@ let c_saves = Obs.Metrics.counter "store.saves"
 let c_loads = Obs.Metrics.counter "store.loads"
 
 let c_salvage = Obs.Metrics.counter "store.salvage_events"
+
+let c_binary_bytes = Obs.Metrics.counter "store.binary_bytes"
 
 type doc = Certain of Tree.t | Probabilistic of Pxml.doc
 
@@ -97,46 +100,72 @@ let kind_of_doc = function
 
 (* ---- on-disk naming --------------------------------------------------- *)
 
+type format = Xml | Binary
+
 let xml_suffix = ".xml"
+
+(* compact binary documents (store format v3, Bincodec frames) *)
+let ipx_suffix = ".ipx"
+
+let doc_suffixes = [ xml_suffix; ipx_suffix ]
+
+let doc_suffix_of file = List.find_opt (Filename.check_suffix file) doc_suffixes
 
 let tmp_suffix = ".tmp"
 
 let corrupt_suffix = ".corrupt"
 
 (* Committed document files carry the generation of the save that wrote
-   them: [<name>.g<N>.xml]. A save stages under filenames no previous
-   commit references, so committed files are never renamed or overwritten;
-   the manifest rename flips the store from one generation's files to the
-   next, and only then are superseded files deleted. *)
-let gen_filename name ~gen = Fmt.str "%s.g%d.xml" name gen
+   them: [<name>.g<N>.xml] (or [.ipx] for binary). A save stages under
+   filenames no previous commit references, so committed files are never
+   renamed or overwritten; the manifest rename flips the store from one
+   generation's files to the next, and only then are superseded files
+   deleted. *)
+let gen_filename name ~gen ~format =
+  let suffix = match format with Xml -> xml_suffix | Binary -> ipx_suffix in
+  Fmt.str "%s.g%d%s" name gen suffix
 
-(* [split_gen "alpha.g12.xml"] is [Some ("alpha", 12)]. *)
+(* [split_gen "alpha.g12.xml"] is [Some ("alpha", 12)]; same for [.ipx]. *)
 let split_gen file =
-  if not (Filename.check_suffix file xml_suffix) then None
-  else
-    let base = Filename.chop_suffix file xml_suffix in
-    match String.rindex_opt base '.' with
-    | None | Some 0 -> None
-    | Some i ->
-        let tag = String.sub base (i + 1) (String.length base - i - 1) in
-        if
-          String.length tag >= 2
-          && tag.[0] = 'g'
-          && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub tag 1 (String.length tag - 1))
-        then
-          match int_of_string_opt (String.sub tag 1 (String.length tag - 1)) with
-          | Some gen -> Some (String.sub base 0 i, gen)
-          | None -> None
-        else None
+  match doc_suffix_of file with
+  | None -> None
+  | Some suffix -> (
+      let base = Filename.chop_suffix file suffix in
+      match String.rindex_opt base '.' with
+      | None | Some 0 -> None
+      | Some i ->
+          let tag = String.sub base (i + 1) (String.length base - i - 1) in
+          if
+            String.length tag >= 2
+            && tag.[0] = 'g'
+            && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub tag 1 (String.length tag - 1))
+          then
+            match int_of_string_opt (String.sub tag 1 (String.length tag - 1)) with
+            | Some gen -> Some (String.sub base 0 i, gen)
+            | None -> None
+          else None)
 
 (* The document a file was meant to hold — for reports, and for loading
    directories whose manifest is absent or damaged. *)
 let doc_name_of_file file =
   match split_gen file with
   | Some (name, _) -> name
-  | None -> Filename.chop_suffix file xml_suffix
+  | None -> (
+      match doc_suffix_of file with
+      | Some suffix -> Filename.chop_suffix file suffix
+      | None -> file)
 
-let serialize doc = Xml.Printer.to_string ~decl:true ~indent:2 (doc_to_tree doc) ^ "\n"
+let serialize ~format doc =
+  match format with
+  | Xml -> Xml.Printer.to_string ~decl:true ~indent:2 (doc_to_tree doc) ^ "\n"
+  | Binary ->
+      let data =
+        match doc with
+        | Certain tree -> Bincodec.tree_to_string tree
+        | Probabilistic d -> Bincodec.doc_to_string d
+      in
+      Obs.Metrics.incr ~by:(String.length data) c_binary_bytes;
+      data
 
 (* ---- retry ------------------------------------------------------------- *)
 
@@ -156,7 +185,7 @@ let with_retry ?retry ?sleep f =
 
 (* ---- save ------------------------------------------------------------- *)
 
-let save_attempt io t ~dir =
+let save_attempt io t ~dir ~format =
     if not (Io.exists io dir) then Io.mkdir io dir;
     let mpath = Filename.concat dir Manifest.filename in
     (* the previous commit, when readable: exactly the document files this
@@ -184,8 +213,8 @@ let save_attempt io t ~dir =
       List.map
         (fun name ->
           let doc = Hashtbl.find t.tbl name in
-          let data = serialize doc in
-          let file = gen_filename name ~gen in
+          let data = serialize ~format doc in
+          let file = gen_filename name ~gen ~format in
           let final = Filename.concat dir file in
           let tmp = final ^ tmp_suffix in
           Io.write_file io tmp data;
@@ -221,19 +250,21 @@ let save_attempt io t ~dir =
             let store_owned =
               List.exists (fun (e : Manifest.entry) -> e.file = file) prev
               || split_gen file <> None
-              || Filename.check_suffix file (xml_suffix ^ tmp_suffix)
+              || List.exists
+                   (fun s -> Filename.check_suffix file (s ^ tmp_suffix))
+                   doc_suffixes
               || file = Manifest.filename ^ tmp_suffix
             in
             if store_owned && not (committed file) then
               Io.delete io (Filename.concat dir file))
           (Io.list_dir io dir))
 
-let save ?(io = Io.real) ?retry ?sleep t ~dir =
+let save ?(io = Io.real) ?retry ?sleep ?(format = Xml) t ~dir =
   let io = Io.metered io in
   Obs.Metrics.incr c_saves;
   Obs.Trace.with_span "store.save" @@ fun () ->
   Obs.Recorder.run ~op:"store.save" ~detail:dir @@ fun () ->
-  match with_retry ?retry ?sleep (fun () -> save_attempt io t ~dir) with
+  match with_retry ?retry ?sleep (fun () -> save_attempt io t ~dir ~format) with
   | () -> Ok ()
   | exception Sys_error msg ->
       Obs.Recorder.outcome ("error:" ^ msg);
@@ -270,14 +301,20 @@ let pp_report ppf r =
 exception Abort of string
 
 let parse_doc data =
-  match Xml.Parser.parse_string data with
-  | Error e -> Error (Xml.Parser.error_to_string e)
-  | Ok tree ->
-      if Tree.name tree = Some Codec.prob_tag then
-        match Codec.decode tree with
-        | Ok d -> Ok (Probabilistic d)
-        | Error msg -> Error msg
-      else Ok (Certain tree)
+  if Bincodec.is_binary data then
+    match Bincodec.of_string data with
+    | Ok (Bincodec.Certain tree) -> Ok (Certain tree)
+    | Ok (Bincodec.Probabilistic d) -> Ok (Probabilistic d)
+    | Error msg -> Error msg
+  else
+    match Xml.Parser.parse_string data with
+    | Error e -> Error (Xml.Parser.error_to_string e)
+    | Ok tree ->
+        if Tree.name tree = Some Codec.prob_tag then
+          match Codec.decode tree with
+          | Ok d -> Ok (Probabilistic d)
+          | Error msg -> Error msg
+        else Ok (Certain tree)
 
 let load_attempt io ~mode ~quarantine dir =
     let files = Io.list_dir io dir |> List.sort String.compare in
@@ -329,13 +366,16 @@ let load_attempt io ~mode ~quarantine dir =
               if not (Filename.check_suffix file tmp_suffix) then None
               else begin
                 move_aside (Filename.concat dir file);
-                if Filename.check_suffix file (xml_suffix ^ tmp_suffix) then
-                  Some (doc_name_of_file (Filename.chop_suffix file tmp_suffix))
+                if
+                  List.exists
+                    (fun s -> Filename.check_suffix file (s ^ tmp_suffix))
+                    doc_suffixes
+                then Some (doc_name_of_file (Filename.chop_suffix file tmp_suffix))
                 else None
               end)
             files
     in
-    let xml_files = List.filter (fun f -> Filename.check_suffix f xml_suffix) files in
+    let doc_files = List.filter (fun f -> doc_suffix_of f <> None) files in
     let fail_or_flag path key reason =
       match mode with
       | Strict -> raise (Abort (Fmt.str "%s: %s" path reason))
@@ -390,7 +430,7 @@ let load_attempt io ~mode ~quarantine dir =
               fail_or_flag (Filename.concat dir file) file
                 "not listed in manifest (leftover of a removed document or an \
                  interrupted save, or a foreign file)")
-          xml_files
+          doc_files
     | None ->
         (* no manifest: a legacy or uncommitted directory; take every
            well-formed <valid-name>.xml at face value *)
@@ -406,7 +446,7 @@ let load_attempt io ~mode ~quarantine dir =
               | Ok doc ->
                   put t name doc;
                   if not (noted name) then note name Recovered)
-          xml_files);
+          doc_files);
     (* interrupted writes with no surviving document of the same name *)
     List.iter
       (fun name ->

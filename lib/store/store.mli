@@ -62,10 +62,19 @@ val size : t -> int
 
 (** {1 Persistence}
 
-    One file per document, [<name>.g<N>.xml] where [N] is the generation
-    of the save that wrote it, plus a [MANIFEST], in a directory.
+    One file per document, [<name>.g<N>.xml] (or [<name>.g<N>.ipx] for the
+    compact binary format) where [N] is the generation of the save that
+    wrote it, plus a [MANIFEST], in a directory.
 
-    [save] is atomic per document {e and} per collection: each file is
+    The on-disk serialization of each document is chosen by {!format}:
+    text XML (readable by every earlier version) or the compact binary
+    codec (smaller, faster to load, checksummed per document). Loads
+    auto-detect the format of each file from its first bytes, whatever
+    the manifest version says. *)
+
+type format = Xml | Binary
+
+(** [save] is atomic per document {e and} per collection: each file is
     written to a fresh generation-stamped name via tmp + fsync + rename,
     and the manifest — listing every live document with its byte length,
     CRC-32 and file — is committed last by the same protocol, with a
@@ -75,8 +84,9 @@ val size : t -> int
     commit intact and the previous manifest in force. Only after the
     commit are superseded files deleted — the previous manifest's files,
     older-generation documents, and leftover staging files — so removed
-    documents stay removed. [<base>.g<N>.xml], [*.xml.tmp] and [MANIFEST]
-    names are owned by the store; foreign files are never deleted.
+    documents stay removed. [<base>.g<N>.xml], [<base>.g<N>.ipx],
+    [*.xml.tmp], [*.ipx.tmp] and [MANIFEST] names are owned by the store;
+    foreign files are never deleted.
 
     [retry] re-runs a failed save under the given
     {!Imprecise_resilience.Retry.policy} (default: one attempt, as
@@ -88,11 +98,21 @@ val size : t -> int
     invisible to the next one and swept by its cleanup. [sleep] overrides
     the backoff sleep (seconds; tests pass [ignore]). Counters
     [resilience.retries] / [resilience.retry_giveups] record the
-    outcome. *)
+    outcome.
+
+    [format] picks the serialization: [Xml] (default — plain text, the
+    format every earlier version reads) or [Binary] — the compact v3
+    format ({!Imprecise_pxml.Bincodec} frames, one per document, each
+    length-prefixed and CRC-32-checksummed, with deep-equal subtrees
+    stored once). A manifest listing any binary file carries the
+    version-3 header. Loading auto-detects per file by magic, so a
+    directory may mix formats and [doctor --migrate] is just
+    load + save [~format:Binary]. *)
 val save :
   ?io:Io.t ->
   ?retry:Imprecise_resilience.Retry.policy ->
   ?sleep:(float -> unit) ->
+  ?format:format ->
   t ->
   dir:string ->
   (unit, string) result
@@ -132,9 +152,9 @@ val pp_report : Format.formatter -> report -> unit
 (** [load dir] reads a saved directory back. With a manifest, exactly the
     listed documents are candidates and each is verified against its length
     and checksum — a document whose bytes do not match its manifest entry
-    is never returned. Without one, every [<valid-name>.xml] that parses is
-    accepted (legacy layout; a [.g<N>] generation tag is stripped from the
-    name). [Error] is reserved for the directory being unreadable — or,
+    is never returned. Without one, every [<valid-name>.xml] or [.ipx]
+    that parses is accepted (legacy layout; a [.g<N>] generation tag is
+    stripped from the name). [Error] is reserved for the directory being unreadable — or,
     under [Strict], for any damage at all.
 
     By default a load only reads: it works on a read-only directory and

@@ -94,20 +94,22 @@ let rec canonical t =
       Element (n, attrs, List.map canonical kept)
 
 let rec compare_raw a b =
-  match a, b with
-  | Text x, Text y -> String.compare x y
-  | Text _, Element _ -> -1
-  | Element _, Text _ -> 1
-  | Element (n1, a1, c1), Element (n2, a2, c2) ->
-      let c = String.compare n1 n2 in
-      if c <> 0 then c
-      else
-        let c = Stdlib.compare a1 a2 in
-        if c <> 0 then c else List.compare compare_raw c1 c2
+  if a == b then 0
+  else
+    match a, b with
+    | Text x, Text y -> String.compare x y
+    | Text _, Element _ -> -1
+    | Element _, Text _ -> 1
+    | Element (n1, a1, c1), Element (n2, a2, c2) ->
+        let c = String.compare n1 n2 in
+        if c <> 0 then c
+        else
+          let c = Stdlib.compare a1 a2 in
+          if c <> 0 then c else List.compare compare_raw c1 c2
 
-let compare a b = compare_raw (canonical a) (canonical b)
+let compare a b = if a == b then 0 else compare_raw (canonical a) (canonical b)
 
-let equal a b = compare a b = 0
+let equal a b = a == b || compare a b = 0
 
 let deep_equal = equal
 

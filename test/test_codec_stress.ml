@@ -1,0 +1,351 @@
+(* Binary codec certification: the compact v3 format must be a perfect
+   round-trip and fail loudly on damage.
+
+   - 500 random probabilistic documents (seeded, reproducible) encode and
+     decode BIT-identically — probabilities compared by their IEEE-754
+     bits, not an epsilon — interned or not, plus the XML attribute codec
+     round-trip on hostile floats (0.1 +. 0.2, subnormals, 1e-300).
+   - Corruption is detected, never crashes: every truncation of a frame
+     and every single-bit flip in a payload decodes to [Error]; a store
+     load over a corrupted binary file quarantines it.
+   - Legacy XML stores load unchanged next to binary ones, and a store
+     migrated to binary reloads with the same documents and the same
+     ranked answers on the paper's pinned queries (§VI Q1/Q2, Figure 2).
+
+   Runs under `dune runtest` and alone via `dune build @codec-stress`;
+   case count is overridable through CODEC_CASES. *)
+
+module Pxml = Imprecise.Pxml
+module Tree = Imprecise.Tree
+module Codec = Imprecise.Codec
+module Bincodec = Imprecise.Bincodec
+module Intern = Imprecise.Intern
+module Compact = Imprecise.Compact
+module Store = Imprecise.Store
+module Pquery = Imprecise.Pquery
+module Answer = Imprecise.Answer
+module Prng = Imprecise.Data.Prng
+module Random_docs = Imprecise.Data.Random_docs
+module Addressbook = Imprecise.Data.Addressbook
+module Workloads = Imprecise.Data.Workloads
+
+let cases =
+  match Sys.getenv_opt "CODEC_CASES" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 500)
+  | None -> 500
+
+let failures = ref 0
+
+let fail seed fmt =
+  Fmt.kstr
+    (fun msg ->
+      incr failures;
+      Fmt.epr "[codec-stress] seed %d: %s@." seed msg)
+    fmt
+
+(* Bit-exact structural equality: Pxml.equal tolerates an epsilon on
+   probabilities, which would hide a decode that drifted by one ulp. *)
+let rec exact_node a b =
+  match (a, b) with
+  | Pxml.Text x, Pxml.Text y -> String.equal x y
+  | Pxml.Elem (t1, a1, c1), Pxml.Elem (t2, a2, c2) ->
+      String.equal t1 t2 && a1 = a2 && List.equal exact_dist c1 c2
+  | _ -> false
+
+and exact_dist (a : Pxml.dist) (b : Pxml.dist) = List.equal exact_choice a.choices b.choices
+
+and exact_choice (a : Pxml.choice) (b : Pxml.choice) =
+  Int64.bits_of_float a.prob = Int64.bits_of_float b.prob
+  && List.equal exact_node a.nodes b.nodes
+
+(* ---- random round-trips ------------------------------------------------ *)
+
+let check_roundtrip seed =
+  let doc = fst (Random_docs.pxml (Prng.make seed) ~depth:(2 + (seed mod 2))) in
+  (match Bincodec.of_string (Bincodec.doc_to_string doc) with
+  | Ok (Bincodec.Probabilistic d) ->
+      if not (exact_dist doc d) then fail seed "binary round-trip changed the document"
+  | Ok (Bincodec.Certain _) -> fail seed "probabilistic doc decoded as certain"
+  | Error e -> fail seed "binary round-trip failed: %s" e);
+  (* interning is transparent: the interned doc encodes to the same
+     document (and usually fewer bytes, via back-references) *)
+  let interned = Intern.doc doc in
+  if not (exact_dist doc interned) then fail seed "interning changed the document";
+  (match Bincodec.of_string (Bincodec.doc_to_string interned) with
+  | Ok (Bincodec.Probabilistic d) ->
+      if not (exact_dist doc d) then fail seed "interned round-trip changed the document"
+  | Ok (Bincodec.Certain _) | Error _ -> fail seed "interned round-trip failed");
+  if Intern.distinct_nodes interned > Intern.distinct_nodes doc then
+    fail seed "interning increased the number of distinct nodes";
+  (* certain trees use the same frame *)
+  let tree = fst (Random_docs.xml (Prng.make (seed + 7919)) ~depth:2) in
+  match Bincodec.of_string (Bincodec.tree_to_string tree) with
+  | Ok (Bincodec.Certain t) ->
+      if not (Tree.equal tree t) then fail seed "tree round-trip changed the tree"
+  | Ok (Bincodec.Probabilistic _) -> fail seed "certain tree decoded as probabilistic"
+  | Error e -> fail seed "tree round-trip failed: %s" e
+
+(* ---- the XML attribute codec on hostile floats ------------------------- *)
+
+let hostile_probs =
+  [
+    0.1 +. 0.2;
+    1. -. (0.1 +. 0.2);
+    1e-300;
+    1. -. 1e-300;
+    Float.min_float (* smallest normal *);
+    4.9e-324 (* smallest subnormal *);
+    0.5;
+    1. /. 3.;
+    0.30000000000000004;
+    1. -. 0.30000000000000004 -. 1e-300;
+  ]
+
+let check_float_attr () =
+  List.iter
+    (fun p ->
+      (* the attribute printer must round-trip every float bit-for-bit *)
+      let s = Codec.float_to_attr p in
+      match float_of_string_opt s with
+      | None -> fail 0 "float_to_attr printed unparsable %S" s
+      | Some q ->
+          if Int64.bits_of_float q <> Int64.bits_of_float p then
+            fail 0 "float_to_attr drifted: %h printed as %S, parses to %h" p s q)
+    (hostile_probs @ List.map (fun p -> 1. -. p) hostile_probs);
+  (* and through a whole document: a two-way choice with hostile split *)
+  List.iter
+    (fun p ->
+      if p > 0. && p < 1. then
+        let q = 1. -. p in
+        let doc =
+          {
+            Pxml.choices =
+              [
+                { Pxml.prob = p; nodes = [ Pxml.Text "yes" ] };
+                { Pxml.prob = q; nodes = [ Pxml.Text "no" ] };
+              ];
+          }
+        in
+        match Codec.of_string (Codec.to_string doc) with
+        | Error e -> fail 0 "xml codec rejected hostile-prob doc: %s" e
+        | Ok d ->
+            if not (exact_dist doc d) then
+              fail 0 "xml codec drifted on probability %h" p)
+    hostile_probs
+
+(* ---- corruption -------------------------------------------------------- *)
+
+let check_corruption seed =
+  let doc = fst (Random_docs.pxml (Prng.make seed) ~depth:2) in
+  let frame = Bincodec.doc_to_string doc in
+  let n = String.length frame in
+  (* every truncation fails cleanly *)
+  List.iter
+    (fun k ->
+      if k < n then
+        match Bincodec.of_string (String.sub frame 0 k) with
+        | Error _ -> ()
+        | Ok _ -> fail seed "truncation to %d bytes decoded successfully" k)
+    [ 0; 1; 3; 4; 5; 6; n / 4; n / 2; n - 1 ];
+  (* every single-bit flip in the payload region is caught by the CRC (the
+     header region fails on magic/version/kind/length checks instead) *)
+  let header_len =
+    (* magic + version + kind, then the varint length, then 4 CRC bytes *)
+    let rec skip_varint i = if Char.code frame.[i] land 0x80 <> 0 then skip_varint (i + 1) else i + 1 in
+    skip_varint 6 + 4
+  in
+  let flip pos bit =
+    let b = Bytes.of_string frame in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+    Bytes.to_string b
+  in
+  let step = max 1 ((n - header_len) / 16) in
+  let pos = ref header_len in
+  while !pos < n do
+    (match Bincodec.of_string (flip !pos (!pos mod 8)) with
+    | Error _ -> ()
+    | Ok _ -> fail seed "bit flip at byte %d went undetected" !pos);
+    pos := !pos + step
+  done
+
+(* ---- stores: legacy XML, binary v3, migration, pinned answers --------- *)
+
+let with_tmp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "imprecise-codec-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let rank_sig doc query =
+  List.map (fun (a : Answer.t) -> Fmt.str "%s@%.12g" a.Answer.value a.Answer.prob)
+    (Pquery.rank doc query)
+
+(* §VI Q1/Q2 on the movie workload and the Figure 2 integration: the pinned
+   queries whose answers a binary reload must preserve exactly. *)
+let pinned_docs () =
+  let fig2 =
+    match
+      Imprecise.integrate ~rules:Imprecise.Rulesets.generic ~dtd:Addressbook.dtd
+        Addressbook.source_a Addressbook.source_b
+    with
+    | Ok doc -> doc
+    | Error _ -> failwith "fig2 integration failed"
+  in
+  let wl = Workloads.confusing () in
+  let rules = Imprecise.Rulesets.movie ~genre:true ~title:true ~director:true () in
+  let movies =
+    match
+      Imprecise.integrate ~rules ~dtd:wl.Workloads.dtd (Workloads.mpeg7_doc wl)
+        (Workloads.imdb_doc wl)
+    with
+    | Ok doc -> doc
+    | Error _ -> failwith "§VI movie integration failed"
+  in
+  [
+    ("fig2", fig2, [ "//person/nm"; "//person/tel" ]);
+    ( "movies",
+      movies,
+      [
+        {|//movie[.//genre="Horror"]/title|};
+        {|//movie[some $d in .//director satisfies contains($d,"John")]/title|};
+      ] );
+  ]
+
+let check_stores () =
+  let docs = pinned_docs () in
+  let store = Store.create () in
+  List.iter (fun (name, doc, _) -> Store.put store name (Store.Probabilistic doc)) docs;
+  Store.put store "certain" (Store.Certain (Tree.element "root" [ Tree.leaf "k" "v" ]));
+  let pins =
+    List.concat_map (fun (name, doc, qs) -> List.map (fun q -> (name, q, rank_sig doc q)) qs) docs
+  in
+  let check_loaded label loaded =
+    List.iter
+      (fun (name, q, expected) ->
+        match Store.get_probabilistic loaded name with
+        | None -> fail 0 "%s: document %s missing after reload" label name
+        | Some doc ->
+            let got = rank_sig doc q in
+            if got <> expected then
+              fail 0 "%s: %s answers changed after reload (%s)" label q
+                (String.concat "; " got))
+      pins;
+    match Store.get_certain loaded "certain" with
+    | Some t when Tree.equal t (Tree.element "root" [ Tree.leaf "k" "v" ]) -> ()
+    | _ -> fail 0 "%s: certain document damaged" label
+  in
+  (* legacy XML save/load still works, byte format unchanged *)
+  with_tmp_dir (fun dir ->
+      (match Store.save store ~dir with Ok () -> () | Error e -> fail 0 "xml save: %s" e);
+      let has_binary_file =
+        Array.exists (fun f -> Filename.check_suffix f ".ipx") (Sys.readdir dir)
+      in
+      if has_binary_file then fail 0 "default save wrote a binary file";
+      match Store.load dir with
+      | Ok (loaded, report) ->
+          if not (Store.recovered_all report) then fail 0 "xml load not clean";
+          check_loaded "xml" loaded
+      | Error e -> fail 0 "xml load: %s" e);
+  (* binary v3 save/load: same documents, same answers, smaller files *)
+  with_tmp_dir (fun dir ->
+      (match Store.save ~format:Store.Binary store ~dir with
+      | Ok () -> ()
+      | Error e -> fail 0 "binary save: %s" e);
+      let files = Sys.readdir dir in
+      if not (Array.exists (fun f -> Filename.check_suffix f ".ipx") files) then
+        fail 0 "binary save wrote no .ipx files";
+      (match Store.load dir with
+      | Ok (loaded, report) ->
+          if not (Store.recovered_all report) then fail 0 "binary load not clean";
+          if report.Store.manifest <> `Ok then fail 0 "binary manifest not verified";
+          check_loaded "binary" loaded
+      | Error e -> fail 0 "binary load: %s" e);
+      (* corrupt one binary payload byte: the load must quarantine exactly
+         that document and recover the rest *)
+      let victim =
+        Array.to_list files |> List.filter (fun f -> Filename.check_suffix f ".ipx")
+        |> List.sort String.compare |> List.hd
+      in
+      let path = Filename.concat dir victim in
+      let data = In_channel.with_open_bin path In_channel.input_all in
+      let b = Bytes.of_string data in
+      let pos = Bytes.length b - 1 in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x10));
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b);
+      match Store.load dir with
+      | Ok (_, report) ->
+          let bad =
+            List.filter_map
+              (fun (name, o) ->
+                match o with Store.Quarantined _ -> Some name | _ -> None)
+              report.Store.docs
+          in
+          if List.length bad <> 1 then
+            fail 0 "corrupted binary store: expected 1 quarantined doc, got %d"
+              (List.length bad)
+      | Error e -> fail 0 "corrupted binary store refused to load: %s" e);
+  (* migration: an XML store re-saved as binary keeps everything *)
+  with_tmp_dir (fun dir ->
+      (match Store.save store ~dir with Ok () -> () | Error e -> fail 0 "save: %s" e);
+      (match Store.load dir with
+      | Ok (loaded, _) -> (
+          match Store.save ~format:Store.Binary loaded ~dir with
+          | Ok () -> ()
+          | Error e -> fail 0 "migrate save: %s" e)
+      | Error e -> fail 0 "migrate load: %s" e);
+      let files = Sys.readdir dir in
+      if Array.exists (fun f -> Filename.check_suffix f ".xml") files then
+        fail 0 "migration left XML document files behind";
+      match Store.load dir with
+      | Ok (loaded, report) ->
+          if not (Store.recovered_all report && report.Store.manifest = `Ok) then
+            fail 0 "migrated store not clean";
+          check_loaded "migrated" loaded
+      | Error e -> fail 0 "migrated load: %s" e)
+
+(* ---- size and sharing sanity ------------------------------------------- *)
+
+let check_compression () =
+  (* a document with heavy repetition: binary + interning must beat XML *)
+  let person i =
+    Pxml.elem "person"
+      [
+        Pxml.certain
+          [ Pxml.elem "nm" [ Pxml.certain [ Pxml.text "alice" ] ];
+            Pxml.elem "tel" [ Pxml.certain [ Pxml.text (string_of_int (i mod 3)) ] ] ];
+      ]
+  in
+  let doc = Pxml.certain [ Pxml.elem "book" [ Pxml.certain (List.init 200 person) ] ] in
+  let xml = Codec.to_string doc in
+  let binary = Bincodec.doc_to_string doc in
+  if String.length binary * 4 > String.length xml then
+    fail 0 "binary did not compress a repetitive doc 4x (xml %d, binary %d)"
+      (String.length xml) (String.length binary);
+  let interned = Intern.doc doc in
+  if Intern.distinct_nodes interned >= Pxml.node_count doc then
+    fail 0 "interning found no sharing in a repetitive document"
+
+let () =
+  for i = 0 to cases - 1 do
+    check_roundtrip i
+  done;
+  for i = 0 to 19 do
+    check_corruption (1000 + i)
+  done;
+  check_float_attr ();
+  check_stores ();
+  check_compression ();
+  Fmt.pr
+    "codec-stress: %d round-trip cases, 20 corruption cases, %d hostile floats, 3 store \
+     scenarios, %d failures@."
+    cases
+    (List.length hostile_probs * 2)
+    !failures;
+  if !failures > 0 then exit 1

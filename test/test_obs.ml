@@ -482,6 +482,42 @@ let test_event_json_roundtrip () =
         Json.Obj [ ("ts", Json.Float 1.); ("name", Json.Int 1) ] );
     ]
 
+(* Astral-plane text (anything above U+FFFF escapes as a surrogate pair in
+   JSON) must survive both sides of the pipeline: an event line written by
+   an external emitter with \uXXXX pairs decodes to the UTF-8 scalar, and a
+   metrics label carrying raw astral UTF-8 survives render + parse. *)
+let test_astral_events_and_metric_labels () =
+  let emoji = "\xf0\x9f\x98\x80" (* U+1F600 *) in
+  let line =
+    {|{"ts": 1.5, "name": "user.note", "trace_id": 0, "span_id": 0, "fields": {"text": |}
+    ^ quoted [ "integration "; u "d83d"; u "de00" ]
+    ^ {|}}|}
+  in
+  (match Json.parse line with
+  | Error e -> Alcotest.fail e
+  | Ok j -> (
+      match Obs.Event.of_json j with
+      | Error e -> Alcotest.fail e
+      | Ok ev ->
+          check json_testable "event field decoded the pair to UTF-8"
+            (Json.String ("integration " ^ emoji))
+            (match Obs.Event.field "text" ev with Some v -> v | None -> Json.Null)));
+  let r = Metrics.registry () in
+  let name = "docs." ^ emoji ^ ".count" in
+  Metrics.incr (Metrics.counter ~registry:r name);
+  match Json.parse (Json.to_string (Metrics.to_json (Metrics.snapshot ~registry:r ()))) with
+  | Error e -> Alcotest.fail e
+  | Ok parsed -> (
+      match Json.member "counters" parsed with
+      | Some (Json.Obj counters) ->
+          check
+            Alcotest.(option int)
+            "astral metric label survives render + parse" (Some 1)
+            (match List.assoc_opt name counters with
+            | Some (Json.Int n) -> Some n
+            | _ -> None)
+      | _ -> Alcotest.fail "snapshot JSON has no counters object")
+
 (* 8 domains hammering one ring: the emitted/dropped counters must both be
    exact, the ring must hold exactly [capacity] survivors, and no survivor
    may be torn (every record well-formed, fields consistent). *)
@@ -748,6 +784,8 @@ let suite =
         t "emit is a no-op while disabled" test_event_disabled_is_noop;
         t "ring capacity and exact drop counting" test_event_ring_capacity_and_drops;
         t "event json round-trip and rejection" test_event_json_roundtrip;
+        t "astral-plane text in events and metric labels"
+          test_astral_events_and_metric_labels;
         t "8-domain emit stress: exact counters, no torn records"
           test_event_ring_domain_stress;
       ] );

@@ -211,6 +211,66 @@ let prop_compact_valid =
   QCheck.Test.make ~name:"compact output validates" ~count:100 doc_gen (fun doc ->
       Result.is_ok (Pxml.validate (Compact.compact doc)))
 
+(* ---- budgeted reduction ----------------------------------------------------- *)
+
+let test_prune_to_budget () =
+  (* a wide store: 10 independent binary choices = 1024 worlds *)
+  let choice i =
+    Pxml.dist
+      [
+        Pxml.choice ~prob:0.9 [ Pxml.text (Fmt.str "keep%d" i) ];
+        Pxml.choice ~prob:0.1 [ Pxml.text (Fmt.str "alt%d" i) ];
+      ]
+  in
+  let doc = Pxml.certain [ Pxml.elem "r" (List.init 10 choice) ] in
+  check (Alcotest.float 0.) "1024 worlds" 1024. (Pxml.world_count doc);
+  (* an already-fitting document is only compacted, never cut *)
+  let same = Compact.prune_to_budget ~world_budget:2048 doc in
+  check Alcotest.bool "within budget: distribution preserved" true
+    (world_distributions_equal doc same);
+  (* squeezing the world budget escalates until the document fits *)
+  let cut = Compact.prune_to_budget ~world_budget:8 doc in
+  (match Pxml.world_count_int cut with
+  | Some w -> check Alcotest.bool "world budget met" true (w <= 8)
+  | None -> Alcotest.fail "world count overflowed after pruning");
+  check Alcotest.bool "still valid" true (Result.is_ok (Pxml.validate cut));
+  (* a node budget only the argmax worlds can satisfy *)
+  let tiny = Compact.prune_to_budget ~node_budget:(Pxml.node_count doc / 3) doc in
+  check Alcotest.bool "node budget met" true
+    (Pxml.node_count tiny <= Pxml.node_count doc / 3);
+  check Alcotest.bool "tiny output valid" true (Result.is_ok (Pxml.validate tiny))
+
+(* ---- interning --------------------------------------------------------------- *)
+
+let test_intern_sharing () =
+  let doc = random_doc 42 in
+  let interned = Imprecise.Intern.doc doc in
+  check Alcotest.bool "interning preserves structure" true (Pxml.equal doc interned);
+  let again = Imprecise.Intern.doc doc in
+  check Alcotest.bool "interning is stable (physically)" true (interned == again);
+  (* a structurally equal but freshly allocated copy interns to the same
+     physical document *)
+  let copy =
+    match Codec.of_string (Codec.to_string doc) with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "codec round-trip failed: %s" e
+  in
+  check Alcotest.bool "deep-equal copy shares the canonical form" true
+    (Imprecise.Intern.doc copy == interned);
+  check Alcotest.bool "distinct_nodes never exceeds node_count" true
+    (Imprecise.Intern.distinct_nodes interned <= Pxml.node_count doc)
+
+let test_intern_trees_pointer_equal () =
+  let tree = Tree.element "person" [ Tree.leaf "nm" "John"; Tree.leaf "tel" "1111" ] in
+  let copy = Tree.element "person" [ Tree.leaf "nm" "John"; Tree.leaf "tel" "1111" ] in
+  check Alcotest.bool "distinct allocations" true (tree != copy);
+  let a = Imprecise.Intern.tree tree and b = Imprecise.Intern.tree copy in
+  check Alcotest.bool "deep-equal trees intern to one pointer" true (a == b);
+  check Alcotest.bool "interned flag" true (Imprecise.Intern.tree_interned a);
+  check Alcotest.int "cached hashes agree" (Imprecise.Intern.tree_hash a)
+    (Imprecise.Intern.tree_hash copy);
+  check Alcotest.bool "deep_equal fast-paths to true" true (Tree.deep_equal a b)
+
 (* ---- codec ------------------------------------------------------------------ *)
 
 let test_codec_roundtrip_fig2 () =
@@ -277,6 +337,12 @@ let suite =
         q prop_compact_preserves_distribution;
         q prop_compact_never_grows;
         q prop_compact_valid;
+        t "prune_to_budget meets node and world budgets" test_prune_to_budget;
+      ] );
+    ( "pxml.intern",
+      [
+        t "doc interning shares deep-equal subtrees" test_intern_sharing;
+        t "tree interning yields pointer equality" test_intern_trees_pointer_equal;
       ] );
     ( "pxml.codec",
       [
